@@ -1,0 +1,52 @@
+//! Ablation bench for the HPF-CEGIS design choices called out in the paper:
+//! the influence factor α (penalising components that share the original
+//! instruction's name) and the weight-update increment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sepe_isa::Opcode;
+use sepe_synth::hpf::HpfCegis;
+use sepe_synth::library::Library;
+use sepe_synth::spec::Spec;
+use sepe_synth::SynthesisConfig;
+
+fn config(alpha: i64, weight_increment: u64) -> SynthesisConfig {
+    SynthesisConfig {
+        width: 8,
+        multiset_size: 3,
+        programs_wanted: 2,
+        min_components: 2,
+        max_cegis_iterations: 6,
+        synth_conflict_limit: Some(30_000),
+        verify_conflict_limit: Some(30_000),
+        alpha,
+        weight_increment,
+        time_limit: Some(std::time::Duration::from_secs(20)),
+        ..SynthesisConfig::default()
+    }
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let library = Library::minimal();
+    let spec = Spec::for_opcode(Opcode::Add, 8);
+    let mut group = c.benchmark_group("ablation_hpf");
+    group.sample_size(10);
+    for (label, alpha, incr) in [
+        ("alpha1_incr1_paper", 1i64, 1u64),
+        ("alpha0_no_name_penalty", 0, 1),
+        ("alpha4_strong_penalty", 4, 1),
+        ("incr4_fast_learning", 1, 4),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut hpf = HpfCegis::new(config(alpha, incr), library.clone());
+                let result = hpf.synthesize(&spec);
+                assert!(result.multisets_tried > 0);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

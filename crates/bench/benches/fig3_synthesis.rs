@@ -1,0 +1,41 @@
+//! Criterion bench for Figure 3: HPF-CEGIS vs iterative CEGIS synthesis time
+//! on a representative case (the full sweep is produced by the `fig3`
+//! harness binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sepe_bench::{fig3, Profile};
+use sepe_isa::Opcode;
+use sepe_synth::hpf::HpfCegis;
+use sepe_synth::iterative::IterativeCegis;
+use sepe_synth::library::Library;
+use sepe_synth::spec::Spec;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut config = fig3::synthesis_config(Profile::Quick);
+    config.programs_wanted = 1;
+    config.min_components = 2;
+    let library = Library::minimal();
+    let spec = Spec::for_opcode(Opcode::Sub, config.width);
+
+    let mut group = c.benchmark_group("fig3_synthesis");
+    group.sample_size(10);
+    group.bench_function("hpf_cegis_sub", |b| {
+        b.iter(|| {
+            let mut hpf = HpfCegis::new(config.clone(), library.clone());
+            let result = hpf.synthesize(&spec);
+            assert!(result.succeeded());
+        })
+    });
+    group.bench_function("iterative_cegis_sub", |b| {
+        b.iter(|| {
+            let iterative = IterativeCegis::new(config.clone(), library.clone());
+            let result = iterative.synthesize(&spec);
+            assert!(result.succeeded());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for Figure 4: detection of one multiple-instruction bug
+//! by both methods (the full figure is produced by the `fig4` harness
+//! binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sepe_bench::{fig4, Profile};
+use sepe_processor::Mutation;
+use sepe_sqed::detect::Method;
+
+fn bench_fig4(c: &mut Criterion) {
+    let bug = Mutation::figure4()
+        .into_iter()
+        .find(|b| b.name == "multi-11-addi-raw")
+        .expect("bug exists");
+    // Representative slice: one bounded query per method (the full figure is
+    // produced by the `fig4` harness binary).
+    let mut quick = fig4::detector_for(&bug, Profile::Quick).config().clone();
+    quick.max_bound = 2;
+    let detector = sepe_sqed::detect::Detector::new(quick);
+    let mut group = c.benchmark_group("fig4_multi_instruction");
+    group.sample_size(10);
+    group.bench_function("sqed_addi_raw_bug_bound2", |b| {
+        b.iter(|| {
+            let detection = detector.check(Method::Sqed, Some(&bug));
+            assert!(!detection.inconclusive);
+        })
+    });
+    group.bench_function("sepe_sqed_addi_raw_bug_bound2", |b| {
+        b.iter(|| {
+            let detection = detector.check(Method::SepeSqed, Some(&bug));
+            assert!(!detection.inconclusive);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for Table 1: SEPE-SQED detection of a single-instruction
+//! bug and the SQED bounded proof that misses it (the full table is produced
+//! by the `table1` harness binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sepe_isa::Opcode;
+use sepe_processor::{Mutation, ProcessorConfig};
+use sepe_sqed::detect::{Detector, DetectorConfig, Method};
+
+fn detector(max_bound: usize) -> Detector {
+    Detector::new(DetectorConfig {
+        processor: ProcessorConfig::tiny().with_opcodes(&[Opcode::Add, Opcode::Addi]),
+        max_bound,
+        ..DetectorConfig::default()
+    })
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let bug = Mutation::table1()[0].clone(); // ADD off by one
+    let mut group = c.benchmark_group("table1_single_instruction");
+    group.sample_size(10);
+    // Representative slices only: the full detections are produced by the
+    // `table1` harness binary; here we time one bounded query per method so
+    // the bench suite stays fast on small hosts.
+    group.bench_function("sepe_sqed_add_bug_bound1", |b| {
+        let d = detector(1);
+        b.iter(|| {
+            let detection = d.check(Method::SepeSqed, Some(&bug));
+            assert!(!detection.inconclusive);
+        })
+    });
+    group.bench_function("sqed_add_bug_bound1", |b| {
+        let d = detector(1);
+        b.iter(|| {
+            let detection = d.check(Method::Sqed, Some(&bug));
+            assert!(!detection.detected);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

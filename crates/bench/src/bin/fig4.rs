@@ -1,0 +1,17 @@
+//! Regenerates Figure 4: multiple-instruction bugs, detection time and
+//! counterexample-length ratios for SQED vs SEPE-SQED.
+//!
+//! Usage: `cargo run --release -p sepe-bench --bin fig4 [--full] [--json]`
+
+use sepe_bench::{fig4, Profile};
+
+fn main() {
+    let profile = Profile::from_args();
+    let rows = fig4::run(profile);
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
+        return;
+    }
+    println!("# Figure 4 — injected multiple-instruction bugs ({profile:?} profile)\n");
+    fig4::print(&rows);
+}

@@ -1,0 +1,17 @@
+//! Regenerates Table 1: injected single-instruction bugs, SEPE-SQED detection
+//! time vs SQED "-" entries.
+//!
+//! Usage: `cargo run --release -p sepe-bench --bin table1 [--full] [--json]`
+
+use sepe_bench::{table1, Profile};
+
+fn main() {
+    let profile = Profile::from_args();
+    let rows = table1::run(profile);
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
+        return;
+    }
+    println!("# Table 1 — injected single-instruction bugs ({profile:?} profile)\n");
+    table1::print(&rows);
+}

@@ -1,0 +1,45 @@
+//! Benchmark harness: workload generators and experiment runners that
+//! regenerate every table and figure of the paper's evaluation section.
+//!
+//! * [`fig3`] — synthesis-time comparison of HPF-CEGIS vs iterative CEGIS
+//!   (and the classical CEGIS baseline) over the 26 synthesis cases,
+//! * [`table1`] — injected single-instruction bugs: SEPE-SQED detection times
+//!   vs SQED "-" entries,
+//! * [`fig4`] — injected multiple-instruction bugs: detection time and
+//!   counterexample length for both methods, plus the SQED/SEPE ratios.
+//!
+//! Each module exposes a `run` function returning serializable row structs
+//! and a `print` function producing the paper-style table.  The
+//! `fig3`/`table1`/`fig4` binaries are thin wrappers; the Criterion benches
+//! in `benches/` time representative slices of the same runners.
+
+pub mod fig3;
+pub mod fig4;
+pub mod table1;
+
+use std::time::Duration;
+
+/// How much work an experiment run performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// A few representative cases with tight budgets (minutes).
+    Quick,
+    /// The full sweep matching the paper's tables.
+    Full,
+}
+
+impl Profile {
+    /// Parses from CLI arguments (`--full` selects the full sweep).
+    pub fn from_args() -> Profile {
+        if std::env::args().any(|a| a == "--full") {
+            Profile::Full
+        } else {
+            Profile::Quick
+        }
+    }
+}
+
+/// Formats a duration in seconds with two decimals.
+pub fn secs(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}

@@ -1,0 +1,272 @@
+//! Detection drivers: run SQED or SEPE-SQED against an (optionally mutated)
+//! processor model and report the outcome.
+
+use std::fmt;
+use std::time::Duration;
+
+use sepe_isa::Opcode;
+use sepe_processor::{Mutation, ProcessorConfig};
+use sepe_smt::TermManager;
+use sepe_tsys::{Bmc, BmcConfig, BmcMode, BmcResult, Witness};
+
+use crate::equivalence::EquivalenceDb;
+use crate::qed::{QedBuilder, Scheme};
+
+/// Which verification method to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Plain SQED with the EDDI-V duplication.
+    Sqed,
+    /// SEPE-SQED with the EDSEP-V equivalent programs.
+    SepeSqed,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Method::Sqed => write!(f, "SQED"),
+            Method::SepeSqed => write!(f, "SEPE-SQED"),
+        }
+    }
+}
+
+/// Configuration of a detection run.
+#[derive(Debug, Clone)]
+pub struct DetectorConfig {
+    /// The processor model configuration; its `allowed_opcodes` also define
+    /// the original-instruction universe of the experiment.
+    pub processor: ProcessorConfig,
+    /// Maximum BMC bound (transition steps).
+    pub max_bound: usize,
+    /// SAT conflict budget per BMC query.
+    pub conflict_limit: Option<u64>,
+    /// Wall-clock budget for the whole run.
+    pub time_limit: Option<Duration>,
+    /// Dispatch-queue depth override.
+    pub queue_depth: Option<usize>,
+    /// Equivalence database for SEPE-SQED (`None` uses the curated database
+    /// at the processor's data-path width).
+    pub equivalence: Option<EquivalenceDb>,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            processor: ProcessorConfig::fast(),
+            max_bound: 10,
+            conflict_limit: None,
+            time_limit: None,
+            queue_depth: None,
+            equivalence: None,
+        }
+    }
+}
+
+/// The outcome of one detection run.
+#[derive(Debug, Clone)]
+pub struct Detection {
+    /// The method that was run.
+    pub method: Method,
+    /// Name of the injected bug, if any.
+    pub bug: Option<String>,
+    /// Whether a counterexample (inconsistency) was found.
+    pub detected: bool,
+    /// Whether the run ended because a resource budget was exhausted rather
+    /// than because the bound was fully explored.
+    pub inconclusive: bool,
+    /// Wall-clock runtime of the model-checking run.
+    pub runtime: Duration,
+    /// Counterexample length in committed instructions, when detected.
+    pub trace_len: Option<usize>,
+    /// The full counterexample, when detected.
+    pub witness: Option<Witness>,
+    /// Deepest bound explored.
+    pub bound_reached: usize,
+    /// Total SAT conflicts spent by the model checker.
+    pub conflicts: u64,
+}
+
+impl Detection {
+    /// Formats the runtime like the paper's tables (seconds, or "-" when the
+    /// bug was not detected).
+    pub fn table_cell(&self) -> String {
+        if self.detected {
+            format!("{:.2}s", self.runtime.as_secs_f64())
+        } else {
+            "-".to_string()
+        }
+    }
+}
+
+/// Runs detection experiments.
+#[derive(Debug, Clone)]
+pub struct Detector {
+    config: DetectorConfig,
+}
+
+impl Detector {
+    /// Creates a detector.
+    pub fn new(config: DetectorConfig) -> Self {
+        Detector { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// The equivalence database a SEPE-SQED run will use.
+    pub fn equivalence_db(&self) -> EquivalenceDb {
+        self.config
+            .equivalence
+            .clone()
+            .unwrap_or_else(|| EquivalenceDb::curated_for_width(self.config.processor.xlen))
+    }
+
+    /// The original-instruction opcodes of the experiment for a method: the
+    /// processor's allowed opcodes, restricted (for SEPE-SQED) to the ones the
+    /// equivalence database can transform.
+    pub fn original_opcodes(&self, method: Method) -> Vec<Opcode> {
+        let allowed = &self.config.processor.allowed_opcodes;
+        match method {
+            Method::Sqed => allowed.clone(),
+            Method::SepeSqed => {
+                let db = self.equivalence_db();
+                allowed
+                    .iter()
+                    .copied()
+                    .filter(|op| op.touches_memory() || db.template(*op).is_some())
+                    .collect()
+            }
+        }
+    }
+
+    /// Runs one method against one (optional) injected bug.
+    pub fn check(&self, method: Method, mutation: Option<&Mutation>) -> Detection {
+        let mut tm = TermManager::new();
+        let scheme = match method {
+            Method::Sqed => Scheme::Sqed,
+            Method::SepeSqed => Scheme::Sepe(self.equivalence_db()),
+        };
+        let builder = QedBuilder {
+            processor: self.config.processor.clone(),
+            original_opcodes: self.original_opcodes(method),
+            queue_depth: self.config.queue_depth,
+        };
+        let system = builder.build(&mut tm, &scheme, mutation);
+        let mut bmc = Bmc::new(BmcConfig {
+            conflict_limit: self.config.conflict_limit,
+            time_limit: self.config.time_limit,
+            // the initial state is consistent by construction, start at 1
+            start_bound: 1,
+            // one cumulative query over all depths; the witness is truncated
+            // to the earliest violating frame so trace lengths are minimal
+            mode: BmcMode::Cumulative,
+        });
+        let result = bmc.check(&mut tm, &system.ts, self.config.max_bound);
+        let stats = bmc.stats();
+        let bug = mutation.map(|m| m.name.clone());
+        match result {
+            BmcResult::Counterexample(witness) => Detection {
+                method,
+                bug,
+                detected: true,
+                inconclusive: false,
+                runtime: stats.duration,
+                trace_len: Some(witness.num_steps()),
+                witness: Some(witness),
+                bound_reached: stats.deepest_bound,
+                conflicts: stats.conflicts,
+            },
+            BmcResult::NoCounterexample { bound } => Detection {
+                method,
+                bug,
+                detected: false,
+                inconclusive: false,
+                runtime: stats.duration,
+                trace_len: None,
+                witness: None,
+                bound_reached: bound,
+                conflicts: stats.conflicts,
+            },
+            BmcResult::Unknown { bound } => Detection {
+                method,
+                bug,
+                detected: false,
+                inconclusive: true,
+                runtime: stats.duration,
+                trace_len: None,
+                witness: None,
+                bound_reached: bound,
+                conflicts: stats.conflicts,
+            },
+        }
+    }
+
+    /// Convenience: runs both methods on the same bug.
+    pub fn compare(&self, mutation: Option<&Mutation>) -> (Detection, Detection) {
+        (self.check(Method::Sqed, mutation), self.check(Method::SepeSqed, mutation))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector(opcodes: &[Opcode], max_bound: usize) -> Detector {
+        Detector::new(DetectorConfig {
+            processor: ProcessorConfig::tiny().with_opcodes(opcodes),
+            max_bound,
+            ..DetectorConfig::default()
+        })
+    }
+
+    #[test]
+    fn clean_design_has_no_counterexample_under_either_method() {
+        let d = detector(&[Opcode::Add, Opcode::Xori], 2);
+        let sqed = d.check(Method::Sqed, None);
+        assert!(!sqed.detected, "the unmutated design is self-consistent");
+        assert!(!sqed.inconclusive);
+        let sepe = d.check(Method::SepeSqed, None);
+        assert!(!sepe.detected, "the unmutated design is SEPE-consistent");
+        assert!(!sepe.inconclusive);
+    }
+
+    #[test]
+    #[ignore = "long formal check on a single-CPU host; run with cargo test -- --ignored"]
+    fn sepe_detects_a_single_instruction_bug_that_sqed_misses() {
+        let bug = &Mutation::table1()[0]; // ADD off by one
+        let d = detector(&[Opcode::Add, Opcode::Addi], 4);
+        let sqed = d.check(Method::Sqed, Some(bug));
+        assert!(!sqed.detected, "EDDI-V duplication cannot see single-instruction bugs");
+        let sepe = d.check(Method::SepeSqed, Some(bug));
+        assert!(sepe.detected, "SEPE-SQED must detect the ADD bug");
+        let len = sepe.trace_len.expect("counterexample length");
+        assert!(len >= 2, "the trace commits the original and its equivalent program");
+        assert_eq!(sepe.table_cell().ends_with('s'), true);
+        assert_eq!(sqed.table_cell(), "-");
+    }
+
+    #[test]
+    #[ignore = "long formal check on a single-CPU host; run with cargo test -- --ignored"]
+    fn both_methods_detect_a_multiple_instruction_bug() {
+        let bug = Mutation::figure4()
+            .into_iter()
+            .find(|b| b.name == "multi-11-addi-raw")
+            .expect("bug exists");
+        let d = detector(&[Opcode::Addi, Opcode::Xori], 6);
+        let sqed = d.check(Method::Sqed, Some(&bug));
+        assert!(sqed.detected, "SQED detects multiple-instruction bugs");
+        let sepe = d.check(Method::SepeSqed, Some(&bug));
+        assert!(sepe.detected, "SEPE-SQED detects multiple-instruction bugs");
+    }
+
+    #[test]
+    fn original_opcode_filtering_respects_the_database() {
+        let d = detector(&[Opcode::Add, Opcode::Lw, Opcode::Sw], 4);
+        let sqed_ops = d.original_opcodes(Method::Sqed);
+        let sepe_ops = d.original_opcodes(Method::SepeSqed);
+        assert_eq!(sqed_ops.len(), 3);
+        assert_eq!(sepe_ops.len(), 3, "memory ops are handled natively by EDSEP-V");
+    }
+}

@@ -1,0 +1,232 @@
+//! EDSEP-V: error detection using semantically equivalent programs for
+//! validation (the transformation behind SEPE-SQED, Section 5).
+
+use sepe_isa::{Instr, Opcode, Reg};
+use sepe_processor::MutantCore;
+
+use crate::equivalence::EquivalenceDb;
+use crate::mapping::RegisterMapping;
+
+/// The EDSEP-V transformation: every original instruction is replaced, on the
+/// shadow side, by its semantically equivalent program with registers
+/// allocated from the `E` and `T` sets (Listing 2 of the paper).
+#[derive(Debug, Clone)]
+pub struct EdsepV {
+    mapping: RegisterMapping,
+    db: EquivalenceDb,
+}
+
+impl EdsepV {
+    /// Creates the transformation from an equivalence database.
+    pub fn new(db: EquivalenceDb) -> Self {
+        EdsepV { mapping: RegisterMapping::sepe(), db }
+    }
+
+    /// Creates the transformation from the curated database.
+    pub fn curated() -> Self {
+        Self::new(EquivalenceDb::curated())
+    }
+
+    /// The register mapping in use.
+    pub fn mapping(&self) -> &RegisterMapping {
+        &self.mapping
+    }
+
+    /// The equivalence database in use.
+    pub fn database(&self) -> &EquivalenceDb {
+        &self.db
+    }
+
+    /// Whether an original instruction is legal for a SEPE-SQED run.
+    pub fn is_legal_original(&self, instr: &Instr) -> bool {
+        let mut regs = instr.sources();
+        if let Some(rd) = instr.dest() {
+            regs.push(rd);
+        }
+        regs.into_iter().all(|r| self.mapping.is_original(r))
+            && (instr.opcode.touches_memory() || self.db.template(instr.opcode).is_some())
+    }
+
+    /// The semantically equivalent instruction sequence of an original
+    /// instruction, with registers allocated per Listing 2: sources map into
+    /// `E`, the destination maps to its `E` counterpart, temporaries come
+    /// from `T`.
+    ///
+    /// Memory instructions are transformed natively (the address is computed
+    /// through the adder instead of the load/store offset path), since memory
+    /// behaviour is not expressible as a register-to-register template.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction has no template and is not a memory
+    /// instruction, or uses registers outside the original set.
+    pub fn equivalent_program(&self, instr: &Instr) -> Vec<Instr> {
+        let rs1 = self.mapped(instr.rs1);
+        let rs2 = self.mapped(instr.rs2);
+        let t0 = self.mapping.temps[0];
+        match instr.opcode {
+            Opcode::Lw => vec![
+                Instr::addi(t0, rs1, instr.imm),
+                Instr::lw(self.mapped(instr.rd), t0, 0),
+            ],
+            Opcode::Sw => vec![
+                Instr::addi(t0, rs1, instr.imm),
+                Instr::sw(t0, rs2, 0),
+            ],
+            op => {
+                let template = self
+                    .db
+                    .template(op)
+                    .unwrap_or_else(|| panic!("no equivalent program known for {op}"));
+                let dest = self.mapped(if op.writes_rd() { instr.rd } else { Reg::ZERO });
+                template.instantiate(rs1, rs2, dest, &self.mapping.temps, instr.imm)
+            }
+        }
+    }
+
+    fn mapped(&self, r: Reg) -> Reg {
+        self.mapping.shadow(r)
+    }
+
+    /// Runs a SEPE-SQED test concretely: executes every original instruction
+    /// (memory bank 0) and its equivalent program (memory bank 1) and reports
+    /// whether the final state is QED-consistent.
+    pub fn concrete_check(&self, core: &mut MutantCore, originals: &[Instr]) -> bool {
+        for instr in originals {
+            assert!(self.is_legal_original(instr), "{instr} is not a legal original");
+            core.commit_banked(instr, false);
+            for eq in self.equivalent_program(instr) {
+                core.commit_banked(&eq, true);
+            }
+        }
+        self.is_consistent(core)
+    }
+
+    /// The SEPE-SQED consistency predicate over a concrete core state.
+    pub fn is_consistent(&self, core: &MutantCore) -> bool {
+        let regs_ok = self
+            .mapping
+            .consistency_pairs()
+            .into_iter()
+            .all(|(o, e)| core.reg(o) == core.reg(e));
+        let half = core.config().mem_words / 2;
+        let mem_ok = (0..half).all(|w| core.mem_word(w) == core.mem_word(w + half));
+        regs_ok && mem_ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepe_processor::{Mutation, ProcessorConfig};
+
+    #[test]
+    fn listing2_register_allocation() {
+        // SUB regs[1], regs[2], regs[3] expands exactly as Listing 2 shows.
+        let edsepv = EdsepV::curated();
+        let program = edsepv.equivalent_program(&Instr::sub(Reg(1), Reg(2), Reg(3)));
+        let rendered: Vec<String> = program.iter().map(|i| i.to_string()).collect();
+        assert_eq!(
+            rendered,
+            vec![
+                "xori x26, x15, -1".to_string(),
+                "add x27, x26, x16".to_string(),
+                "xori x14, x27, -1".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn every_equivalent_program_stays_inside_e_and_t() {
+        let edsepv = EdsepV::curated();
+        let mapping = edsepv.mapping().clone();
+        for op in edsepv.database().opcodes() {
+            let instr = match op.operand_kind() {
+                sepe_isa::OperandKind::RegReg => Instr::reg_reg(op, Reg(1), Reg(2), Reg(3)),
+                sepe_isa::OperandKind::RegImm => Instr::new(op, Reg(1), Reg(2), Reg::ZERO, -9),
+                sepe_isa::OperandKind::RegShamt => Instr::new(op, Reg(1), Reg(2), Reg::ZERO, 3),
+                sepe_isa::OperandKind::Upper => Instr::lui(Reg(1), 0x4000),
+                _ => continue,
+            };
+            for eq in edsepv.equivalent_program(&instr) {
+                let mut regs = eq.sources();
+                if let Some(rd) = eq.dest() {
+                    regs.push(rd);
+                }
+                for r in regs {
+                    assert!(
+                        r.is_zero() || mapping.is_shadow(r) || mapping.is_temp(r),
+                        "{op}: register {r} escapes the E/T sets"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clean_core_stays_consistent() {
+        let edsepv = EdsepV::curated();
+        let mut core = MutantCore::new(ProcessorConfig::default(), None);
+        let program = vec![
+            Instr::addi(Reg(1), Reg(0), 7),
+            Instr::lui(Reg(2), 0x3),
+            Instr::add(Reg(3), Reg(1), Reg(2)),
+            Instr::reg_reg(Opcode::Mulh, Reg(4), Reg(3), Reg(1)),
+            Instr::sw(Reg(1), Reg(3), 4),
+            Instr::lw(Reg(5), Reg(1), 4),
+        ];
+        assert!(edsepv.concrete_check(&mut core, &program));
+    }
+
+    #[test]
+    fn single_instruction_bugs_break_consistency_under_edsepv() {
+        // Unlike EDDI-V, the equivalent program computes through a different
+        // datapath, so Table-1 bugs surface as inconsistencies.
+        for bug in Mutation::table1() {
+            let target = bug.target_opcode().expect("table-1 bugs target an opcode");
+            let edsepv = EdsepV::curated();
+            let mut core = MutantCore::new(ProcessorConfig::default(), Some(bug.clone()));
+            // set up distinguishing operand values in both O and E copies
+            for (o, e) in edsepv.mapping().consistency_pairs() {
+                if o.is_zero() {
+                    continue;
+                }
+                let v = 0x1234_5678u64 ^ u64::from(o.0);
+                core.set_reg(o, v);
+                core.set_reg(e, v);
+            }
+            // a negative first operand and a small positive second operand
+            // make every Table-1 corruption observable (sign-sensitive
+            // compares, shifts and multiplies included)
+            for (o, e) in [(Reg(2), Reg(15)), (Reg(3), Reg(16))] {
+                let v = if o == Reg(2) { 0x8000_0005u64 } else { 3 };
+                core.set_reg(o, v);
+                core.set_reg(e, v);
+            }
+            let original = match target.operand_kind() {
+                sepe_isa::OperandKind::RegReg => Instr::reg_reg(target, Reg(1), Reg(2), Reg(3)),
+                sepe_isa::OperandKind::RegImm => Instr::new(target, Reg(1), Reg(2), Reg::ZERO, 5),
+                sepe_isa::OperandKind::RegShamt => {
+                    Instr::new(target, Reg(1), Reg(2), Reg::ZERO, 3)
+                }
+                sepe_isa::OperandKind::Upper => Instr::lui(Reg(1), 0x123),
+                sepe_isa::OperandKind::Store => Instr::sw(Reg(2), Reg(3), 8),
+                sepe_isa::OperandKind::Load => Instr::lw(Reg(1), Reg(2), 8),
+            };
+            let consistent = edsepv.concrete_check(&mut core, &[original]);
+            assert!(
+                !consistent,
+                "bug {} must be visible to EDSEP-V on a distinguishing input",
+                bug.name
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a legal original")]
+    fn originals_outside_o_are_rejected() {
+        let edsepv = EdsepV::curated();
+        let mut core = MutantCore::new(ProcessorConfig::default(), None);
+        edsepv.concrete_check(&mut core, &[Instr::add(Reg(20), Reg(1), Reg(2))]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Register-file partitioning for the QED transformations.
+
+use sepe_isa::Reg;
+
+/// How the 32 general-purpose registers are split between the original
+/// instruction stream and its transformed counterpart.
+///
+/// * SQED / EDDI-V: originals use `x0`–`x15`, duplicates use `x16`–`x31`
+///   (`x[i] ↔ x[i+16]`).
+/// * SEPE-SQED / EDSEP-V (Section 5): originals use the set `O = x0..x12`,
+///   equivalent programs write to `E = x13..x25` (`x[i] ↔ x[i+13]`) and use
+///   `T = x26..x31` for intermediate values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterMapping {
+    /// Number of registers in the original set (including `x0`).
+    pub original_count: u8,
+    /// Offset added to an original register to reach its counterpart.
+    pub offset: u8,
+    /// Temporary registers available to equivalent programs.
+    pub temps: Vec<Reg>,
+}
+
+impl RegisterMapping {
+    /// The SQED (EDDI-V) mapping: `x0..x15` original, `x16..x31` duplicate.
+    pub fn sqed() -> Self {
+        RegisterMapping { original_count: 16, offset: 16, temps: Vec::new() }
+    }
+
+    /// The SEPE-SQED (EDSEP-V) mapping: `O = x0..x12`, `E = x13..x25`,
+    /// `T = x26..x31`.
+    pub fn sepe() -> Self {
+        RegisterMapping {
+            original_count: 13,
+            offset: 13,
+            temps: (26..32).map(Reg).collect(),
+        }
+    }
+
+    /// Whether a register belongs to the original set.
+    pub fn is_original(&self, r: Reg) -> bool {
+        r.0 < self.original_count
+    }
+
+    /// Whether a register belongs to the shadow (duplicate / equivalent) set.
+    pub fn is_shadow(&self, r: Reg) -> bool {
+        r.0 >= self.offset && r.0 < self.offset + self.original_count
+    }
+
+    /// Whether a register is one of the temporaries.
+    pub fn is_temp(&self, r: Reg) -> bool {
+        self.temps.contains(&r)
+    }
+
+    /// Maps an original register to its shadow counterpart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register is not in the original set.
+    pub fn shadow(&self, r: Reg) -> Reg {
+        assert!(self.is_original(r), "{r} is not an original-set register");
+        Reg(r.0 + self.offset)
+    }
+
+    /// The pairs `(original, shadow)` compared by the QED-consistency
+    /// property.
+    pub fn consistency_pairs(&self) -> Vec<(Reg, Reg)> {
+        (0..self.original_count).map(|i| (Reg(i), Reg(i + self.offset))).collect()
+    }
+
+    /// Number of temporaries available.
+    pub fn num_temps(&self) -> usize {
+        self.temps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sqed_mapping_matches_the_background_section() {
+        let m = RegisterMapping::sqed();
+        assert_eq!(m.consistency_pairs().len(), 16);
+        assert_eq!(m.shadow(Reg(0)), Reg(16));
+        assert_eq!(m.shadow(Reg(15)), Reg(31));
+        assert!(m.is_original(Reg(15)));
+        assert!(!m.is_original(Reg(16)));
+        assert!(m.is_shadow(Reg(16)));
+        assert_eq!(m.num_temps(), 0);
+    }
+
+    #[test]
+    fn sepe_mapping_matches_section5() {
+        let m = RegisterMapping::sepe();
+        assert_eq!(m.consistency_pairs().len(), 13);
+        assert_eq!(m.shadow(Reg(1)), Reg(14));
+        assert_eq!(m.shadow(Reg(12)), Reg(25));
+        assert!(m.is_original(Reg(12)));
+        assert!(!m.is_original(Reg(13)));
+        assert!(m.is_shadow(Reg(13)));
+        assert!(m.is_shadow(Reg(25)));
+        assert!(!m.is_shadow(Reg(26)));
+        assert!(m.is_temp(Reg(26)));
+        assert!(m.is_temp(Reg(31)));
+        assert!(!m.is_temp(Reg(25)));
+        assert_eq!(m.num_temps(), 6);
+        // the three sets partition the register file
+        for r in Reg::all() {
+            let in_sets = [m.is_original(r), m.is_shadow(r), m.is_temp(r)];
+            assert_eq!(in_sets.iter().filter(|&&b| b).count(), 1, "{r} must be in exactly one set");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not an original-set register")]
+    fn shadow_of_shadow_panics() {
+        RegisterMapping::sepe().shadow(Reg(20));
+    }
+}

@@ -1,0 +1,244 @@
+//! RISC-V binary encoding and decoding of the supported subset.
+
+use std::fmt;
+
+use crate::instr::{Instr, Opcode};
+use crate::reg::Reg;
+
+/// Error returned by [`decode`] for words outside the supported subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The word that failed to decode.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsupported instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const OPCODE_OP: u32 = 0b011_0011;
+const OPCODE_OP_IMM: u32 = 0b001_0011;
+const OPCODE_LUI: u32 = 0b011_0111;
+const OPCODE_LOAD: u32 = 0b000_0011;
+const OPCODE_STORE: u32 = 0b010_0011;
+
+fn r_type(funct7: u32, rs2: Reg, rs1: Reg, funct3: u32, rd: Reg, opcode: u32) -> u32 {
+    (funct7 << 25)
+        | ((rs2.0 as u32) << 20)
+        | ((rs1.0 as u32) << 15)
+        | (funct3 << 12)
+        | ((rd.0 as u32) << 7)
+        | opcode
+}
+
+fn i_type(imm: i32, rs1: Reg, funct3: u32, rd: Reg, opcode: u32) -> u32 {
+    let imm = (imm as u32) & 0xfff;
+    (imm << 20) | ((rs1.0 as u32) << 15) | (funct3 << 12) | ((rd.0 as u32) << 7) | opcode
+}
+
+fn s_type(imm: i32, rs2: Reg, rs1: Reg, funct3: u32, opcode: u32) -> u32 {
+    let imm = (imm as u32) & 0xfff;
+    ((imm >> 5) << 25)
+        | ((rs2.0 as u32) << 20)
+        | ((rs1.0 as u32) << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1f) << 7)
+        | opcode
+}
+
+/// Encodes an instruction into its 32-bit RISC-V machine word.
+pub fn encode(instr: &Instr) -> u32 {
+    use Opcode::*;
+    let Instr { opcode, rd, rs1, rs2, imm } = *instr;
+    match opcode {
+        Add => r_type(0b000_0000, rs2, rs1, 0b000, rd, OPCODE_OP),
+        Sub => r_type(0b010_0000, rs2, rs1, 0b000, rd, OPCODE_OP),
+        Sll => r_type(0b000_0000, rs2, rs1, 0b001, rd, OPCODE_OP),
+        Slt => r_type(0b000_0000, rs2, rs1, 0b010, rd, OPCODE_OP),
+        Sltu => r_type(0b000_0000, rs2, rs1, 0b011, rd, OPCODE_OP),
+        Xor => r_type(0b000_0000, rs2, rs1, 0b100, rd, OPCODE_OP),
+        Srl => r_type(0b000_0000, rs2, rs1, 0b101, rd, OPCODE_OP),
+        Sra => r_type(0b010_0000, rs2, rs1, 0b101, rd, OPCODE_OP),
+        Or => r_type(0b000_0000, rs2, rs1, 0b110, rd, OPCODE_OP),
+        And => r_type(0b000_0000, rs2, rs1, 0b111, rd, OPCODE_OP),
+        Mul => r_type(0b000_0001, rs2, rs1, 0b000, rd, OPCODE_OP),
+        Mulh => r_type(0b000_0001, rs2, rs1, 0b001, rd, OPCODE_OP),
+        Mulhsu => r_type(0b000_0001, rs2, rs1, 0b010, rd, OPCODE_OP),
+        Mulhu => r_type(0b000_0001, rs2, rs1, 0b011, rd, OPCODE_OP),
+        Addi => i_type(imm, rs1, 0b000, rd, OPCODE_OP_IMM),
+        Slti => i_type(imm, rs1, 0b010, rd, OPCODE_OP_IMM),
+        Sltiu => i_type(imm, rs1, 0b011, rd, OPCODE_OP_IMM),
+        Xori => i_type(imm, rs1, 0b100, rd, OPCODE_OP_IMM),
+        Ori => i_type(imm, rs1, 0b110, rd, OPCODE_OP_IMM),
+        Andi => i_type(imm, rs1, 0b111, rd, OPCODE_OP_IMM),
+        Slli => i_type(imm & 0x1f, rs1, 0b001, rd, OPCODE_OP_IMM),
+        Srli => i_type(imm & 0x1f, rs1, 0b101, rd, OPCODE_OP_IMM),
+        Srai => i_type((imm & 0x1f) | (0b010_0000 << 5), rs1, 0b101, rd, OPCODE_OP_IMM),
+        Lui => ((imm as u32) << 12) | ((rd.0 as u32) << 7) | OPCODE_LUI,
+        Lw => i_type(imm, rs1, 0b010, rd, OPCODE_LOAD),
+        Sw => s_type(imm, rs2, rs1, 0b010, OPCODE_STORE),
+    }
+}
+
+fn sext12(v: u32) -> i32 {
+    ((v << 20) as i32) >> 20
+}
+
+/// Decodes a 32-bit machine word into an instruction of the supported subset.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] when the word does not belong to the subset (other
+/// RISC-V instructions, reserved encodings, or malformed funct fields).
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let opcode = word & 0x7f;
+    let rd = Reg(((word >> 7) & 0x1f) as u8);
+    let funct3 = (word >> 12) & 0x7;
+    let rs1 = Reg(((word >> 15) & 0x1f) as u8);
+    let rs2 = Reg(((word >> 20) & 0x1f) as u8);
+    let funct7 = (word >> 25) & 0x7f;
+    let imm_i = sext12(word >> 20);
+    let err = Err(DecodeError { word });
+
+    let instr = match opcode {
+        OPCODE_OP => {
+            let op = match (funct7, funct3) {
+                (0b000_0000, 0b000) => Opcode::Add,
+                (0b010_0000, 0b000) => Opcode::Sub,
+                (0b000_0000, 0b001) => Opcode::Sll,
+                (0b000_0000, 0b010) => Opcode::Slt,
+                (0b000_0000, 0b011) => Opcode::Sltu,
+                (0b000_0000, 0b100) => Opcode::Xor,
+                (0b000_0000, 0b101) => Opcode::Srl,
+                (0b010_0000, 0b101) => Opcode::Sra,
+                (0b000_0000, 0b110) => Opcode::Or,
+                (0b000_0000, 0b111) => Opcode::And,
+                (0b000_0001, 0b000) => Opcode::Mul,
+                (0b000_0001, 0b001) => Opcode::Mulh,
+                (0b000_0001, 0b010) => Opcode::Mulhsu,
+                (0b000_0001, 0b011) => Opcode::Mulhu,
+                _ => return err,
+            };
+            Instr::new(op, rd, rs1, rs2, 0)
+        }
+        OPCODE_OP_IMM => match funct3 {
+            0b000 => Instr::new(Opcode::Addi, rd, rs1, Reg::ZERO, imm_i),
+            0b010 => Instr::new(Opcode::Slti, rd, rs1, Reg::ZERO, imm_i),
+            0b011 => Instr::new(Opcode::Sltiu, rd, rs1, Reg::ZERO, imm_i),
+            0b100 => Instr::new(Opcode::Xori, rd, rs1, Reg::ZERO, imm_i),
+            0b110 => Instr::new(Opcode::Ori, rd, rs1, Reg::ZERO, imm_i),
+            0b111 => Instr::new(Opcode::Andi, rd, rs1, Reg::ZERO, imm_i),
+            0b001 if funct7 == 0 => {
+                Instr::new(Opcode::Slli, rd, rs1, Reg::ZERO, (rs2.0) as i32)
+            }
+            0b101 if funct7 == 0 => {
+                Instr::new(Opcode::Srli, rd, rs1, Reg::ZERO, (rs2.0) as i32)
+            }
+            0b101 if funct7 == 0b010_0000 => {
+                Instr::new(Opcode::Srai, rd, rs1, Reg::ZERO, (rs2.0) as i32)
+            }
+            _ => return err,
+        },
+        OPCODE_LUI => Instr::new(Opcode::Lui, rd, Reg::ZERO, Reg::ZERO, (word >> 12) as i32),
+        OPCODE_LOAD if funct3 == 0b010 => Instr::new(Opcode::Lw, rd, rs1, Reg::ZERO, imm_i),
+        OPCODE_STORE if funct3 == 0b010 => {
+            let imm = sext12(((word >> 25) << 5) | ((word >> 7) & 0x1f));
+            Instr::new(Opcode::Sw, Reg::ZERO, rs1, rs2, imm)
+        }
+        _ => return err,
+    };
+    Ok(instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_encodings_match_the_spec() {
+        // add x1, x2, x3 = 0x003100b3
+        assert_eq!(encode(&Instr::add(Reg(1), Reg(2), Reg(3))), 0x0031_00b3);
+        // sub x1, x2, x3 = 0x403100b3
+        assert_eq!(encode(&Instr::sub(Reg(1), Reg(2), Reg(3))), 0x4031_00b3);
+        // addi x5, x6, -1 = 0xfff30293
+        assert_eq!(encode(&Instr::addi(Reg(5), Reg(6), -1)), 0xfff3_0293);
+        // lui x7, 0x12345 = 0x123453b7
+        assert_eq!(encode(&Instr::lui(Reg(7), 0x12345)), 0x1234_53b7);
+        // lw x8, 16(x9) = 0x0104a403
+        assert_eq!(encode(&Instr::lw(Reg(8), Reg(9), 16)), 0x0104_a403);
+        // sw x10, 20(x11) = 0x00a5aa23
+        assert_eq!(encode(&Instr::sw(Reg(11), Reg(10), 20)), 0x00a5_aa23);
+        // srai x1, x2, 4 = 0x40415093
+        assert_eq!(encode(&Instr::reg_imm(Opcode::Srai, Reg(1), Reg(2), 4)), 0x4041_5093);
+        // mulh x3, x4, x5 = 0x025211b3
+        assert_eq!(
+            encode(&Instr::reg_reg(Opcode::Mulh, Reg(3), Reg(4), Reg(5))),
+            0x0252_11b3
+        );
+    }
+
+    #[test]
+    fn decode_rejects_unsupported_words() {
+        assert!(decode(0x0000_0000).is_err());
+        // jal x0, 0 (opcode 1101111) is outside the subset
+        assert!(decode(0x0000_006f).is_err());
+        // lb (funct3 000 on LOAD) is outside the subset
+        assert!(decode(0x0000_0003).is_err());
+        let e = decode(0xffff_ffff).unwrap_err();
+        assert!(e.to_string().contains("0xffffffff"));
+    }
+
+    #[test]
+    fn roundtrip_all_opcodes() {
+        for &op in &Opcode::ALL {
+            let instr = match op.operand_kind() {
+                crate::instr::OperandKind::RegReg => Instr::reg_reg(op, Reg(1), Reg(2), Reg(3)),
+                crate::instr::OperandKind::RegImm => Instr::new(op, Reg(1), Reg(2), Reg::ZERO, -7),
+                crate::instr::OperandKind::RegShamt => {
+                    Instr::new(op, Reg(1), Reg(2), Reg::ZERO, 13)
+                }
+                crate::instr::OperandKind::Upper => Instr::lui(Reg(1), 0xabcde),
+                crate::instr::OperandKind::Load => Instr::lw(Reg(1), Reg(2), -8),
+                crate::instr::OperandKind::Store => Instr::sw(Reg(2), Reg(3), -12),
+            };
+            let word = encode(&instr);
+            let back = decode(word).unwrap_or_else(|e| panic!("decode failed for {op}: {e}"));
+            assert_eq!(back, instr, "round-trip mismatch for {op}");
+        }
+    }
+
+    fn arb_instr() -> impl Strategy<Value = Instr> {
+        (0usize..Opcode::ALL.len(), 0u8..32, 0u8..32, 0u8..32, -2048i32..2048, 0i32..32, 0i32..(1 << 20))
+            .prop_map(|(op, rd, rs1, rs2, imm12, shamt, imm20)| {
+                let op = Opcode::ALL[op];
+                match op.operand_kind() {
+                    crate::instr::OperandKind::RegReg => {
+                        Instr::reg_reg(op, Reg(rd), Reg(rs1), Reg(rs2))
+                    }
+                    crate::instr::OperandKind::RegImm => {
+                        Instr::new(op, Reg(rd), Reg(rs1), Reg::ZERO, imm12)
+                    }
+                    crate::instr::OperandKind::RegShamt => {
+                        Instr::new(op, Reg(rd), Reg(rs1), Reg::ZERO, shamt)
+                    }
+                    crate::instr::OperandKind::Upper => Instr::lui(Reg(rd), imm20),
+                    crate::instr::OperandKind::Load => Instr::lw(Reg(rd), Reg(rs1), imm12),
+                    crate::instr::OperandKind::Store => Instr::sw(Reg(rs1), Reg(rs2), imm12),
+                }
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(instr in arb_instr()) {
+            let word = encode(&instr);
+            let back = decode(word).expect("generated instructions are decodable");
+            prop_assert_eq!(back, instr);
+        }
+    }
+}

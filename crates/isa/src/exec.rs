@@ -1,0 +1,212 @@
+//! Concrete architectural execution (the golden model).
+
+use std::collections::BTreeMap;
+
+use crate::instr::{Instr, Opcode};
+use crate::reg::{Reg, NUM_REGS};
+
+/// Computes the value an ALU-class instruction writes, given its operand
+/// values (`b` is the `rs2` value or the already sign-extended immediate).
+///
+/// This is the single concrete definition of the instruction semantics; the
+/// pipelined simulator, the architectural model and the synthesis validator
+/// all call it.
+pub fn alu_value(opcode: Opcode, a: u32, b: u32) -> u32 {
+    use Opcode::*;
+    match opcode {
+        Add | Addi => a.wrapping_add(b),
+        Sub => a.wrapping_sub(b),
+        Sll | Slli => a.wrapping_shl(b & 0x1f),
+        Slt | Slti => u32::from((a as i32) < (b as i32)),
+        Sltu | Sltiu => u32::from(a < b),
+        Xor | Xori => a ^ b,
+        Srl | Srli => a.wrapping_shr(b & 0x1f),
+        Sra | Srai => ((a as i32).wrapping_shr(b & 0x1f)) as u32,
+        Or | Ori => a | b,
+        And | Andi => a & b,
+        Mul => a.wrapping_mul(b),
+        Mulh => ((i64::from(a as i32) * i64::from(b as i32)) >> 32) as u32,
+        Mulhsu => ((i64::from(a as i32) * i64::from(b)) >> 32) as u32,
+        Mulhu => ((u64::from(a) * u64::from(b)) >> 32) as u32,
+        Lui => b << 12,
+        Lw | Sw => unreachable!("memory instructions are not ALU operations"),
+    }
+}
+
+/// The architectural state of the processor: register file and data memory.
+///
+/// Memory is a sparse word-addressed map (addresses are word aligned by
+/// masking the low two bits), which is sufficient for the `LW`/`SW` subset.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ArchState {
+    regs: [u32; NUM_REGS as usize],
+    mem: BTreeMap<u32, u32>,
+}
+
+impl ArchState {
+    /// Creates a state with all registers and memory zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads a register (`x0` always reads zero).
+    pub fn reg(&self, r: Reg) -> u32 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Writes a register (writes to `x0` are discarded).
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// Reads a memory word (unwritten locations read zero).
+    pub fn mem(&self, addr: u32) -> u32 {
+        self.mem.get(&(addr & !3)).copied().unwrap_or(0)
+    }
+
+    /// Writes a memory word.
+    pub fn set_mem(&mut self, addr: u32, value: u32) {
+        self.mem.insert(addr & !3, value);
+    }
+
+    /// The set of memory words written so far (address, value).
+    pub fn mem_contents(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.mem.iter().map(|(&a, &v)| (a, v))
+    }
+
+    /// A snapshot of the whole register file.
+    pub fn regs(&self) -> [u32; NUM_REGS as usize] {
+        let mut out = self.regs;
+        out[0] = 0;
+        out
+    }
+
+    /// Executes one instruction, updating registers and memory.
+    pub fn step(&mut self, instr: &Instr) {
+        use Opcode::*;
+        let a = self.reg(instr.rs1);
+        match instr.opcode {
+            Lw => {
+                let addr = a.wrapping_add(instr.imm as u32);
+                let v = self.mem(addr);
+                self.set_reg(instr.rd, v);
+            }
+            Sw => {
+                let addr = a.wrapping_add(instr.imm as u32);
+                self.set_mem(addr, self.reg(instr.rs2));
+            }
+            Lui => {
+                self.set_reg(instr.rd, (instr.imm as u32) << 12);
+            }
+            op => {
+                let b = if op.reads_rs2() { self.reg(instr.rs2) } else { instr.imm as u32 };
+                self.set_reg(instr.rd, alu_value(op, a, b));
+            }
+        }
+    }
+
+    /// Executes a sequence of instructions.
+    pub fn run<'a, I: IntoIterator<Item = &'a Instr>>(&mut self, program: I) {
+        for instr in program {
+            self.step(instr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x0_is_hardwired_to_zero() {
+        let mut s = ArchState::new();
+        s.set_reg(Reg::ZERO, 55);
+        assert_eq!(s.reg(Reg::ZERO), 0);
+        s.step(&Instr::addi(Reg::ZERO, Reg::ZERO, 7));
+        assert_eq!(s.reg(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn alu_semantics_spot_checks() {
+        assert_eq!(alu_value(Opcode::Add, 3, 4), 7);
+        assert_eq!(alu_value(Opcode::Sub, 3, 4), u32::MAX);
+        assert_eq!(alu_value(Opcode::Slt, 0xffff_ffff, 0), 1); // -1 < 0
+        assert_eq!(alu_value(Opcode::Sltu, 0xffff_ffff, 0), 0);
+        assert_eq!(alu_value(Opcode::Sra, 0x8000_0000, 4), 0xf800_0000);
+        assert_eq!(alu_value(Opcode::Srl, 0x8000_0000, 4), 0x0800_0000);
+        assert_eq!(alu_value(Opcode::Sll, 1, 33), 2, "shift amounts use the low 5 bits");
+        assert_eq!(alu_value(Opcode::Mulh, 0x8000_0000, 2), 0xffff_ffff);
+        assert_eq!(alu_value(Opcode::Mulhu, 0x8000_0000, 2), 1);
+        assert_eq!(alu_value(Opcode::Mulhsu, 0xffff_ffff, 2), 0xffff_ffff);
+        assert_eq!(alu_value(Opcode::Mul, 0x0001_0000, 0x0001_0000), 0);
+    }
+
+    #[test]
+    fn immediates_are_sign_extended_by_step() {
+        let mut s = ArchState::new();
+        s.set_reg(Reg(2), 10);
+        s.step(&Instr::addi(Reg(1), Reg(2), -3));
+        assert_eq!(s.reg(Reg(1)), 7);
+        s.step(&Instr::xori(Reg(1), Reg(2), -1));
+        assert_eq!(s.reg(Reg(1)), !10);
+    }
+
+    #[test]
+    fn loads_and_stores_roundtrip() {
+        let mut s = ArchState::new();
+        s.set_reg(Reg(2), 0x100);
+        s.set_reg(Reg(3), 0xdead_beef);
+        s.step(&Instr::sw(Reg(2), Reg(3), 8));
+        assert_eq!(s.mem(0x108), 0xdead_beef);
+        s.step(&Instr::lw(Reg(4), Reg(2), 8));
+        assert_eq!(s.reg(Reg(4)), 0xdead_beef);
+        // unaligned accesses fold onto the word
+        assert_eq!(s.mem(0x109), 0xdead_beef);
+        assert_eq!(s.mem_contents().count(), 1);
+    }
+
+    #[test]
+    fn lui_writes_upper_bits() {
+        let mut s = ArchState::new();
+        s.step(&Instr::lui(Reg(5), 0x12345));
+        assert_eq!(s.reg(Reg(5)), 0x1234_5000);
+    }
+
+    #[test]
+    fn listing1_equivalence_holds_concretely() {
+        // SUB rd rs1 rs2  ==  XORI t1 rs1 -1 ; ADD t2 t1 rs2 ; XORI rd t2 -1
+        for (a, b) in [(5u32, 3u32), (0, 0), (0xffff_ffff, 1), (123456, 654321)] {
+            let mut original = ArchState::new();
+            original.set_reg(Reg(2), a);
+            original.set_reg(Reg(3), b);
+            original.step(&Instr::sub(Reg(1), Reg(2), Reg(3)));
+
+            let mut equivalent = ArchState::new();
+            equivalent.set_reg(Reg(2), a);
+            equivalent.set_reg(Reg(3), b);
+            equivalent.run(&[
+                Instr::xori(Reg(26), Reg(2), -1),
+                Instr::add(Reg(27), Reg(26), Reg(3)),
+                Instr::xori(Reg(1), Reg(27), -1),
+            ]);
+            assert_eq!(original.reg(Reg(1)), equivalent.reg(Reg(1)));
+        }
+    }
+
+    #[test]
+    fn run_executes_in_order() {
+        let mut s = ArchState::new();
+        s.run(&[
+            Instr::addi(Reg(1), Reg(0), 5),
+            Instr::addi(Reg(2), Reg(1), 6),
+            Instr::add(Reg(3), Reg(1), Reg(2)),
+        ]);
+        assert_eq!(s.reg(Reg(3)), 16);
+    }
+}

@@ -1,0 +1,464 @@
+//! Typed representation of the RV32IM instruction subset.
+
+use std::fmt;
+
+use crate::reg::Reg;
+
+/// Operation codes of the supported instruction subset.
+///
+/// The subset is the one the paper's component library covers (Section 4.1 /
+/// Table 1): the ten R-type ALU operations, the immediate ALU operations,
+/// `LUI`, the M-extension multiplies and the `LW`/`SW` memory instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Opcode {
+    /// `rd = rs1 + rs2`
+    Add,
+    /// `rd = rs1 - rs2`
+    Sub,
+    /// `rd = rs1 << rs2[4:0]`
+    Sll,
+    /// `rd = (rs1 <s rs2) ? 1 : 0`
+    Slt,
+    /// `rd = (rs1 <u rs2) ? 1 : 0`
+    Sltu,
+    /// `rd = rs1 ^ rs2`
+    Xor,
+    /// `rd = rs1 >>u rs2[4:0]`
+    Srl,
+    /// `rd = rs1 >>s rs2[4:0]`
+    Sra,
+    /// `rd = rs1 | rs2`
+    Or,
+    /// `rd = rs1 & rs2`
+    And,
+    /// `rd = (rs1 * rs2)[31:0]`
+    Mul,
+    /// `rd = (rs1 *s rs2)[63:32]`
+    Mulh,
+    /// `rd = (rs1 *s rs2u)[63:32]`
+    Mulhsu,
+    /// `rd = (rs1 *u rs2)[63:32]`
+    Mulhu,
+    /// `rd = rs1 + sext(imm)`
+    Addi,
+    /// `rd = (rs1 <s sext(imm)) ? 1 : 0`
+    Slti,
+    /// `rd = (rs1 <u sext(imm)) ? 1 : 0`
+    Sltiu,
+    /// `rd = rs1 ^ sext(imm)`
+    Xori,
+    /// `rd = rs1 | sext(imm)`
+    Ori,
+    /// `rd = rs1 & sext(imm)`
+    Andi,
+    /// `rd = rs1 << shamt`
+    Slli,
+    /// `rd = rs1 >>u shamt`
+    Srli,
+    /// `rd = rs1 >>s shamt`
+    Srai,
+    /// `rd = imm << 12`
+    Lui,
+    /// `rd = mem[rs1 + sext(imm)]`
+    Lw,
+    /// `mem[rs1 + sext(imm)] = rs2`
+    Sw,
+}
+
+/// How an instruction uses its operand fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperandKind {
+    /// R-type: `rd`, `rs1`, `rs2`.
+    RegReg,
+    /// I-type ALU: `rd`, `rs1`, 12-bit signed immediate.
+    RegImm,
+    /// I-type shift: `rd`, `rs1`, 5-bit shift amount.
+    RegShamt,
+    /// U-type: `rd`, 20-bit immediate.
+    Upper,
+    /// Load: `rd`, `rs1`, 12-bit signed offset.
+    Load,
+    /// Store: `rs1` (base), `rs2` (data), 12-bit signed offset.
+    Store,
+}
+
+impl Opcode {
+    /// All supported opcodes.
+    pub const ALL: [Opcode; 26] = [
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Sll,
+        Opcode::Slt,
+        Opcode::Sltu,
+        Opcode::Xor,
+        Opcode::Srl,
+        Opcode::Sra,
+        Opcode::Or,
+        Opcode::And,
+        Opcode::Mul,
+        Opcode::Mulh,
+        Opcode::Mulhsu,
+        Opcode::Mulhu,
+        Opcode::Addi,
+        Opcode::Slti,
+        Opcode::Sltiu,
+        Opcode::Xori,
+        Opcode::Ori,
+        Opcode::Andi,
+        Opcode::Slli,
+        Opcode::Srli,
+        Opcode::Srai,
+        Opcode::Lui,
+        Opcode::Lw,
+        Opcode::Sw,
+    ];
+
+    /// The operand layout of this opcode.
+    pub fn operand_kind(self) -> OperandKind {
+        use Opcode::*;
+        match self {
+            Add | Sub | Sll | Slt | Sltu | Xor | Srl | Sra | Or | And | Mul | Mulh | Mulhsu
+            | Mulhu => OperandKind::RegReg,
+            Addi | Slti | Sltiu | Xori | Ori | Andi => OperandKind::RegImm,
+            Slli | Srli | Srai => OperandKind::RegShamt,
+            Lui => OperandKind::Upper,
+            Lw => OperandKind::Load,
+            Sw => OperandKind::Store,
+        }
+    }
+
+    /// Whether the instruction writes a destination register.
+    pub fn writes_rd(self) -> bool {
+        !matches!(self, Opcode::Sw)
+    }
+
+    /// Whether the instruction reads `rs1`.
+    pub fn reads_rs1(self) -> bool {
+        !matches!(self, Opcode::Lui)
+    }
+
+    /// Whether the instruction reads `rs2`.
+    pub fn reads_rs2(self) -> bool {
+        matches!(self.operand_kind(), OperandKind::RegReg | OperandKind::Store)
+    }
+
+    /// Whether the instruction accesses data memory.
+    pub fn touches_memory(self) -> bool {
+        matches!(self, Opcode::Lw | Opcode::Sw)
+    }
+
+    /// Whether the instruction belongs to the M extension.
+    pub fn is_multiply(self) -> bool {
+        matches!(self, Opcode::Mul | Opcode::Mulh | Opcode::Mulhsu | Opcode::Mulhu)
+    }
+
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            Sll => "sll",
+            Slt => "slt",
+            Sltu => "sltu",
+            Xor => "xor",
+            Srl => "srl",
+            Sra => "sra",
+            Or => "or",
+            And => "and",
+            Mul => "mul",
+            Mulh => "mulh",
+            Mulhsu => "mulhsu",
+            Mulhu => "mulhu",
+            Addi => "addi",
+            Slti => "slti",
+            Sltiu => "sltiu",
+            Xori => "xori",
+            Ori => "ori",
+            Andi => "andi",
+            Slli => "slli",
+            Srli => "srli",
+            Srai => "srai",
+            Lui => "lui",
+            Lw => "lw",
+            Sw => "sw",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One instruction of the supported subset.
+///
+/// Fields that an opcode does not use are ignored (and normalised to zero by
+/// the constructors).  Use the per-format constructors ([`Instr::add`],
+/// [`Instr::addi`], …) or [`Instr::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instr {
+    /// Operation.
+    pub opcode: Opcode,
+    /// Destination register (ignored by `SW`).
+    pub rd: Reg,
+    /// First source register (ignored by `LUI`).
+    pub rs1: Reg,
+    /// Second source register (R-type and `SW` only).
+    pub rs2: Reg,
+    /// Immediate: sign-extended 12-bit value for I/S-type, 20-bit value for
+    /// `LUI`, 5-bit shift amount for immediate shifts.
+    pub imm: i32,
+}
+
+impl Instr {
+    /// Creates an instruction, validating and normalising the operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the immediate is out of range for the opcode's format.
+    pub fn new(opcode: Opcode, rd: Reg, rs1: Reg, rs2: Reg, imm: i32) -> Self {
+        let mut instr = Instr { opcode, rd, rs1, rs2, imm };
+        match opcode.operand_kind() {
+            OperandKind::RegReg => {
+                instr.imm = 0;
+            }
+            OperandKind::RegImm | OperandKind::Load | OperandKind::Store => {
+                assert!(
+                    (-2048..=2047).contains(&imm),
+                    "immediate {imm} out of range for {opcode}"
+                );
+                instr.rs2 = if opcode.operand_kind() == OperandKind::Store { rs2 } else { Reg::ZERO };
+            }
+            OperandKind::RegShamt => {
+                assert!((0..32).contains(&imm), "shift amount {imm} out of range");
+                instr.rs2 = Reg::ZERO;
+            }
+            OperandKind::Upper => {
+                assert!(
+                    (0..(1 << 20)).contains(&imm),
+                    "LUI immediate {imm} out of range"
+                );
+                instr.rs1 = Reg::ZERO;
+                instr.rs2 = Reg::ZERO;
+            }
+        }
+        if !opcode.writes_rd() {
+            instr.rd = Reg::ZERO;
+        }
+        instr
+    }
+
+    /// `add rd, rs1, rs2`
+    pub fn add(rd: Reg, rs1: Reg, rs2: Reg) -> Self {
+        Instr::new(Opcode::Add, rd, rs1, rs2, 0)
+    }
+
+    /// `sub rd, rs1, rs2`
+    pub fn sub(rd: Reg, rs1: Reg, rs2: Reg) -> Self {
+        Instr::new(Opcode::Sub, rd, rs1, rs2, 0)
+    }
+
+    /// An R-type ALU instruction.
+    pub fn reg_reg(opcode: Opcode, rd: Reg, rs1: Reg, rs2: Reg) -> Self {
+        assert_eq!(opcode.operand_kind(), OperandKind::RegReg, "{opcode} is not R-type");
+        Instr::new(opcode, rd, rs1, rs2, 0)
+    }
+
+    /// An I-type ALU instruction (including immediate shifts).
+    pub fn reg_imm(opcode: Opcode, rd: Reg, rs1: Reg, imm: i32) -> Self {
+        assert!(
+            matches!(opcode.operand_kind(), OperandKind::RegImm | OperandKind::RegShamt),
+            "{opcode} is not I-type"
+        );
+        Instr::new(opcode, rd, rs1, Reg::ZERO, imm)
+    }
+
+    /// `addi rd, rs1, imm`
+    pub fn addi(rd: Reg, rs1: Reg, imm: i32) -> Self {
+        Instr::new(Opcode::Addi, rd, rs1, Reg::ZERO, imm)
+    }
+
+    /// `xori rd, rs1, imm`
+    pub fn xori(rd: Reg, rs1: Reg, imm: i32) -> Self {
+        Instr::new(Opcode::Xori, rd, rs1, Reg::ZERO, imm)
+    }
+
+    /// `lui rd, imm20`
+    pub fn lui(rd: Reg, imm20: i32) -> Self {
+        Instr::new(Opcode::Lui, rd, Reg::ZERO, Reg::ZERO, imm20)
+    }
+
+    /// `lw rd, offset(rs1)`
+    pub fn lw(rd: Reg, rs1: Reg, offset: i32) -> Self {
+        Instr::new(Opcode::Lw, rd, rs1, Reg::ZERO, offset)
+    }
+
+    /// `sw rs2, offset(rs1)`
+    pub fn sw(rs1: Reg, rs2: Reg, offset: i32) -> Self {
+        Instr::new(Opcode::Sw, Reg::ZERO, rs1, rs2, offset)
+    }
+
+    /// The canonical no-op `addi x0, x0, 0`.
+    pub fn nop() -> Self {
+        Instr::addi(Reg::ZERO, Reg::ZERO, 0)
+    }
+
+    /// Whether this is the canonical no-op.
+    pub fn is_nop(&self) -> bool {
+        *self == Instr::nop()
+    }
+
+    /// The destination register, if the instruction writes one (and it is not
+    /// `x0`).
+    pub fn dest(&self) -> Option<Reg> {
+        if self.opcode.writes_rd() && !self.rd.is_zero() {
+            Some(self.rd)
+        } else {
+            None
+        }
+    }
+
+    /// The source registers actually read by this instruction.
+    pub fn sources(&self) -> Vec<Reg> {
+        let mut out = Vec::new();
+        if self.opcode.reads_rs1() {
+            out.push(self.rs1);
+        }
+        if self.opcode.reads_rs2() {
+            out.push(self.rs2);
+        }
+        out
+    }
+
+    /// Rewrites every register through `map` (used by the QED
+    /// transformations).
+    pub fn map_registers(&self, mut map: impl FnMut(Reg) -> Reg) -> Instr {
+        let mut out = *self;
+        if self.opcode.writes_rd() {
+            out.rd = map(self.rd);
+        }
+        if self.opcode.reads_rs1() {
+            out.rs1 = map(self.rs1);
+        }
+        if self.opcode.reads_rs2() {
+            out.rs2 = map(self.rs2);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.opcode.operand_kind() {
+            OperandKind::RegReg => {
+                write!(f, "{} {}, {}, {}", self.opcode, self.rd, self.rs1, self.rs2)
+            }
+            OperandKind::RegImm | OperandKind::RegShamt => {
+                write!(f, "{} {}, {}, {}", self.opcode, self.rd, self.rs1, self.imm)
+            }
+            OperandKind::Upper => write!(f, "{} {}, {:#x}", self.opcode, self.rd, self.imm),
+            OperandKind::Load => {
+                write!(f, "{} {}, {}({})", self.opcode, self.rd, self.imm, self.rs1)
+            }
+            OperandKind::Store => {
+                write!(f, "{} {}, {}({})", self.opcode, self.rs2, self.imm, self.rs1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_normalise_unused_fields() {
+        let i = Instr::new(Opcode::Add, Reg(1), Reg(2), Reg(3), 77);
+        assert_eq!(i.imm, 0, "R-type ignores the immediate");
+        let i = Instr::addi(Reg(1), Reg(2), -5);
+        assert_eq!(i.rs2, Reg::ZERO);
+        let i = Instr::lui(Reg(4), 0xfffff);
+        assert_eq!(i.rs1, Reg::ZERO);
+        let i = Instr::sw(Reg(2), Reg(3), 4);
+        assert_eq!(i.rd, Reg::ZERO);
+    }
+
+    #[test]
+    fn operand_kind_classification() {
+        assert_eq!(Opcode::Add.operand_kind(), OperandKind::RegReg);
+        assert_eq!(Opcode::Addi.operand_kind(), OperandKind::RegImm);
+        assert_eq!(Opcode::Slli.operand_kind(), OperandKind::RegShamt);
+        assert_eq!(Opcode::Lui.operand_kind(), OperandKind::Upper);
+        assert_eq!(Opcode::Lw.operand_kind(), OperandKind::Load);
+        assert_eq!(Opcode::Sw.operand_kind(), OperandKind::Store);
+        assert!(Opcode::Mulh.is_multiply());
+        assert!(!Opcode::Add.is_multiply());
+        assert!(Opcode::Sw.touches_memory());
+        assert!(!Opcode::Sw.writes_rd());
+        assert!(!Opcode::Lui.reads_rs1());
+        assert!(Opcode::Sw.reads_rs2());
+        assert!(!Opcode::Addi.reads_rs2());
+    }
+
+    #[test]
+    #[should_panic(expected = "immediate")]
+    fn immediate_out_of_range_panics() {
+        Instr::addi(Reg(1), Reg(2), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "shift amount")]
+    fn shamt_out_of_range_panics() {
+        Instr::reg_imm(Opcode::Slli, Reg(1), Reg(2), 32);
+    }
+
+    #[test]
+    fn dest_and_sources() {
+        let i = Instr::sub(Reg(5), Reg(6), Reg(7));
+        assert_eq!(i.dest(), Some(Reg(5)));
+        assert_eq!(i.sources(), vec![Reg(6), Reg(7)]);
+        let i = Instr::sw(Reg(2), Reg(3), 0);
+        assert_eq!(i.dest(), None);
+        assert_eq!(i.sources(), vec![Reg(2), Reg(3)]);
+        let i = Instr::add(Reg(0), Reg(1), Reg(2));
+        assert_eq!(i.dest(), None, "writes to x0 are discarded");
+        let i = Instr::lui(Reg(3), 1);
+        assert_eq!(i.sources(), vec![]);
+    }
+
+    #[test]
+    fn register_mapping_respects_operand_use() {
+        let i = Instr::lui(Reg(3), 10);
+        let mapped = i.map_registers(|r| Reg(r.0 + 13));
+        assert_eq!(mapped.rd, Reg(16));
+        assert_eq!(mapped.rs1, Reg::ZERO, "LUI does not read rs1");
+        let i = Instr::add(Reg(1), Reg(2), Reg(3));
+        let mapped = i.map_registers(|r| Reg(r.0 + 13));
+        assert_eq!((mapped.rd, mapped.rs1, mapped.rs2), (Reg(14), Reg(15), Reg(16)));
+    }
+
+    #[test]
+    fn display_formats_assembly() {
+        assert_eq!(Instr::add(Reg(1), Reg(2), Reg(3)).to_string(), "add x1, x2, x3");
+        assert_eq!(Instr::xori(Reg(1), Reg(2), -1).to_string(), "xori x1, x2, -1");
+        assert_eq!(Instr::lw(Reg(1), Reg(2), 8).to_string(), "lw x1, 8(x2)");
+        assert_eq!(Instr::sw(Reg(2), Reg(3), 12).to_string(), "sw x3, 12(x2)");
+        assert_eq!(Instr::lui(Reg(1), 0x12345).to_string(), "lui x1, 0x12345");
+    }
+
+    #[test]
+    fn nop_roundtrip() {
+        assert!(Instr::nop().is_nop());
+        assert!(!Instr::addi(Reg(1), Reg(0), 0).is_nop());
+    }
+
+    #[test]
+    fn all_opcodes_have_distinct_mnemonics() {
+        let mut names: Vec<_> = Opcode::ALL.iter().map(|o| o.mnemonic()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Opcode::ALL.len());
+    }
+}

@@ -1,0 +1,37 @@
+//! RV32IM instruction-set substrate for the SEPE-SQED reproduction.
+//!
+//! The paper exercises a portion of the RV32IM instruction set (Section 4.1)
+//! on the RIDECORE processor.  This crate provides everything the rest of the
+//! workspace needs to talk about those instructions:
+//!
+//! * [`Instr`] / [`Opcode`] — a typed representation of the instruction
+//!   subset (ALU register/immediate forms, `LUI`, the M-extension multiplies,
+//!   and `LW`/`SW`),
+//! * [`encode`](encoding::encode) / [`decode`](encoding::decode) — the RISC-V
+//!   base-ISA binary encoding,
+//! * [`ArchState`](exec::ArchState) — the concrete architectural golden
+//!   model used for differential testing and witness replay,
+//! * [`semantics`] — the *symbolic* input/output semantics of each
+//!   instruction as bit-vector terms, shared by the synthesis components and
+//!   by the symbolic processor datapath so that both agree by construction.
+//!
+//! # Example
+//!
+//! ```
+//! use sepe_isa::{Instr, Reg, exec::ArchState};
+//!
+//! let mut state = ArchState::new();
+//! state.set_reg(Reg(2), 40);
+//! state.set_reg(Reg(3), 2);
+//! state.step(&Instr::add(Reg(1), Reg(2), Reg(3)));
+//! assert_eq!(state.reg(Reg(1)), 42);
+//! ```
+
+pub mod encoding;
+pub mod exec;
+pub mod instr;
+pub mod reg;
+pub mod semantics;
+
+pub use instr::{Instr, Opcode, OperandKind};
+pub use reg::Reg;

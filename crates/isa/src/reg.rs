@@ -1,0 +1,75 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// Number of general-purpose registers in RV32.
+pub const NUM_REGS: u8 = 32;
+
+/// A general-purpose register `x0`–`x31`.
+///
+/// `x0` is hard-wired to zero by the architectural model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The zero register `x0`.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates a register, checking the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Self {
+        assert!(index < NUM_REGS, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// The register index (0–31).
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Whether this is `x0`.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// All registers, in order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let r = Reg::new(17);
+        assert_eq!(r.index(), 17);
+        assert_eq!(r.to_string(), "x17");
+        assert!(!r.is_zero());
+        assert!(Reg::ZERO.is_zero());
+        assert_eq!(Reg::all().count(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        Reg::new(32);
+    }
+}

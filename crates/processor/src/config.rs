@@ -1,0 +1,110 @@
+//! Processor model configuration.
+
+use sepe_isa::Opcode;
+
+/// Configuration of the processor model (symbolic and concrete).
+///
+/// The paper's design under verification is a 32-bit core.  The reproduction
+/// keeps XLEN configurable: functional tests run at 32 bits, while the large
+/// benchmark sweeps default to 16 bits so that complete parameter sweeps
+/// finish in minutes on a laptop (the bit-blasted multiplier grows
+/// quadratically with XLEN).  See `DESIGN.md` for the substitution notes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessorConfig {
+    /// Data-path width in bits.  Must be a power of two between 8 and 32.
+    pub xlen: u32,
+    /// Number of words of data memory in the model.  Must be a power of two;
+    /// the memory is split into an original half and a duplicate/equivalent
+    /// half by the QED mappings.
+    pub mem_words: usize,
+    /// Depth of the committed-instruction history window visible to injected
+    /// multiple-instruction bugs (RIDECORE-style pipeline interactions).
+    pub history_depth: usize,
+    /// Opcodes the symbolic instruction port is allowed to carry.  Restricting
+    /// the universe per experiment mirrors how the paper exercises a portion
+    /// of RV32IM and keeps unsatisfiable BMC queries tractable.
+    pub allowed_opcodes: Vec<Opcode>,
+}
+
+impl Default for ProcessorConfig {
+    fn default() -> Self {
+        ProcessorConfig {
+            xlen: 32,
+            mem_words: 8,
+            history_depth: 2,
+            allowed_opcodes: Opcode::ALL.to_vec(),
+        }
+    }
+}
+
+impl ProcessorConfig {
+    /// A configuration sized for fast formal queries (16-bit data path, small
+    /// memory) — the default used by the benchmark harness.
+    pub fn fast() -> Self {
+        ProcessorConfig { xlen: 16, mem_words: 4, ..Self::default() }
+    }
+
+    /// A minimal configuration for unit tests (4-bit data path, the smallest
+    /// width at which every QED mechanism is still exercised).
+    pub fn tiny() -> Self {
+        ProcessorConfig { xlen: 4, mem_words: 4, ..Self::default() }
+    }
+
+    /// Restricts the instruction universe to `opcodes`.
+    pub fn with_opcodes(mut self, opcodes: &[Opcode]) -> Self {
+        self.allowed_opcodes = opcodes.to_vec();
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field is outside its supported range.
+    pub fn validate(&self) {
+        assert!(
+            self.xlen.is_power_of_two() && (4..=32).contains(&self.xlen),
+            "xlen must be 4, 8, 16 or 32"
+        );
+        assert!(
+            self.mem_words.is_power_of_two() && self.mem_words >= 4,
+            "mem_words must be a power of two >= 4 (the QED mappings split it into halves)"
+        );
+        assert!(
+            (1..=4).contains(&self.history_depth),
+            "history_depth must be between 1 and 4"
+        );
+        assert!(!self.allowed_opcodes.is_empty(), "at least one opcode must be allowed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        ProcessorConfig::default().validate();
+        ProcessorConfig::fast().validate();
+        ProcessorConfig::tiny().validate();
+    }
+
+    #[test]
+    fn with_opcodes_restricts_universe() {
+        let c = ProcessorConfig::fast().with_opcodes(&[Opcode::Add, Opcode::Sub]);
+        assert_eq!(c.allowed_opcodes.len(), 2);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "xlen")]
+    fn rejects_odd_width() {
+        ProcessorConfig { xlen: 12, ..ProcessorConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "mem_words")]
+    fn rejects_non_power_of_two_memory() {
+        ProcessorConfig { mem_words: 3, ..ProcessorConfig::default() }.validate();
+    }
+}

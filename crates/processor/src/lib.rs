@@ -1,0 +1,33 @@
+//! Processor models (design under verification) for the SEPE-SQED reproduction.
+//!
+//! The paper evaluates on RIDECORE, an out-of-order RV32IM core, converted to
+//! BTOR2 by Yosys.  Shipping a Verilog core is outside the scope of a Rust
+//! reproduction, so this crate provides the equivalent *verification
+//! substrate* (see `DESIGN.md` for the substitution argument):
+//!
+//! * [`SymbolicProcessor`](symbolic::SymbolicProcessor) — a word-level
+//!   transition-system model of the architectural datapath: register file,
+//!   small data memory, commit interface and an *instruction-history window*
+//!   that lets injected bugs depend on the recently committed instruction
+//!   sequence (the observable footprint of pipeline bugs such as broken
+//!   forwarding or ordering).
+//! * [`MutantCore`](concrete::MutantCore) — the concrete twin of the symbolic
+//!   model, used for witness replay and differential tests.
+//! * [`Mutation`](mutation::Mutation) — the bug-injection catalog reproducing
+//!   the paper's mutation testing: 13 single-instruction bugs (Table 1) and
+//!   20 multiple-instruction bugs (Figure 4).
+//!
+//! The QED modules (EDDI-V / EDSEP-V transformations, dispatch queue, the
+//! universal property) live in the `sepe-sqed` crate and are wired onto the
+//! transition system produced here.
+
+pub mod concrete;
+pub mod config;
+pub mod datapath;
+pub mod mutation;
+pub mod symbolic;
+
+pub use concrete::MutantCore;
+pub use config::ProcessorConfig;
+pub use mutation::{BugClass, Effect, Mutation, Trigger};
+pub use symbolic::{InstrPort, SymbolicProcessor};

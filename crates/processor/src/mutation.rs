@@ -1,0 +1,455 @@
+//! Bug-injection (mutation) catalog.
+//!
+//! The paper evaluates SQED and SEPE-SQED by mutation testing on RIDECORE:
+//! logic bugs are injected into the RTL and the methods race to find a
+//! counterexample.  Bugs fall into two classes (Section 1):
+//!
+//! * **single-instruction bugs** — the erroneous behaviour of one specific
+//!   instruction, independent of any previously executed instructions
+//!   (Table 1 injects thirteen of these);
+//! * **multiple-instruction bugs** — erroneous behaviour that only manifests
+//!   when a particular sequence of instructions executes consecutively
+//!   (Figure 4 uses twenty of these; in RIDECORE they stem from forwarding,
+//!   issue-ordering and hazard-window corner cases).
+//!
+//! A [`Mutation`] is a pure description: a [`Trigger`] (when does the bug
+//! fire) plus an [`Effect`] (what does it corrupt).  The symbolic processor
+//! compiles the description into its next-state functions and the concrete
+//! [`MutantCore`](crate::concrete::MutantCore) interprets the same
+//! description, so a counterexample found formally replays concretely.
+
+use sepe_isa::{Instr, Opcode};
+
+/// Which class of logic bug a mutation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BugClass {
+    /// Affects one instruction uniformly, independent of history.
+    SingleInstruction,
+    /// Requires a particular recently-committed instruction pattern.
+    MultipleInstruction,
+}
+
+/// When a mutation fires.
+///
+/// All populated fields must match for the bug to trigger.  History
+/// conditions refer to the most recently *committed* instruction (depth 1)
+/// and the one before it (depth 2), mirroring the pipeline windows in which
+/// RIDECORE's forwarding/ordering bugs live.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trigger {
+    /// The executing instruction must have this opcode.
+    pub opcode: Option<Opcode>,
+    /// The previously committed instruction must have this opcode.
+    pub prev_opcode: Option<Opcode>,
+    /// The instruction committed two steps ago must have this opcode.
+    pub prev2_opcode: Option<Opcode>,
+    /// The executing instruction's `rs1` must equal the previous
+    /// instruction's destination register (a read-after-write dependency
+    /// through the forwarding path).
+    pub raw_on_prev_rd: bool,
+    /// The executing instruction's destination must equal the previous
+    /// instruction's destination (a write-after-write collision).
+    pub waw_on_prev_rd: bool,
+    /// The previous committed instruction must have written a register.
+    pub prev_writes_reg: bool,
+}
+
+impl Trigger {
+    /// A trigger that fires on every instruction with the given opcode.
+    pub fn on_opcode(opcode: Opcode) -> Self {
+        Trigger { opcode: Some(opcode), ..Self::default() }
+    }
+
+    /// Whether the trigger refers to instruction history (and therefore
+    /// describes a multiple-instruction bug).
+    pub fn uses_history(&self) -> bool {
+        self.prev_opcode.is_some()
+            || self.prev2_opcode.is_some()
+            || self.raw_on_prev_rd
+            || self.waw_on_prev_rd
+            || self.prev_writes_reg
+    }
+
+    /// Evaluates the trigger concretely.
+    ///
+    /// `prev`/`prev2` are the one- and two-steps-ago committed instructions
+    /// (`None` if nothing was committed yet).
+    pub fn fires(&self, instr: &Instr, prev: Option<&Instr>, prev2: Option<&Instr>) -> bool {
+        if let Some(op) = self.opcode {
+            if instr.opcode != op {
+                return false;
+            }
+        }
+        if let Some(op) = self.prev_opcode {
+            match prev {
+                Some(p) if p.opcode == op => {}
+                _ => return false,
+            }
+        }
+        if let Some(op) = self.prev2_opcode {
+            match prev2 {
+                Some(p) if p.opcode == op => {}
+                _ => return false,
+            }
+        }
+        if self.raw_on_prev_rd {
+            match prev {
+                Some(p) if p.opcode.writes_rd() && !p.rd.is_zero() && instr.rs1 == p.rd => {}
+                _ => return false,
+            }
+        }
+        if self.waw_on_prev_rd {
+            match prev {
+                Some(p)
+                    if p.opcode.writes_rd()
+                        && !p.rd.is_zero()
+                        && instr.opcode.writes_rd()
+                        && instr.rd == p.rd => {}
+                _ => return false,
+            }
+        }
+        if self.prev_writes_reg {
+            match prev {
+                Some(p) if p.opcode.writes_rd() && !p.rd.is_zero() => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+/// What a mutation corrupts when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effect {
+    /// XOR a constant into the result written back (or stored, for `SW`).
+    XorResult(u64),
+    /// Add a constant to the result written back (or stored, for `SW`).
+    AddToResult(u64),
+    /// Compute the result with a different ALU operation.
+    WrongOperation(Opcode),
+    /// Use `rs2` where `rs1` should have been read (operand mux bug).
+    SwapOperands,
+    /// Drop the register write-back entirely.
+    DropWriteback,
+    /// Offset the effective address of a memory access by a constant
+    /// number of bytes.
+    AddressOffset(u64),
+    /// The address generation unit ignores the instruction's immediate
+    /// offset (the effective address is the base register alone).
+    IgnoreMemOffset,
+    /// Read the first source operand as zero (broken forwarding / stale
+    /// bypass latch).
+    ZeroFirstOperand,
+}
+
+/// One injected logic bug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mutation {
+    /// Short stable identifier (used in reports and benchmark tables).
+    pub name: String,
+    /// Human-readable description of the injected fault.
+    pub description: String,
+    /// When the bug fires.
+    pub trigger: Trigger,
+    /// What it corrupts.
+    pub effect: Effect,
+}
+
+impl Mutation {
+    /// Creates a mutation.
+    pub fn new(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        trigger: Trigger,
+        effect: Effect,
+    ) -> Self {
+        Mutation {
+            name: name.into(),
+            description: description.into(),
+            trigger,
+            effect,
+        }
+    }
+
+    /// The bug class implied by the trigger.
+    pub fn class(&self) -> BugClass {
+        if self.trigger.uses_history() {
+            BugClass::MultipleInstruction
+        } else {
+            BugClass::SingleInstruction
+        }
+    }
+
+    /// The opcode the paper's Table 1 would list for this bug (the target of
+    /// the trigger), if any.
+    pub fn target_opcode(&self) -> Option<Opcode> {
+        self.trigger.opcode
+    }
+
+    /// The thirteen single-instruction bugs of Table 1, in the paper's row
+    /// order (ADD, SUB, XOR, OR, AND, SLT, SLTU, SRA, MULH, XORI, SLLI, SRAI,
+    /// SW).
+    pub fn table1() -> Vec<Mutation> {
+        use Opcode::*;
+        let single = |op: Opcode, effect: Effect, what: &str| {
+            Mutation::new(
+                format!("single-{}", op.mnemonic()),
+                format!("{} {what}", op.mnemonic().to_uppercase()),
+                Trigger::on_opcode(op),
+                effect,
+            )
+        };
+        vec![
+            single(Add, Effect::AddToResult(1), "addition result off by one"),
+            single(Sub, Effect::WrongOperation(Add), "subtraction computes an addition"),
+            single(Xor, Effect::WrongOperation(Or), "exclusive-or computes an inclusive or"),
+            single(Or, Effect::XorResult(0x10), "bitwise OR flips bit 4 of the result"),
+            single(And, Effect::WrongOperation(Or), "bitwise AND computes an OR"),
+            single(Slt, Effect::WrongOperation(Sltu), "signed compare treats operands as unsigned"),
+            single(Sltu, Effect::XorResult(1), "unsigned compare result inverted"),
+            single(Sra, Effect::WrongOperation(Srl), "arithmetic shift loses the sign fill"),
+            single(Mulh, Effect::WrongOperation(Mulhu), "high multiply ignores operand signs"),
+            single(Xori, Effect::WrongOperation(Ori), "XORI computes ORI"),
+            single(Slli, Effect::AddToResult(1), "left-shift-immediate result off by one"),
+            single(Srai, Effect::WrongOperation(Srli), "SRAI loses the sign fill"),
+            single(Sw, Effect::IgnoreMemOffset, "store ignores its immediate offset"),
+        ]
+    }
+
+    /// The twenty multiple-instruction bugs used for Figure 4.
+    ///
+    /// Each bug only fires for a specific committed-instruction pattern
+    /// (back-to-back dependency, particular opcode pairs, …), which is the
+    /// architectural footprint of RIDECORE's forwarding/issue/ordering bugs.
+    pub fn figure4() -> Vec<Mutation> {
+        use Opcode::*;
+        let mut bugs = Vec::new();
+        let mut push = |name: &str, desc: &str, trigger: Trigger, effect: Effect| {
+            bugs.push(Mutation::new(format!("multi-{name}"), desc, trigger, effect));
+        };
+
+        push(
+            "01-raw-add-add",
+            "ADD reading the result of an immediately preceding ADD gets a stale zero operand",
+            Trigger { opcode: Some(Add), prev_opcode: Some(Add), raw_on_prev_rd: true, ..Trigger::default() },
+            Effect::ZeroFirstOperand,
+        );
+        push(
+            "02-raw-sub-forward",
+            "SUB after any register-writing instruction it depends on uses a corrupted bypass",
+            Trigger { opcode: Some(Sub), raw_on_prev_rd: true, ..Trigger::default() },
+            Effect::XorResult(0x2),
+        );
+        push(
+            "03-raw-xor-after-add",
+            "XOR consuming an ADD result swaps its operands",
+            Trigger { opcode: Some(Xor), prev_opcode: Some(Add), raw_on_prev_rd: true, ..Trigger::default() },
+            Effect::SwapOperands,
+        );
+        push(
+            "04-add-after-mul",
+            "ADD issued right after a multiply drops its write-back",
+            Trigger { opcode: Some(Add), prev_opcode: Some(Mul), ..Trigger::default() },
+            Effect::DropWriteback,
+        );
+        push(
+            "05-waw-collision",
+            "two consecutive writes to the same register lose the second result's low bit",
+            Trigger { waw_on_prev_rd: true, ..Trigger::default() },
+            Effect::XorResult(0x1),
+        );
+        push(
+            "06-or-after-sw",
+            "OR following a store reads a stale first operand",
+            Trigger { opcode: Some(Or), prev_opcode: Some(Sw), ..Trigger::default() },
+            Effect::ZeroFirstOperand,
+        );
+        push(
+            "07-lw-after-sw",
+            "load immediately after a store returns a corrupted word (broken store-to-load forwarding)",
+            Trigger { opcode: Some(Lw), prev_opcode: Some(Sw), ..Trigger::default() },
+            Effect::XorResult(0x8),
+        );
+        push(
+            "08-sll-after-sll",
+            "back-to-back shifts: the second shift amount is off by one",
+            Trigger { opcode: Some(Sll), prev_opcode: Some(Sll), ..Trigger::default() },
+            Effect::AddToResult(1),
+        );
+        push(
+            "09-and-raw-and",
+            "AND chained on an AND result computes OR instead",
+            Trigger { opcode: Some(And), prev_opcode: Some(And), raw_on_prev_rd: true, ..Trigger::default() },
+            Effect::WrongOperation(Or),
+        );
+        push(
+            "10-slt-after-sub",
+            "SLT right after a SUB inverts its verdict",
+            Trigger { opcode: Some(Slt), prev_opcode: Some(Sub), ..Trigger::default() },
+            Effect::XorResult(0x1),
+        );
+        push(
+            "11-addi-raw",
+            "ADDI depending on the previous destination adds an extra one",
+            Trigger { opcode: Some(Addi), raw_on_prev_rd: true, ..Trigger::default() },
+            Effect::AddToResult(1),
+        );
+        push(
+            "12-sw-after-add",
+            "store following an ADD writes to a shifted address",
+            Trigger { opcode: Some(Sw), prev_opcode: Some(Add), ..Trigger::default() },
+            Effect::AddressOffset(4),
+        );
+        push(
+            "13-mul-after-mul",
+            "back-to-back multiplies corrupt the second product",
+            Trigger { opcode: Some(Mul), prev_opcode: Some(Mul), ..Trigger::default() },
+            Effect::XorResult(0x10),
+        );
+        push(
+            "14-sra-raw",
+            "SRA consuming the previous result loses the sign fill",
+            Trigger { opcode: Some(Sra), raw_on_prev_rd: true, ..Trigger::default() },
+            Effect::WrongOperation(Srl),
+        );
+        push(
+            "15-xori-after-xori",
+            "consecutive XORIs: the second one turns into ORI",
+            Trigger { opcode: Some(Xori), prev_opcode: Some(Xori), ..Trigger::default() },
+            Effect::WrongOperation(Ori),
+        );
+        push(
+            "16-sltu-after-writer",
+            "SLTU right after any register write reads its first operand as zero",
+            Trigger { opcode: Some(Sltu), prev_writes_reg: true, ..Trigger::default() },
+            Effect::ZeroFirstOperand,
+        );
+        push(
+            "17-srl-two-back",
+            "SRL two instructions after an ADD drops its write-back",
+            Trigger { opcode: Some(Srl), prev2_opcode: Some(Add), ..Trigger::default() },
+            Effect::DropWriteback,
+        );
+        push(
+            "18-andi-raw-xor",
+            "ANDI depending on an XOR result flips bit 5",
+            Trigger { opcode: Some(Andi), prev_opcode: Some(Xor), raw_on_prev_rd: true, ..Trigger::default() },
+            Effect::XorResult(0x20),
+        );
+        push(
+            "19-lui-after-lui",
+            "two LUIs in a row: the second value is off by 0x1000",
+            Trigger { opcode: Some(Lui), prev_opcode: Some(Lui), ..Trigger::default() },
+            Effect::AddToResult(0x1000),
+        );
+        push(
+            "20-waw-after-mul",
+            "write-after-write with a multiply in front drops the younger write",
+            Trigger { waw_on_prev_rd: true, prev_opcode: Some(Mul), ..Trigger::default() },
+            Effect::DropWriteback,
+        );
+        bugs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepe_isa::Reg;
+
+    #[test]
+    fn table1_matches_the_paper_rows() {
+        let bugs = Mutation::table1();
+        assert_eq!(bugs.len(), 13);
+        let targets: Vec<Opcode> = bugs.iter().filter_map(|b| b.target_opcode()).collect();
+        assert_eq!(
+            targets,
+            vec![
+                Opcode::Add,
+                Opcode::Sub,
+                Opcode::Xor,
+                Opcode::Or,
+                Opcode::And,
+                Opcode::Slt,
+                Opcode::Sltu,
+                Opcode::Sra,
+                Opcode::Mulh,
+                Opcode::Xori,
+                Opcode::Slli,
+                Opcode::Srai,
+                Opcode::Sw,
+            ]
+        );
+        assert!(bugs.iter().all(|b| b.class() == BugClass::SingleInstruction));
+    }
+
+    #[test]
+    fn figure4_bugs_are_multiple_instruction() {
+        let bugs = Mutation::figure4();
+        assert_eq!(bugs.len(), 20);
+        assert!(bugs.iter().all(|b| b.class() == BugClass::MultipleInstruction));
+        let mut names: Vec<&str> = bugs.iter().map(|b| b.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 20, "bug names must be unique");
+    }
+
+    #[test]
+    fn trigger_on_opcode_only_matches_that_opcode() {
+        let t = Trigger::on_opcode(Opcode::Add);
+        let add = Instr::add(Reg(1), Reg(2), Reg(3));
+        let sub = Instr::sub(Reg(1), Reg(2), Reg(3));
+        assert!(t.fires(&add, None, None));
+        assert!(!t.fires(&sub, None, None));
+        assert!(!t.uses_history());
+    }
+
+    #[test]
+    fn raw_trigger_requires_the_dependency() {
+        let t = Trigger {
+            opcode: Some(Opcode::Add),
+            raw_on_prev_rd: true,
+            ..Trigger::default()
+        };
+        let producer = Instr::add(Reg(5), Reg(1), Reg(2));
+        let dependent = Instr::add(Reg(6), Reg(5), Reg(2));
+        let independent = Instr::add(Reg(6), Reg(7), Reg(2));
+        assert!(t.fires(&dependent, Some(&producer), None));
+        assert!(!t.fires(&independent, Some(&producer), None));
+        assert!(!t.fires(&dependent, None, None), "no history, no dependency");
+        // producer writing x0 does not create a dependency
+        let to_zero = Instr::add(Reg(0), Reg(1), Reg(2));
+        let reads_zero = Instr::add(Reg(6), Reg(0), Reg(2));
+        assert!(!t.fires(&reads_zero, Some(&to_zero), None));
+        assert!(t.uses_history());
+    }
+
+    #[test]
+    fn waw_and_prev2_triggers() {
+        let waw = Trigger { waw_on_prev_rd: true, ..Trigger::default() };
+        let first = Instr::add(Reg(4), Reg(1), Reg(2));
+        let second = Instr::sub(Reg(4), Reg(3), Reg(1));
+        let other = Instr::sub(Reg(5), Reg(3), Reg(1));
+        assert!(waw.fires(&second, Some(&first), None));
+        assert!(!waw.fires(&other, Some(&first), None));
+
+        let t2 = Trigger {
+            opcode: Some(Opcode::Srl),
+            prev2_opcode: Some(Opcode::Add),
+            ..Trigger::default()
+        };
+        let srl = Instr::reg_reg(Opcode::Srl, Reg(1), Reg(2), Reg(3));
+        assert!(t2.fires(&srl, Some(&second), Some(&first)));
+        assert!(!t2.fires(&srl, Some(&first), Some(&second)));
+    }
+
+    #[test]
+    fn prev_writes_reg_trigger() {
+        let t = Trigger { prev_writes_reg: true, ..Trigger::default() };
+        let producer = Instr::add(Reg(5), Reg(1), Reg(2));
+        let store = Instr::sw(Reg(1), Reg(2), 0);
+        let any = Instr::add(Reg(6), Reg(7), Reg(8));
+        assert!(t.fires(&any, Some(&producer), None));
+        assert!(!t.fires(&any, Some(&store), None), "stores do not write registers");
+    }
+}

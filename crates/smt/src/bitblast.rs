@@ -1,0 +1,708 @@
+//! Tseitin bit-blasting of bit-vector term graphs into CNF.
+//!
+//! Every boolean term maps to one CNF literal; every bit-vector term maps to
+//! a vector of literals (LSB first).  Word-level operators are lowered to the
+//! usual gate-level circuits: ripple-carry adders, shift-and-add multipliers,
+//! restoring dividers, logarithmic barrel shifters and borrow-based
+//! comparators.
+
+use std::collections::HashMap;
+
+use crate::cnf::{Cnf, Lit};
+use crate::term::{Op, TermId, TermManager};
+
+/// Bit-blaster: converts terms to CNF over a shared [`Cnf`] instance.
+#[derive(Debug)]
+pub struct BitBlaster {
+    cnf: Cnf,
+    true_lit: Lit,
+    bool_cache: HashMap<TermId, Lit>,
+    bits_cache: HashMap<TermId, Vec<Lit>>,
+    var_bits: HashMap<TermId, Vec<Lit>>,
+}
+
+impl Default for BitBlaster {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BitBlaster {
+    /// Creates a blaster with a fresh CNF containing only the constant-true
+    /// variable.
+    pub fn new() -> Self {
+        let mut cnf = Cnf::new();
+        let t = Lit::pos(cnf.fresh_var());
+        cnf.add_clause([t]);
+        BitBlaster {
+            cnf,
+            true_lit: t,
+            bool_cache: HashMap::new(),
+            bits_cache: HashMap::new(),
+            var_bits: HashMap::new(),
+        }
+    }
+
+    /// The literal that is always true.
+    pub fn true_lit(&self) -> Lit {
+        self.true_lit
+    }
+
+    /// The literal that is always false.
+    pub fn false_lit(&self) -> Lit {
+        !self.true_lit
+    }
+
+    /// The CNF built so far.
+    pub fn cnf(&self) -> &Cnf {
+        &self.cnf
+    }
+
+    /// Consumes the blaster, returning the CNF.
+    pub fn into_cnf(self) -> Cnf {
+        self.cnf
+    }
+
+    /// CNF literals of every *variable* term encountered, for model read-back.
+    pub fn var_encodings(&self) -> &HashMap<TermId, Vec<Lit>> {
+        &self.var_bits
+    }
+
+    /// Asserts that a boolean term holds.
+    pub fn assert_true(&mut self, tm: &TermManager, t: TermId) {
+        let l = self.blast_bool(tm, t);
+        self.cnf.add_clause([l]);
+    }
+
+    // ------------------------------------------------------------------
+    // Gates
+    // ------------------------------------------------------------------
+
+    fn lit_const(&self, l: Lit) -> Option<bool> {
+        if l == self.true_lit {
+            Some(true)
+        } else if l == !self.true_lit {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    fn const_lit(&self, b: bool) -> Lit {
+        if b {
+            self.true_lit
+        } else {
+            !self.true_lit
+        }
+    }
+
+    fn and_gate(&mut self, a: Lit, b: Lit) -> Lit {
+        match (self.lit_const(a), self.lit_const(b)) {
+            (Some(false), _) | (_, Some(false)) => self.const_lit(false),
+            (Some(true), _) => b,
+            (_, Some(true)) => a,
+            _ if a == b => a,
+            _ if a == !b => self.const_lit(false),
+            _ => {
+                let o = Lit::pos(self.cnf.fresh_var());
+                self.cnf.add_clause([!o, a]);
+                self.cnf.add_clause([!o, b]);
+                self.cnf.add_clause([o, !a, !b]);
+                o
+            }
+        }
+    }
+
+    fn or_gate(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and_gate(!a, !b)
+    }
+
+    fn xor_gate(&mut self, a: Lit, b: Lit) -> Lit {
+        match (self.lit_const(a), self.lit_const(b)) {
+            (Some(false), _) => b,
+            (_, Some(false)) => a,
+            (Some(true), _) => !b,
+            (_, Some(true)) => !a,
+            _ if a == b => self.const_lit(false),
+            _ if a == !b => self.const_lit(true),
+            _ => {
+                let o = Lit::pos(self.cnf.fresh_var());
+                self.cnf.add_clause([!o, a, b]);
+                self.cnf.add_clause([!o, !a, !b]);
+                self.cnf.add_clause([o, !a, b]);
+                self.cnf.add_clause([o, a, !b]);
+                o
+            }
+        }
+    }
+
+    fn mux_gate(&mut self, c: Lit, t: Lit, e: Lit) -> Lit {
+        match self.lit_const(c) {
+            Some(true) => return t,
+            Some(false) => return e,
+            None => {}
+        }
+        if t == e {
+            return t;
+        }
+        let o = Lit::pos(self.cnf.fresh_var());
+        self.cnf.add_clause([!c, !t, o]);
+        self.cnf.add_clause([!c, t, !o]);
+        self.cnf.add_clause([c, !e, o]);
+        self.cnf.add_clause([c, e, !o]);
+        // Redundant but propagation-friendly clauses.
+        self.cnf.add_clause([!t, !e, o]);
+        self.cnf.add_clause([t, e, !o]);
+        o
+    }
+
+    fn full_adder(&mut self, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
+        let axb = self.xor_gate(a, b);
+        let sum = self.xor_gate(axb, cin);
+        let c1 = self.and_gate(a, b);
+        let c2 = self.and_gate(axb, cin);
+        let cout = self.or_gate(c1, c2);
+        (sum, cout)
+    }
+
+    fn adder(&mut self, a: &[Lit], b: &[Lit], mut carry: Lit) -> (Vec<Lit>, Lit) {
+        debug_assert_eq!(a.len(), b.len());
+        let mut out = Vec::with_capacity(a.len());
+        for i in 0..a.len() {
+            let (s, c) = self.full_adder(a[i], b[i], carry);
+            out.push(s);
+            carry = c;
+        }
+        (out, carry)
+    }
+
+    fn negate_bits(&mut self, a: &[Lit]) -> Vec<Lit> {
+        let inverted: Vec<Lit> = a.iter().map(|&l| !l).collect();
+        let zeros = vec![self.const_lit(false); a.len()];
+        let (out, _) = self.adder(&inverted, &zeros, self.const_lit(true));
+        out
+    }
+
+    /// Carry out of `a + ~b + 1`; equals 1 iff `a >= b` (unsigned).
+    fn uge_carry(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        let inverted: Vec<Lit> = b.iter().map(|&l| !l).collect();
+        let (_, carry) = self.adder(a, &inverted, self.const_lit(true));
+        carry
+    }
+
+    fn ult_gate(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        !self.uge_carry(a, b)
+    }
+
+    fn eq_gate(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        let mut acc = self.const_lit(true);
+        for i in 0..a.len() {
+            let x = self.xor_gate(a[i], b[i]);
+            acc = self.and_gate(acc, !x);
+        }
+        acc
+    }
+
+    fn mux_bits(&mut self, c: Lit, t: &[Lit], e: &[Lit]) -> Vec<Lit> {
+        debug_assert_eq!(t.len(), e.len());
+        (0..t.len()).map(|i| self.mux_gate(c, t[i], e[i])).collect()
+    }
+
+    fn shifter(&mut self, a: &[Lit], amount: &[Lit], arithmetic: bool, left: bool) -> Vec<Lit> {
+        let w = a.len();
+        let fill = if arithmetic { a[w - 1] } else { self.const_lit(false) };
+        let stages = usize::BITS - (w - 1).leading_zeros(); // ceil(log2(w)) for w>1
+        let stages = stages.max(1) as usize;
+        let mut cur = a.to_vec();
+        for stage in 0..stages.min(amount.len()) {
+            let sh = 1usize << stage;
+            let mut shifted = vec![fill; w];
+            for i in 0..w {
+                if left {
+                    if i >= sh {
+                        shifted[i] = cur[i - sh];
+                    } else {
+                        shifted[i] = self.const_lit(false);
+                    }
+                } else if i + sh < w {
+                    shifted[i] = cur[i + sh];
+                }
+            }
+            cur = self.mux_bits(amount[stage], &shifted, &cur);
+        }
+        // If any shift-amount bit at or above `stages` is set, or the encoded
+        // amount is >= w, the result saturates to the fill value (zero for
+        // logical shifts, sign for arithmetic right shifts).
+        let mut overflow = self.const_lit(false);
+        for &l in amount.iter().skip(stages) {
+            overflow = self.or_gate(overflow, l);
+        }
+        if !w.is_power_of_two() {
+            // amount within [w, 2^stages) also overflows
+            let wconst = self.constant_bits(w as u64, amount.len() as u32);
+            let ge_w = self.uge_carry(amount, &wconst);
+            overflow = self.or_gate(overflow, ge_w);
+        }
+        let fill_vec = vec![if left { self.const_lit(false) } else { fill }; w];
+        self.mux_bits(overflow, &fill_vec, &cur)
+    }
+
+    fn constant_bits(&mut self, value: u64, width: u32) -> Vec<Lit> {
+        (0..width).map(|i| self.const_lit((value >> i) & 1 == 1)).collect()
+    }
+
+    fn multiplier(&mut self, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let w = a.len();
+        let mut acc = vec![self.const_lit(false); w];
+        for i in 0..w {
+            // partial product: (a << i) & replicate(b[i])
+            let mut partial = vec![self.const_lit(false); w];
+            for j in 0..(w - i) {
+                partial[i + j] = self.and_gate(a[j], b[i]);
+            }
+            let (sum, _) = self.adder(&acc, &partial, self.const_lit(false));
+            acc = sum;
+        }
+        acc
+    }
+
+    /// Restoring division; returns (quotient, remainder).
+    fn divider(&mut self, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
+        let w = a.len();
+        let f = self.const_lit(false);
+        let mut remainder = vec![f; w];
+        let mut quotient = vec![f; w];
+        for i in (0..w).rev() {
+            // remainder = (remainder << 1) | a[i]
+            let mut shifted = vec![f; w];
+            shifted[0] = a[i];
+            shifted[1..w].copy_from_slice(&remainder[..(w - 1)]);
+            remainder = shifted;
+            let ge = self.uge_carry(&remainder, b);
+            let negated_b = self.negate_bits(b);
+            let (diff, _) = self.adder(&remainder, &negated_b, self.const_lit(false));
+            remainder = self.mux_bits(ge, &diff, &remainder);
+            quotient[i] = ge;
+        }
+        // SMT-LIB: division by zero yields all ones, remainder yields the dividend.
+        let zero = vec![f; w];
+        let b_is_zero = self.eq_gate(b, &zero);
+        let all_ones = vec![self.const_lit(true); w];
+        let quotient = self.mux_bits(b_is_zero, &all_ones, &quotient);
+        let remainder = self.mux_bits(b_is_zero, a, &remainder);
+        (quotient, remainder)
+    }
+
+    // ------------------------------------------------------------------
+    // Term translation
+    // ------------------------------------------------------------------
+
+    /// Translates a boolean term into a single literal.
+    pub fn blast_bool(&mut self, tm: &TermManager, t: TermId) -> Lit {
+        if let Some(&l) = self.bool_cache.get(&t) {
+            return l;
+        }
+        debug_assert!(tm.sort(t).is_bool(), "blast_bool on a bit-vector term");
+        let l = match tm.term(t).op.clone() {
+            Op::BoolConst(b) => self.const_lit(b),
+            Op::Var { .. } => {
+                let v = Lit::pos(self.cnf.fresh_var());
+                self.var_bits.insert(t, vec![v]);
+                v
+            }
+            Op::Not(a) => {
+                let a = self.blast_bool(tm, a);
+                !a
+            }
+            Op::And(a, b) => {
+                let (a, b) = (self.blast_bool(tm, a), self.blast_bool(tm, b));
+                self.and_gate(a, b)
+            }
+            Op::Or(a, b) => {
+                let (a, b) = (self.blast_bool(tm, a), self.blast_bool(tm, b));
+                self.or_gate(a, b)
+            }
+            Op::Xor(a, b) => {
+                let (a, b) = (self.blast_bool(tm, a), self.blast_bool(tm, b));
+                self.xor_gate(a, b)
+            }
+            Op::Implies(a, b) => {
+                let (a, b) = (self.blast_bool(tm, a), self.blast_bool(tm, b));
+                self.or_gate(!a, b)
+            }
+            Op::Ite(c, a, b) => {
+                let c = self.blast_bool(tm, c);
+                let (a, b) = (self.blast_bool(tm, a), self.blast_bool(tm, b));
+                self.mux_gate(c, a, b)
+            }
+            Op::Eq(a, b) => {
+                if tm.sort(a).is_bool() {
+                    let (a, b) = (self.blast_bool(tm, a), self.blast_bool(tm, b));
+                    !self.xor_gate(a, b)
+                } else {
+                    let a = self.blast_bits(tm, a);
+                    let b = self.blast_bits(tm, b);
+                    self.eq_gate(&a, &b)
+                }
+            }
+            Op::BvUlt(a, b) => {
+                let a = self.blast_bits(tm, a);
+                let b = self.blast_bits(tm, b);
+                self.ult_gate(&a, &b)
+            }
+            Op::BvUle(a, b) => {
+                let a = self.blast_bits(tm, a);
+                let b = self.blast_bits(tm, b);
+                !self.ult_gate(&b, &a)
+            }
+            Op::BvSlt(a, b) => {
+                let a = self.blast_bits(tm, a);
+                let b = self.blast_bits(tm, b);
+                self.slt_gate(&a, &b)
+            }
+            Op::BvSle(a, b) => {
+                let a = self.blast_bits(tm, a);
+                let b = self.blast_bits(tm, b);
+                !self.slt_gate(&b, &a)
+            }
+            other => unreachable!("boolean blast of non-boolean operator {other:?}"),
+        };
+        self.bool_cache.insert(t, l);
+        l
+    }
+
+    fn slt_gate(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        let w = a.len();
+        let sa = a[w - 1];
+        let sb = b[w - 1];
+        let signs_differ = self.xor_gate(sa, sb);
+        let ult = self.ult_gate(a, b);
+        self.mux_gate(signs_differ, sa, ult)
+    }
+
+    /// Translates a bit-vector term into its literal vector (LSB first).
+    pub fn blast_bits(&mut self, tm: &TermManager, t: TermId) -> Vec<Lit> {
+        if let Some(bits) = self.bits_cache.get(&t) {
+            return bits.clone();
+        }
+        let width = tm.width(t);
+        let bits: Vec<Lit> = match tm.term(t).op.clone() {
+            Op::BvConst { value, .. } => self.constant_bits(value, width),
+            Op::Var { .. } => {
+                let bits: Vec<Lit> =
+                    (0..width).map(|_| Lit::pos(self.cnf.fresh_var())).collect();
+                self.var_bits.insert(t, bits.clone());
+                bits
+            }
+            Op::BvNot(a) => {
+                let a = self.blast_bits(tm, a);
+                a.iter().map(|&l| !l).collect()
+            }
+            Op::BvNeg(a) => {
+                let a = self.blast_bits(tm, a);
+                self.negate_bits(&a)
+            }
+            Op::BvAnd(a, b) => {
+                let (a, b) = (self.blast_bits(tm, a), self.blast_bits(tm, b));
+                (0..width as usize).map(|i| self.and_gate(a[i], b[i])).collect()
+            }
+            Op::BvOr(a, b) => {
+                let (a, b) = (self.blast_bits(tm, a), self.blast_bits(tm, b));
+                (0..width as usize).map(|i| self.or_gate(a[i], b[i])).collect()
+            }
+            Op::BvXor(a, b) => {
+                let (a, b) = (self.blast_bits(tm, a), self.blast_bits(tm, b));
+                (0..width as usize).map(|i| self.xor_gate(a[i], b[i])).collect()
+            }
+            Op::BvAdd(a, b) => {
+                let (a, b) = (self.blast_bits(tm, a), self.blast_bits(tm, b));
+                let (out, _) = self.adder(&a, &b, self.const_lit(false));
+                out
+            }
+            Op::BvSub(a, b) => {
+                let (a, b) = (self.blast_bits(tm, a), self.blast_bits(tm, b));
+                let inverted: Vec<Lit> = b.iter().map(|&l| !l).collect();
+                let (out, _) = self.adder(&a, &inverted, self.const_lit(true));
+                out
+            }
+            Op::BvMul(a, b) => {
+                let (a, b) = (self.blast_bits(tm, a), self.blast_bits(tm, b));
+                self.multiplier(&a, &b)
+            }
+            Op::BvUdiv(a, b) => {
+                let (a, b) = (self.blast_bits(tm, a), self.blast_bits(tm, b));
+                self.divider(&a, &b).0
+            }
+            Op::BvUrem(a, b) => {
+                let (a, b) = (self.blast_bits(tm, a), self.blast_bits(tm, b));
+                self.divider(&a, &b).1
+            }
+            Op::BvShl(a, b) => {
+                let (a, b) = (self.blast_bits(tm, a), self.blast_bits(tm, b));
+                self.shifter(&a, &b, false, true)
+            }
+            Op::BvLshr(a, b) => {
+                let (a, b) = (self.blast_bits(tm, a), self.blast_bits(tm, b));
+                self.shifter(&a, &b, false, false)
+            }
+            Op::BvAshr(a, b) => {
+                let (a, b) = (self.blast_bits(tm, a), self.blast_bits(tm, b));
+                self.shifter(&a, &b, true, false)
+            }
+            Op::BvConcat(hi, lo) => {
+                let hi_bits = self.blast_bits(tm, hi);
+                let lo_bits = self.blast_bits(tm, lo);
+                let mut out = lo_bits;
+                out.extend(hi_bits);
+                out
+            }
+            Op::BvExtract { hi, lo, arg } => {
+                let a = self.blast_bits(tm, arg);
+                a[lo as usize..=(hi as usize)].to_vec()
+            }
+            Op::BvZeroExt { by, arg } => {
+                let mut a = self.blast_bits(tm, arg);
+                a.extend(vec![self.const_lit(false); by as usize]);
+                a
+            }
+            Op::BvSignExt { by, arg } => {
+                let mut a = self.blast_bits(tm, arg);
+                let sign = *a.last().expect("non-empty bit-vector");
+                a.extend(vec![sign; by as usize]);
+                a
+            }
+            Op::Ite(c, a, b) => {
+                let c = self.blast_bool(tm, c);
+                let (a, b) = (self.blast_bits(tm, a), self.blast_bits(tm, b));
+                self.mux_bits(c, &a, &b)
+            }
+            other => unreachable!("bit-vector blast of boolean operator {other:?}"),
+        };
+        debug_assert_eq!(bits.len(), width as usize);
+        self.bits_cache.insert(t, bits.clone());
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concrete::{eval, Assignment};
+    use crate::sat::{SatSolver, SolveOutcome};
+    use crate::sort::Sort;
+
+    /// Checks validity of `lhs == rhs` for all inputs by asserting the
+    /// disequality and expecting UNSAT.
+    fn prove_equal(tm: &mut TermManager, lhs: TermId, rhs: TermId) {
+        let goal = tm.neq(lhs, rhs);
+        let mut bb = BitBlaster::new();
+        bb.assert_true(tm, goal);
+        let mut sat = SatSolver::from_cnf(bb.cnf());
+        assert_eq!(sat.solve(), SolveOutcome::Unsat, "terms are not equivalent");
+    }
+
+    fn find_model(tm: &TermManager, goal: TermId) -> Option<Assignment> {
+        let mut bb = BitBlaster::new();
+        bb.assert_true(tm, goal);
+        let mut sat = SatSolver::from_cnf(bb.cnf());
+        match sat.solve() {
+            SolveOutcome::Sat => {
+                let mut env = Assignment::new();
+                for (&term, bits) in bb.var_encodings() {
+                    let mut v = 0u64;
+                    for (i, &l) in bits.iter().enumerate() {
+                        if sat.value_of(l.var()) == l.is_positive() {
+                            v |= 1 << i;
+                        }
+                    }
+                    env.insert(term, v);
+                }
+                Some(env)
+            }
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn de_morgan_is_valid() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(8));
+        let y = tm.var("y", Sort::BitVec(8));
+        let lhs = {
+            let a = tm.bv_and(x, y);
+            tm.bv_not(a)
+        };
+        let rhs = {
+            let nx = tm.bv_not(x);
+            let ny = tm.bv_not(y);
+            tm.bv_or(nx, ny)
+        };
+        prove_equal(&mut tm, lhs, rhs);
+    }
+
+    #[test]
+    fn sub_equals_add_of_negation() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(12));
+        let y = tm.var("y", Sort::BitVec(12));
+        let lhs = tm.bv_sub(x, y);
+        let rhs = {
+            let ny = tm.bv_neg(y);
+            tm.bv_add(x, ny)
+        };
+        prove_equal(&mut tm, lhs, rhs);
+    }
+
+    #[test]
+    fn xori_identity_from_the_paper() {
+        // The Listing-1 identity: SUB rd rs1 rs2 == XORI(ADD(XORI(rs1,-1), rs2), -1)
+        // i.e. rs1 - rs2 == ~( ~rs1 + rs2 ).
+        let mut tm = TermManager::new();
+        let rs1 = tm.var("rs1", Sort::BitVec(16));
+        let rs2 = tm.var("rs2", Sort::BitVec(16));
+        let lhs = tm.bv_sub(rs1, rs2);
+        let rhs = {
+            let n1 = tm.bv_not(rs1);
+            let s = tm.bv_add(n1, rs2);
+            tm.bv_not(s)
+        };
+        prove_equal(&mut tm, lhs, rhs);
+    }
+
+    #[test]
+    fn mul_is_commutative() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(8));
+        let y = tm.var("y", Sort::BitVec(8));
+        let lhs = tm.bv_mul(x, y);
+        let rhs = tm.bv_mul(y, x);
+        // hash-consing already normalises the operand order, so compare
+        // against a multiplication computed through shift-and-add identity:
+        // x*y == (x*(y-1)) + x is too slow to prove here; instead check
+        // structural equality which the manager guarantees.
+        assert_eq!(lhs, rhs);
+        // and prove x*2 == x+x through the solver
+        let two = tm.bv_const(2, 8);
+        let x2 = tm.bv_mul(x, two);
+        let xx = tm.bv_add(x, x);
+        prove_equal(&mut tm, x2, xx);
+    }
+
+    #[test]
+    fn shifts_match_evaluator_on_models() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(8));
+        let s = tm.var("s", Sort::BitVec(8));
+        let shl = tm.bv_shl(x, s);
+        let c16 = tm.bv_const(16, 8);
+        let goal = {
+            let e = tm.eq(shl, c16);
+            let lim = tm.bv_const(8, 8);
+            let in_range = tm.bv_ult(s, lim);
+            let nz = {
+                let z = tm.zero(8);
+                tm.neq(s, z)
+            };
+            let a = tm.and(e, in_range);
+            tm.and(a, nz)
+        };
+        let env = find_model(&tm, goal).expect("x << s == 16 with 0<s<8 is satisfiable");
+        assert_eq!(eval(&tm, goal, &env), 1, "model must satisfy the goal");
+        assert_eq!(eval(&tm, shl, &env), 16);
+    }
+
+    #[test]
+    fn division_circuit_matches_semantics() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(6));
+        let y = tm.var("y", Sort::BitVec(6));
+        // x == (x/y)*y + x%y  whenever y != 0
+        let q = tm.bv_udiv(x, y);
+        let r = tm.bv_urem(x, y);
+        let prod = tm.bv_mul(q, y);
+        let sum = tm.bv_add(prod, r);
+        let zero = tm.zero(6);
+        let nz = tm.neq(y, zero);
+        let eq = tm.eq(sum, x);
+        let prop = tm.implies(nz, eq);
+        let goal = tm.not(prop);
+        let mut bb = BitBlaster::new();
+        bb.assert_true(&tm, goal);
+        let mut sat = SatSolver::from_cnf(bb.cnf());
+        assert_eq!(sat.solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn signed_comparison_counterexample_has_expected_sign() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(8));
+        let zero = tm.zero(8);
+        // find x with x <s 0 and x >=u 128
+        let neg = tm.bv_slt(x, zero);
+        let c128 = tm.bv_const(128, 8);
+        let big = tm.bv_ule(c128, x);
+        let goal = tm.and(neg, big);
+        let env = find_model(&tm, goal).expect("negative bytes exist");
+        assert!(env[&x] >= 128);
+    }
+
+    #[test]
+    fn blasting_agrees_with_evaluator_on_random_terms() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..25 {
+            let mut tm = TermManager::new();
+            let w = 7;
+            let x = tm.var("x", Sort::BitVec(w));
+            let y = tm.var("y", Sort::BitVec(w));
+            let z = tm.var("z", Sort::BitVec(w));
+            // build a random expression tree of depth 3
+            let mut exprs = vec![x, y, z];
+            for _ in 0..6 {
+                let a = exprs[rng.gen_range(0..exprs.len())];
+                let b = exprs[rng.gen_range(0..exprs.len())];
+                let e = match rng.gen_range(0..10) {
+                    0 => tm.bv_add(a, b),
+                    1 => tm.bv_sub(a, b),
+                    2 => tm.bv_and(a, b),
+                    3 => tm.bv_or(a, b),
+                    4 => tm.bv_xor(a, b),
+                    5 => tm.bv_mul(a, b),
+                    6 => tm.bv_shl(a, b),
+                    7 => tm.bv_lshr(a, b),
+                    8 => tm.bv_ashr(a, b),
+                    _ => {
+                        let c = tm.bv_ult(a, b);
+                        tm.ite(c, a, b)
+                    }
+                };
+                exprs.push(e);
+            }
+            let top = *exprs.last().expect("expressions exist");
+            let xv = rng.gen_range(0..(1 << w)) as u64;
+            let yv = rng.gen_range(0..(1 << w)) as u64;
+            let zv = rng.gen_range(0..(1 << w)) as u64;
+            let env: Assignment = [(x, xv), (y, yv), (z, zv)].into_iter().collect();
+            let expected = eval(&tm, top, &env);
+            // assert top == expected together with the variable values; must be SAT
+            let cexp = tm.bv_const(expected, w);
+            let cx = tm.bv_const(xv, w);
+            let cy = tm.bv_const(yv, w);
+            let cz = tm.bv_const(zv, w);
+            let goal = {
+                let e1 = tm.eq(top, cexp);
+                let e2 = tm.eq(x, cx);
+                let e3 = tm.eq(y, cy);
+                let e4 = tm.eq(z, cz);
+                let a = tm.and(e1, e2);
+                let b = tm.and(e3, e4);
+                tm.and(a, b)
+            };
+            assert!(
+                find_model(&tm, goal).is_some(),
+                "bit-blaster disagrees with evaluator"
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Bit-vector SMT substrate for the SEPE-SQED reproduction.
+//!
+//! The paper relies on an off-the-shelf SMT solver (through Pono / the
+//! authors' synthesizer) for two kinds of quantifier-free bit-vector
+//! queries: CEGIS synthesis/verification queries and bounded-model-checking
+//! queries.  This crate provides the same capability from scratch:
+//!
+//! * [`TermManager`] — a hash-consed bit-vector/boolean term graph with a
+//!   light rewriting layer (constant folding, neutral elements, …),
+//! * [`eval`](concrete::eval) — a concrete evaluator used for counterexample
+//!   handling and for differential testing of the bit-blaster,
+//! * [`BitBlaster`](bitblast::BitBlaster) — Tseitin conversion of term graphs
+//!   to CNF,
+//! * [`SatSolver`](sat::SatSolver) — a CDCL SAT solver (two-watched literals,
+//!   first-UIP learning, VSIDS, phase saving, Luby restarts),
+//! * [`Solver`] — the user-facing SMT interface combining the above.
+//!
+//! # Example
+//!
+//! ```
+//! use sepe_smt::{TermManager, Sort, Solver, SatResult};
+//!
+//! let mut tm = TermManager::new();
+//! let x = tm.var("x", Sort::BitVec(8));
+//! let y = tm.var("y", Sort::BitVec(8));
+//! let sum = tm.bv_add(x, y);
+//! let c42 = tm.bv_const(42, 8);
+//! let goal = tm.eq(sum, c42);
+//!
+//! let mut solver = Solver::new();
+//! solver.assert_term(&tm, goal);
+//! match solver.check(&tm) {
+//!     SatResult::Sat => {
+//!         let m = solver.model(&tm);
+//!         assert_eq!((m.value(x) + m.value(y)) & 0xff, 42);
+//!     }
+//!     _ => unreachable!("the constraint is satisfiable"),
+//! }
+//! ```
+
+pub mod bitblast;
+pub mod cnf;
+pub mod concrete;
+pub mod sat;
+pub mod solver;
+pub mod sort;
+pub mod subst;
+pub mod term;
+
+pub use cnf::{Clause, Cnf, Lit, Var};
+pub use sat::{SatSolver, SolveOutcome};
+pub use solver::{Model, SatResult, Solver};
+pub use sort::Sort;
+pub use term::{Op, Term, TermId, TermManager};

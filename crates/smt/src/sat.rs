@@ -1,0 +1,850 @@
+//! A CDCL SAT solver.
+//!
+//! The solver implements the standard conflict-driven clause-learning loop:
+//! two-watched-literal propagation, first-UIP conflict analysis, VSIDS-style
+//! branching with phase saving, Luby restarts and activity/LBD-based learnt
+//! clause database reduction.  It is deliberately self-contained (no
+//! dependencies) and deterministic, so every experiment in the reproduction
+//! is repeatable.
+
+use crate::cnf::{Clause, Cnf, Lit, Var};
+
+/// Result of a SAT call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// A satisfying assignment was found; read it back with
+    /// [`SatSolver::value_of`].
+    Sat,
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before a verdict.
+    Unknown,
+}
+
+const UNASSIGNED: i8 = 0;
+const VALUE_TRUE: i8 = 1;
+const VALUE_FALSE: i8 = -1;
+
+#[derive(Debug, Clone)]
+struct ClauseData {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    lbd: u32,
+    activity: f64,
+}
+
+/// Indexed max-heap over variable activities (MiniSat-style order heap).
+#[derive(Debug, Default, Clone)]
+struct VarOrder {
+    heap: Vec<Var>,
+    positions: Vec<Option<usize>>,
+}
+
+impl VarOrder {
+    fn grow(&mut self, n: usize) {
+        if self.positions.len() < n {
+            self.positions.resize(n, None);
+        }
+    }
+
+    fn contains(&self, v: Var) -> bool {
+        self.positions.get(v.index()).copied().flatten().is_some()
+    }
+
+    fn insert(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.grow(v.index() + 1);
+        let i = self.heap.len();
+        self.heap.push(v);
+        self.positions[v.index()] = Some(i);
+        self.sift_up(i, activity);
+    }
+
+    fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("heap not empty");
+        self.positions[top.index()] = None;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.positions[last.index()] = Some(0);
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    fn update(&mut self, v: Var, activity: &[f64]) {
+        if let Some(i) = self.positions.get(v.index()).copied().flatten() {
+            self.sift_up(i, activity);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i].index()] > activity[self.heap[parent].index()] {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && activity[self.heap[l].index()] > activity[self.heap[best].index()]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r].index()] > activity[self.heap[best].index()]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.positions[self.heap[i].index()] = Some(i);
+        self.positions[self.heap[j].index()] = Some(j);
+    }
+}
+
+/// The CDCL solver.
+///
+/// Typical use: construct with [`SatSolver::from_cnf`] (or add clauses with
+/// [`SatSolver::add_clause`]), call [`SatSolver::solve`], and on
+/// [`SolveOutcome::Sat`] read variable values with [`SatSolver::value_of`].
+#[derive(Debug, Clone)]
+pub struct SatSolver {
+    clauses: Vec<ClauseData>,
+    watches: Vec<Vec<u32>>,
+    assign: Vec<i8>,
+    level: Vec<u32>,
+    reason: Vec<Option<u32>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    order: VarOrder,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    ok: bool,
+    num_vars: u32,
+    conflicts: u64,
+    decisions: u64,
+    propagations: u64,
+    conflict_limit: Option<u64>,
+    max_learnt: f64,
+}
+
+impl Default for SatSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SatSolver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        SatSolver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            order: VarOrder::default(),
+            phase: Vec::new(),
+            seen: Vec::new(),
+            ok: true,
+            num_vars: 0,
+            conflicts: 0,
+            decisions: 0,
+            propagations: 0,
+            conflict_limit: None,
+            max_learnt: 4000.0,
+        }
+    }
+
+    /// Builds a solver pre-loaded with the clauses of `cnf`.
+    pub fn from_cnf(cnf: &Cnf) -> Self {
+        let mut s = Self::new();
+        s.reserve_vars(cnf.num_vars());
+        for clause in cnf.clauses() {
+            s.add_clause(clause.clone());
+        }
+        s
+    }
+
+    /// Ensures variables `0..n` exist.
+    pub fn reserve_vars(&mut self, n: u32) {
+        while self.num_vars < n {
+            self.new_var();
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.num_vars);
+        self.num_vars += 1;
+        self.assign.push(UNASSIGNED);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of conflicts encountered so far (useful as a cost metric).
+    pub fn num_conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Number of decisions made so far.
+    pub fn num_decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Number of propagated literals so far.
+    pub fn num_propagations(&self) -> u64 {
+        self.propagations
+    }
+
+    /// Limits the number of conflicts of the next [`solve`](Self::solve) call;
+    /// exceeding the limit yields [`SolveOutcome::Unknown`].
+    pub fn set_conflict_limit(&mut self, limit: Option<u64>) {
+        self.conflict_limit = limit;
+    }
+
+    fn lit_value(&self, l: Lit) -> i8 {
+        let v = self.assign[l.var().index()];
+        if v == UNASSIGNED {
+            UNASSIGNED
+        } else if l.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// Value of a variable in the current (satisfying) assignment.
+    pub fn value_of(&self, v: Var) -> bool {
+        self.assign[v.index()] == VALUE_TRUE
+    }
+
+    /// Adds a clause.  Returns `false` if the solver became trivially
+    /// unsatisfiable (empty clause or conflicting units).
+    pub fn add_clause(&mut self, mut lits: Clause) -> bool {
+        if !self.ok {
+            return false;
+        }
+        debug_assert_eq!(self.decision_level(), 0, "clauses must be added at level 0");
+        for l in &lits {
+            self.reserve_vars(l.var().0 + 1);
+        }
+        lits.sort();
+        lits.dedup();
+        // Tautology / falsified-literal simplification at level 0.
+        let mut simplified = Vec::with_capacity(lits.len());
+        let mut i = 0;
+        while i < lits.len() {
+            let l = lits[i];
+            if i + 1 < lits.len() && lits[i + 1] == !l {
+                return true; // tautology: x ∨ ¬x
+            }
+            match self.lit_value(l) {
+                VALUE_TRUE => return true, // already satisfied at level 0
+                VALUE_FALSE => {}          // drop the falsified literal
+                _ => simplified.push(l),
+            }
+            i += 1;
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(simplified[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                let idx = u32::try_from(self.clauses.len()).expect("clause index overflow");
+                self.watches[simplified[0].index()].push(idx);
+                self.watches[simplified[1].index()].push(idx);
+                self.clauses.push(ClauseData {
+                    lits: simplified,
+                    learnt: false,
+                    deleted: false,
+                    lbd: 0,
+                    activity: 0.0,
+                });
+                true
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        u32::try_from(self.trail_lim.len()).expect("level overflow")
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<u32>) {
+        debug_assert_eq!(self.lit_value(l), UNASSIGNED);
+        let v = l.var();
+        self.assign[v.index()] = if l.is_positive() { VALUE_TRUE } else { VALUE_FALSE };
+        self.level[v.index()] = self.decision_level();
+        self.reason[v.index()] = reason;
+        self.phase[v.index()] = l.is_positive();
+        self.trail.push(l);
+    }
+
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+            let watch_idx = (!p).index();
+            let mut ws = std::mem::take(&mut self.watches[watch_idx]);
+            let mut keep = Vec::with_capacity(ws.len());
+            let mut conflict = None;
+            let mut i = 0;
+            while i < ws.len() {
+                let ci = ws[i];
+                i += 1;
+                if self.clauses[ci as usize].deleted {
+                    continue;
+                }
+                // Make sure the false literal is at position 1.
+                let false_lit = !p;
+                {
+                    let lits = &mut self.clauses[ci as usize].lits;
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[ci as usize].lits[0];
+                if self.lit_value(first) == VALUE_TRUE {
+                    keep.push(ci);
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut found = false;
+                let len = self.clauses[ci as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[ci as usize].lits[k];
+                    if self.lit_value(lk) != VALUE_FALSE {
+                        self.clauses[ci as usize].lits.swap(1, k);
+                        self.watches[lk.index()].push(ci);
+                        found = true;
+                        break;
+                    }
+                }
+                if found {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                keep.push(ci);
+                if self.lit_value(first) == VALUE_FALSE {
+                    // Conflict: keep the remaining watchers and bail out.
+                    while i < ws.len() {
+                        keep.push(ws[i]);
+                        i += 1;
+                    }
+                    conflict = Some(ci);
+                } else {
+                    self.enqueue(first, Some(ci));
+                }
+            }
+            ws.clear();
+            // Put back the kept watchers (new watchers registered above are in
+            // other lists, appended after the take, so extend rather than
+            // overwrite).
+            let slot = &mut self.watches[watch_idx];
+            let appended = std::mem::take(slot);
+            *slot = keep;
+            slot.extend(appended);
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn var_bump(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.update(v, &self.activity);
+    }
+
+    fn var_decay(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    fn clause_bump(&mut self, ci: u32) {
+        let c = &mut self.clauses[ci as usize];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for c in self.clauses.iter_mut().filter(|c| c.learnt) {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn analyze(&mut self, mut conflict: u32) -> (Clause, u32) {
+        let mut learnt: Clause = vec![Lit::pos(Var(0))]; // placeholder for the asserting literal
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut trail_index = self.trail.len();
+
+        loop {
+            self.clause_bump(conflict);
+            let lits = self.clauses[conflict as usize].lits.clone();
+            let start = usize::from(p.is_some());
+            for &q in &lits[start..] {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.var_bump(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next literal of the current level on the trail.
+            loop {
+                trail_index -= 1;
+                let l = self.trail[trail_index];
+                if self.seen[l.var().index()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("found a seen literal").var();
+            self.seen[pv.index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !p.expect("asserting literal");
+                break;
+            }
+            conflict = self.reason[pv.index()].expect("non-decision literal has a reason");
+        }
+
+        // Conflict-clause minimisation (self-subsumption with direct reasons).
+        let keep: Vec<bool> = learnt
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| i == 0 || !self.literal_is_redundant(l, &learnt))
+            .collect();
+        let mut minimized: Clause = learnt
+            .iter()
+            .zip(keep.iter())
+            .filter_map(|(&l, &k)| if k { Some(l) } else { None })
+            .collect();
+
+        // Compute the backtrack level: second highest level in the clause.
+        let mut backtrack = 0;
+        if minimized.len() > 1 {
+            let mut max_i = 1;
+            for i in 2..minimized.len() {
+                if self.level[minimized[i].var().index()]
+                    > self.level[minimized[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            backtrack = self.level[minimized[1].var().index()];
+        }
+
+        for l in &minimized {
+            self.seen[l.var().index()] = false;
+        }
+        // Also clear flags possibly left set for removed (redundant) literals.
+        for l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        (minimized, backtrack)
+    }
+
+    /// A literal is redundant in the learnt clause if every literal of its
+    /// reason clause is already in the learnt clause (one-step self-subsumption).
+    fn literal_is_redundant(&self, l: Lit, learnt: &Clause) -> bool {
+        let Some(r) = self.reason[l.var().index()] else {
+            return false;
+        };
+        self.clauses[r as usize]
+            .lits
+            .iter()
+            .skip(1)
+            .all(|&q| learnt.contains(&q) || self.level[q.var().index()] == 0)
+    }
+
+    fn backtrack(&mut self, target: u32) {
+        while self.decision_level() > target {
+            let limit = self.trail_lim.pop().expect("decision level exists");
+            while self.trail.len() > limit {
+                let l = self.trail.pop().expect("trail not empty");
+                let v = l.var();
+                self.phase[v.index()] = l.is_positive();
+                self.assign[v.index()] = UNASSIGNED;
+                self.reason[v.index()] = None;
+                if !self.order.contains(v) {
+                    self.order.insert(v, &self.activity);
+                }
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn learn(&mut self, clause: Clause) -> Option<u32> {
+        match clause.len() {
+            0 => {
+                self.ok = false;
+                None
+            }
+            1 => {
+                self.enqueue(clause[0], None);
+                None
+            }
+            _ => {
+                let idx = u32::try_from(self.clauses.len()).expect("clause index overflow");
+                let lbd = self.compute_lbd(&clause);
+                self.watches[clause[0].index()].push(idx);
+                self.watches[clause[1].index()].push(idx);
+                self.clauses.push(ClauseData {
+                    lits: clause,
+                    learnt: true,
+                    deleted: false,
+                    lbd,
+                    activity: self.cla_inc,
+                });
+                Some(idx)
+            }
+        }
+    }
+
+    fn compute_lbd(&self, clause: &Clause) -> u32 {
+        let mut levels: Vec<u32> = clause.iter().map(|l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        u32::try_from(levels.len()).expect("lbd overflow")
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.assign[v.index()] == UNASSIGNED {
+                return Some(Lit::new(v, self.phase[v.index()]));
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        let locked: std::collections::HashSet<u32> =
+            self.reason.iter().flatten().copied().collect();
+        let mut learnt_indices: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&i| {
+                let c = &self.clauses[i as usize];
+                c.learnt && !c.deleted && c.lits.len() > 2
+            })
+            .collect();
+        learnt_indices.sort_by(|&a, &b| {
+            let ca = &self.clauses[a as usize];
+            let cb = &self.clauses[b as usize];
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then(ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let to_remove = learnt_indices.len() / 2;
+        let mut removed = 0;
+        for &ci in &learnt_indices {
+            if removed >= to_remove {
+                break;
+            }
+            if locked.contains(&ci) {
+                continue;
+            }
+            self.clauses[ci as usize].deleted = true;
+            removed += 1;
+        }
+        self.max_learnt *= 1.3;
+    }
+
+    fn luby(i: u64) -> u64 {
+        // Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+        let mut k = 1u32;
+        loop {
+            if i + 1 == (1u64 << k) - 1 {
+                return 1u64 << (k - 1);
+            }
+            if i + 1 < (1u64 << k) - 1 {
+                return Self::luby(i + 1 - (1u64 << (k - 1)));
+            }
+            k += 1;
+        }
+    }
+
+    /// Runs the CDCL search.
+    pub fn solve(&mut self) -> SolveOutcome {
+        if !self.ok {
+            return SolveOutcome::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveOutcome::Unsat;
+        }
+        let mut restart_count = 0u64;
+        let start_conflicts = self.conflicts;
+        loop {
+            let budget = 100 * Self::luby(restart_count);
+            match self.search(budget, start_conflicts) {
+                Some(outcome) => return outcome,
+                None => {
+                    restart_count += 1;
+                    self.backtrack(0);
+                }
+            }
+        }
+    }
+
+    /// Searches until a verdict, a restart budget expiry (`None`) or the
+    /// global conflict limit.
+    fn search(&mut self, budget: u64, start_conflicts: u64) -> Option<SolveOutcome> {
+        let mut local_conflicts = 0u64;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.conflicts += 1;
+                local_conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return Some(SolveOutcome::Unsat);
+                }
+                let (learnt, backtrack_level) = self.analyze(conflict);
+                self.backtrack(backtrack_level);
+                let asserting = learnt[0];
+                let ci = self.learn(learnt);
+                if let Some(ci) = ci {
+                    // `learn` watches but does not enqueue; do it with the reason.
+                    if self.lit_value(asserting) == UNASSIGNED {
+                        self.enqueue(asserting, Some(ci));
+                    }
+                }
+                self.var_decay();
+                if let Some(limit) = self.conflict_limit {
+                    if self.conflicts - start_conflicts >= limit {
+                        self.backtrack(0);
+                        return Some(SolveOutcome::Unknown);
+                    }
+                }
+            } else {
+                let learnt_count =
+                    self.clauses.iter().filter(|c| c.learnt && !c.deleted).count() as f64;
+                if learnt_count >= self.max_learnt {
+                    self.reduce_db();
+                }
+                if local_conflicts >= budget {
+                    return None;
+                }
+                match self.pick_branch() {
+                    None => return Some(SolveOutcome::Sat),
+                    Some(l) => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(l, None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: i32) -> Lit {
+        let var = Var(u32::try_from(v.unsigned_abs()).expect("var") - 1);
+        Lit::new(var, v > 0)
+    }
+
+    fn solver_with(clauses: &[Vec<i32>]) -> SatSolver {
+        let mut s = SatSolver::new();
+        for c in clauses {
+            s.add_clause(c.iter().map(|&v| lit(v)).collect());
+        }
+        s
+    }
+
+    #[test]
+    fn trivially_sat() {
+        let mut s = solver_with(&[vec![1, 2], vec![-1, 2], vec![1, -2]]);
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        // (x1∨x2)(¬x1∨x2)(x1∨¬x2) forces x1=x2=true
+        assert!(s.value_of(Var(0)));
+        assert!(s.value_of(Var(1)));
+    }
+
+    #[test]
+    fn trivially_unsat() {
+        let mut s = solver_with(&[vec![1], vec![-1]]);
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn unsat_via_resolution_chain() {
+        // (x1∨x2)(x1∨¬x2)(¬x1∨x3)(¬x1∨¬x3) is unsat
+        let mut s = solver_with(&[vec![1, 2], vec![1, -2], vec![-1, 3], vec![-1, -3]]);
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = SatSolver::new();
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = SatSolver::new();
+        assert!(!s.add_clause(vec![]));
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+    }
+
+    /// Pigeonhole principle PHP(n+1, n): unsatisfiable, requires real search.
+    fn pigeonhole(pigeons: u32, holes: u32) -> Vec<Vec<i32>> {
+        let var = |p: u32, h: u32| i32::try_from(p * holes + h + 1).expect("var index");
+        let mut clauses = Vec::new();
+        for p in 0..pigeons {
+            clauses.push((0..holes).map(|h| var(p, h)).collect());
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    clauses.push(vec![-var(p1, h), -var(p2, h)]);
+                }
+            }
+        }
+        clauses
+    }
+
+    #[test]
+    fn pigeonhole_4_into_3_is_unsat() {
+        let mut s = solver_with(&pigeonhole(4, 3));
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_4_into_4_is_sat() {
+        let clauses = {
+            let mut c = pigeonhole(4, 4);
+            c.retain(|_| true);
+            c
+        };
+        let mut s = solver_with(&clauses);
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+    }
+
+    #[test]
+    fn conflict_limit_reports_unknown() {
+        let mut s = solver_with(&pigeonhole(7, 6));
+        s.set_conflict_limit(Some(5));
+        assert_eq!(s.solve(), SolveOutcome::Unknown);
+    }
+
+    /// Brute-force model counting cross-check on random small formulas.
+    #[test]
+    fn agrees_with_brute_force_on_random_formulas() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xdecaf);
+        for round in 0..60 {
+            let num_vars = 6;
+            let num_clauses = 3 + (round % 18);
+            let clauses: Vec<Vec<i32>> = (0..num_clauses)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| {
+                            let v = rng.gen_range(1..=num_vars);
+                            if rng.gen_bool(0.5) {
+                                v
+                            } else {
+                                -v
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let brute_sat = (0u32..(1 << num_vars)).any(|m| {
+                clauses.iter().all(|c| {
+                    c.iter().any(|&l| {
+                        let bit = (m >> (l.unsigned_abs() - 1)) & 1 == 1;
+                        if l > 0 {
+                            bit
+                        } else {
+                            !bit
+                        }
+                    })
+                })
+            });
+            let mut s = solver_with(&clauses);
+            let outcome = s.solve();
+            assert_eq!(
+                outcome,
+                if brute_sat { SolveOutcome::Sat } else { SolveOutcome::Unsat },
+                "mismatch on {clauses:?}"
+            );
+            if outcome == SolveOutcome::Sat {
+                // The returned model must satisfy every clause.
+                for c in &clauses {
+                    assert!(c.iter().any(|&l| {
+                        let val = s.value_of(Var(l.unsigned_abs() - 1));
+                        if l > 0 {
+                            val
+                        } else {
+                            !val
+                        }
+                    }));
+                }
+            }
+        }
+    }
+}

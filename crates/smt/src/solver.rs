@@ -1,0 +1,307 @@
+//! The user-facing SMT solver: assertions in, SAT/UNSAT + model out.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use crate::bitblast::BitBlaster;
+use crate::concrete::{eval, Assignment};
+use crate::sat::{SatSolver, SolveOutcome};
+use crate::term::{TermId, TermManager};
+
+/// Result of an SMT check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatResult {
+    /// The conjunction of assertions is satisfiable.
+    Sat,
+    /// The conjunction of assertions is unsatisfiable.
+    Unsat,
+    /// The resource budget was exhausted.
+    Unknown,
+}
+
+/// A model: values for the variables of the asserted formulas.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    values: Assignment,
+}
+
+impl Model {
+    /// Creates a model from raw variable values.
+    pub fn from_values(values: Assignment) -> Self {
+        Model { values }
+    }
+
+    /// Value of a variable term (0 for variables absent from the model).
+    pub fn value(&self, var: TermId) -> u64 {
+        self.values.get(&var).copied().unwrap_or(0)
+    }
+
+    /// The raw variable assignment.
+    pub fn assignment(&self) -> &Assignment {
+        &self.values
+    }
+
+    /// Evaluates an arbitrary term under this model.
+    pub fn eval(&self, tm: &TermManager, t: TermId) -> u64 {
+        eval(tm, t, &self.values)
+    }
+}
+
+/// Statistics of the last [`Solver::check`] call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverStats {
+    /// CNF variables created by bit-blasting.
+    pub cnf_vars: u64,
+    /// CNF clauses created by bit-blasting.
+    pub cnf_clauses: u64,
+    /// SAT conflicts.
+    pub conflicts: u64,
+    /// SAT decisions.
+    pub decisions: u64,
+    /// SAT propagations.
+    pub propagations: u64,
+    /// Wall-clock time of the check.
+    pub duration: Duration,
+}
+
+/// A quantifier-free bit-vector solver.
+///
+/// Assert terms with [`assert_term`](Solver::assert_term), then call
+/// [`check`](Solver::check).  Each `check` bit-blasts the current assertion
+/// set from scratch (the CEGIS and BMC drivers in the other crates construct
+/// a fresh solver per query, mirroring how the paper's tooling invokes its
+/// backend solver).
+#[derive(Debug, Default, Clone)]
+pub struct Solver {
+    assertions: Vec<TermId>,
+    conflict_limit: Option<u64>,
+    last_model: Option<Model>,
+    stats: SolverStats,
+}
+
+impl Solver {
+    /// Creates a solver with no assertions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an assertion (must be a boolean term).
+    pub fn assert_term(&mut self, tm: &TermManager, t: TermId) {
+        assert!(tm.sort(t).is_bool(), "assertions must be boolean terms");
+        self.assertions.push(t);
+    }
+
+    /// The asserted terms, in insertion order.
+    pub fn assertions(&self) -> &[TermId] {
+        &self.assertions
+    }
+
+    /// Removes all assertions (the model of a previous check is kept).
+    pub fn reset(&mut self) {
+        self.assertions.clear();
+    }
+
+    /// Limits the SAT conflict budget of subsequent checks; `None` means
+    /// unlimited.  Exceeding the budget makes [`check`](Solver::check) return
+    /// [`SatResult::Unknown`].
+    pub fn set_conflict_limit(&mut self, limit: Option<u64>) {
+        self.conflict_limit = limit;
+    }
+
+    /// Statistics of the most recent check.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Decides satisfiability of the conjunction of all assertions.
+    pub fn check(&mut self, tm: &TermManager) -> SatResult {
+        let start = Instant::now();
+        let mut blaster = BitBlaster::new();
+        for &a in &self.assertions {
+            blaster.assert_true(tm, a);
+        }
+        let var_encodings = blaster.var_encodings().clone();
+        let cnf = blaster.into_cnf();
+        let mut sat = SatSolver::from_cnf(&cnf);
+        sat.set_conflict_limit(self.conflict_limit);
+        let outcome = sat.solve();
+        self.stats = SolverStats {
+            cnf_vars: u64::from(cnf.num_vars()),
+            cnf_clauses: cnf.num_clauses() as u64,
+            conflicts: sat.num_conflicts(),
+            decisions: sat.num_decisions(),
+            propagations: sat.num_propagations(),
+            duration: start.elapsed(),
+        };
+        match outcome {
+            SolveOutcome::Sat => {
+                let mut values = HashMap::new();
+                for (term, bits) in var_encodings {
+                    let mut v = 0u64;
+                    for (i, &l) in bits.iter().enumerate() {
+                        if sat.value_of(l.var()) == l.is_positive() {
+                            v |= 1u64 << i;
+                        }
+                    }
+                    values.insert(term, v);
+                }
+                self.last_model = Some(Model::from_values(values));
+                SatResult::Sat
+            }
+            SolveOutcome::Unsat => {
+                self.last_model = None;
+                SatResult::Unsat
+            }
+            SolveOutcome::Unknown => {
+                self.last_model = None;
+                SatResult::Unknown
+            }
+        }
+    }
+
+    /// The model of the last satisfiable check.
+    ///
+    /// The `TermManager` argument is accepted so call sites read naturally
+    /// next to [`check`](Solver::check); it is not currently needed to
+    /// reconstruct the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last check was not satisfiable.
+    pub fn model(&self, _tm: &TermManager) -> &Model {
+        self.last_model.as_ref().expect("model requested but last check was not SAT")
+    }
+
+    /// The model of the last satisfiable check, if any.
+    pub fn try_model(&self) -> Option<&Model> {
+        self.last_model.as_ref()
+    }
+}
+
+/// Convenience helper: checks whether `formula` is valid (true for all
+/// assignments) by asserting its negation.
+pub fn is_valid(tm: &mut TermManager, formula: TermId, conflict_limit: Option<u64>) -> SatResult {
+    let negated = tm.not(formula);
+    let mut solver = Solver::new();
+    solver.set_conflict_limit(conflict_limit);
+    solver.assert_term(tm, negated);
+    match solver.check(tm) {
+        SatResult::Sat => SatResult::Unsat,   // counterexample exists => not valid
+        SatResult::Unsat => SatResult::Sat,   // negation unsatisfiable => valid
+        SatResult::Unknown => SatResult::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::Sort;
+
+    #[test]
+    fn finds_a_model_for_linear_equation() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(16));
+        let y = tm.var("y", Sort::BitVec(16));
+        let three = tm.bv_const(3, 16);
+        let lhs = tm.bv_mul(x, three);
+        let sum = tm.bv_add(lhs, y);
+        let target = tm.bv_const(1000, 16);
+        let goal = tm.eq(sum, target);
+        let hundred = tm.bv_const(100, 16);
+        let constraint = tm.bv_ult(y, hundred);
+
+        let mut solver = Solver::new();
+        solver.assert_term(&tm, goal);
+        solver.assert_term(&tm, constraint);
+        assert_eq!(solver.check(&tm), SatResult::Sat);
+        let m = solver.model(&tm);
+        let xv = m.value(x);
+        let yv = m.value(y);
+        assert_eq!((3 * xv + yv) & 0xffff, 1000);
+        assert!(yv < 100);
+        assert_eq!(m.eval(&tm, goal), 1);
+    }
+
+    #[test]
+    fn detects_unsatisfiable_constraints() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(8));
+        let five = tm.bv_const(5, 8);
+        let six = tm.bv_const(6, 8);
+        let a = tm.eq(x, five);
+        let b = tm.eq(x, six);
+        let mut solver = Solver::new();
+        solver.assert_term(&tm, a);
+        solver.assert_term(&tm, b);
+        assert_eq!(solver.check(&tm), SatResult::Unsat);
+        assert!(solver.try_model().is_none());
+    }
+
+    #[test]
+    fn validity_helper_proves_commutativity() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(10));
+        let y = tm.var("y", Sort::BitVec(10));
+        let l = tm.bv_add(x, y);
+        let r = tm.bv_add(y, x);
+        let f = tm.eq(l, r);
+        assert_eq!(is_valid(&mut tm, f, None), SatResult::Sat);
+        // x + y == x is not valid
+        let g = tm.eq(l, x);
+        assert_eq!(is_valid(&mut tm, g, None), SatResult::Unsat);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(24));
+        let y = tm.var("y", Sort::BitVec(24));
+        let p = tm.bv_mul(x, y);
+        let c = tm.bv_const(0xbeef, 24);
+        let goal = tm.eq(p, c);
+        let mut solver = Solver::new();
+        solver.assert_term(&tm, goal);
+        let _ = solver.check(&tm);
+        assert!(solver.stats().cnf_vars > 0);
+        assert!(solver.stats().cnf_clauses > 0);
+    }
+
+    #[test]
+    fn conflict_limit_yields_unknown_on_hard_instance() {
+        let mut tm = TermManager::new();
+        // A factoring-flavoured query that needs some search: x*y == large odd
+        // constant with x,y > 1.
+        let x = tm.var("x", Sort::BitVec(20));
+        let y = tm.var("y", Sort::BitVec(20));
+        let p = tm.bv_mul(x, y);
+        let c = tm.bv_const(1048573, 20); // prime
+        let goal = tm.eq(p, c);
+        let one = tm.one(20);
+        let gx = tm.bv_ugt(x, one);
+        let gy = tm.bv_ugt(y, one);
+        let mut solver = Solver::new();
+        solver.assert_term(&tm, goal);
+        solver.assert_term(&tm, gx);
+        solver.assert_term(&tm, gy);
+        solver.set_conflict_limit(Some(3));
+        let r = solver.check(&tm);
+        assert!(matches!(r, SatResult::Unknown | SatResult::Unsat));
+    }
+
+    #[test]
+    #[should_panic(expected = "model requested")]
+    fn model_panics_without_sat() {
+        let tm = TermManager::new();
+        let solver = Solver::new();
+        let _ = solver.model(&tm);
+    }
+
+    #[test]
+    #[should_panic(expected = "assertions must be boolean")]
+    fn asserting_bitvector_panics() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(8));
+        let mut solver = Solver::new();
+        solver.assert_term(&tm, x);
+    }
+}

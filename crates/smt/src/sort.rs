@@ -1,0 +1,122 @@
+//! Term sorts.
+
+use std::fmt;
+
+/// The sort (type) of a term: boolean or a fixed-width bit-vector.
+///
+/// Bit-vector widths are limited to 64 bits, which is sufficient for the
+/// RV32IM semantics used throughout the reproduction (the widest values are
+/// 64-bit products used by `MULH*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sort {
+    /// A boolean proposition.
+    Bool,
+    /// A bit-vector of the given width (1..=64).
+    BitVec(u32),
+}
+
+impl Sort {
+    /// Returns the bit-vector width, or `None` for booleans.
+    pub fn width(self) -> Option<u32> {
+        match self {
+            Sort::Bool => None,
+            Sort::BitVec(w) => Some(w),
+        }
+    }
+
+    /// Returns the bit-vector width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sort is [`Sort::Bool`].
+    pub fn expect_width(self) -> u32 {
+        self.width().expect("expected a bit-vector sort")
+    }
+
+    /// Whether this is a bit-vector sort.
+    pub fn is_bitvec(self) -> bool {
+        matches!(self, Sort::BitVec(_))
+    }
+
+    /// Whether this is the boolean sort.
+    pub fn is_bool(self) -> bool {
+        matches!(self, Sort::Bool)
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Bool => write!(f, "Bool"),
+            Sort::BitVec(w) => write!(f, "BitVec({w})"),
+        }
+    }
+}
+
+/// Masks a value to `width` bits.
+///
+/// Widths of 64 are handled without overflow.
+pub fn mask(value: u64, width: u32) -> u64 {
+    debug_assert!(width >= 1 && width <= 64, "invalid bit-vector width {width}");
+    if width >= 64 {
+        value
+    } else {
+        value & ((1u64 << width) - 1)
+    }
+}
+
+/// Sign-extends a `width`-bit value to 64 bits (as `i64` reinterpreted in `u64`).
+pub fn sign_extend(value: u64, width: u32) -> u64 {
+    debug_assert!(width >= 1 && width <= 64);
+    if width >= 64 {
+        return value;
+    }
+    let sign_bit = 1u64 << (width - 1);
+    if value & sign_bit != 0 {
+        value | !((1u64 << width) - 1)
+    } else {
+        value & ((1u64 << width) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_accessors() {
+        assert_eq!(Sort::Bool.width(), None);
+        assert_eq!(Sort::BitVec(32).width(), Some(32));
+        assert_eq!(Sort::BitVec(7).expect_width(), 7);
+        assert!(Sort::BitVec(1).is_bitvec());
+        assert!(Sort::Bool.is_bool());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a bit-vector sort")]
+    fn expect_width_panics_on_bool() {
+        Sort::Bool.expect_width();
+    }
+
+    #[test]
+    fn masking() {
+        assert_eq!(mask(0x1ff, 8), 0xff);
+        assert_eq!(mask(u64::MAX, 64), u64::MAX);
+        assert_eq!(mask(0b1010, 3), 0b010);
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(sign_extend(0x80, 8), 0xffff_ffff_ffff_ff80);
+        assert_eq!(sign_extend(0x7f, 8), 0x7f);
+        assert_eq!(sign_extend(0xfff, 12), u64::MAX & !0xfff | 0xfff);
+        assert_eq!(sign_extend(1, 1), u64::MAX);
+        assert_eq!(sign_extend(0, 1), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Sort::Bool.to_string(), "Bool");
+        assert_eq!(Sort::BitVec(12).to_string(), "BitVec(12)");
+    }
+}

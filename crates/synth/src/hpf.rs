@@ -1,0 +1,230 @@
+//! HPF-CEGIS: CEGIS based on the highest-priority-first algorithm
+//! (Algorithm 1 of the paper).
+//!
+//! Every component carries a *choice weight* `c_j` and an *exclusion weight*
+//! `e_j`.  Multisets are ranked by
+//!
+//! ```text
+//! priority = Σ_j (c_j − α·χ_j) / Σ_j e_j
+//! ```
+//!
+//! where `χ_j` is 1 when component `j` has the same name as the original
+//! instruction (to minimise data-path overlap between the original
+//! instruction and its equivalent program).  After each CEGIS call the
+//! weights of the attempted multiset's components are updated: choice weights
+//! grow on success, exclusion weights grow on failure, steering the search
+//! towards components that synthesize well for the current specification.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::cegis::{CegisEngine, CegisOutcome, SynthesisConfig};
+use crate::component::Component;
+use crate::library::Library;
+use crate::spec::Spec;
+use crate::SynthesisResult;
+
+/// Per-component priority weights `[c_j, e_j]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Weights {
+    /// Choice weight (higher ⇒ higher priority).
+    pub choice: u64,
+    /// Exclusion weight (higher ⇒ lower priority).
+    pub exclusion: u64,
+}
+
+/// The HPF-CEGIS driver.
+#[derive(Debug, Clone)]
+pub struct HpfCegis {
+    config: SynthesisConfig,
+    library: Library,
+    weights: HashMap<String, Weights>,
+}
+
+impl HpfCegis {
+    /// Creates a driver with all weights initialised to the configured value.
+    pub fn new(config: SynthesisConfig, library: Library) -> Self {
+        let weights = library
+            .components()
+            .iter()
+            .map(|c| {
+                (
+                    c.name.clone(),
+                    Weights { choice: config.initial_weight, exclusion: config.initial_weight },
+                )
+            })
+            .collect();
+        HpfCegis { config, library, weights }
+    }
+
+    /// The current weight of a component (for reports and tests).
+    pub fn weight(&self, name: &str) -> Option<Weights> {
+        self.weights.get(name).copied()
+    }
+
+    /// The priority of a multiset of component indices for a given spec.
+    pub fn priority(&self, multiset: &[usize], spec: &Spec) -> f64 {
+        let mut numerator: f64 = 0.0;
+        let mut denominator: f64 = 0.0;
+        for &idx in multiset {
+            let component = &self.library.components()[idx];
+            let w = self.weights[&component.name];
+            let chi = if component_matches_spec(component, spec) { 1.0 } else { 0.0 };
+            numerator += w.choice as f64 - self.config.alpha as f64 * chi;
+            denominator += w.exclusion as f64;
+        }
+        numerator / denominator.max(1.0)
+    }
+
+    fn bump_choice(&mut self, multiset: &[usize]) {
+        for &idx in multiset {
+            let name = self.library.components()[idx].name.clone();
+            if let Some(w) = self.weights.get_mut(&name) {
+                w.choice += self.config.weight_increment;
+            }
+        }
+    }
+
+    fn bump_exclusion(&mut self, multiset: &[usize]) {
+        for &idx in multiset {
+            let name = self.library.components()[idx].name.clone();
+            if let Some(w) = self.weights.get_mut(&name) {
+                w.exclusion += self.config.weight_increment;
+            }
+        }
+    }
+
+    /// Runs Algorithm 1 for one original instruction.
+    pub fn synthesize(&mut self, spec: &Spec) -> SynthesisResult {
+        let start = Instant::now();
+        let engine = CegisEngine::new(self.config.clone());
+        let mut multisets = self.library.multisets(self.config.multiset_size);
+        let mut programs = Vec::new();
+        let mut tried = 0;
+        let mut successful = 0;
+
+        while !multisets.is_empty() && programs.len() < self.config.programs_wanted {
+            if let Some(limit) = self.config.time_limit {
+                if start.elapsed() > limit {
+                    break;
+                }
+            }
+            // Sort in descending order of priority, then take the best.
+            multisets.sort_by(|a, b| {
+                self.priority(b, spec)
+                    .partial_cmp(&self.priority(a, spec))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let multiset = multisets.remove(0);
+            let components: Vec<&Component> =
+                multiset.iter().map(|&i| &self.library.components()[i]).collect();
+            tried += 1;
+            match engine.synthesize_with_multiset(spec, &components) {
+                CegisOutcome::Program(program) => {
+                    successful += 1;
+                    self.bump_choice(&multiset);
+                    if program.component_names.len() >= self.config.min_components
+                        || self.config.multiset_size < self.config.min_components
+                    {
+                        programs.push(program);
+                    }
+                }
+                CegisOutcome::NoProgram | CegisOutcome::ResourceOut => {
+                    self.bump_exclusion(&multiset);
+                }
+            }
+        }
+
+        SynthesisResult {
+            spec_name: spec.name.clone(),
+            programs,
+            multisets_tried: tried,
+            multisets_successful: successful,
+            duration: start.elapsed(),
+        }
+    }
+}
+
+/// χ_j: does the component share its base operation with the original
+/// instruction?
+pub fn component_matches_spec(component: &Component, spec: &Spec) -> bool {
+    component.base_opcode() == Some(spec.opcode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepe_isa::Opcode;
+    use std::time::Duration;
+
+    fn fast_config() -> SynthesisConfig {
+        SynthesisConfig {
+            width: 8,
+            multiset_size: 3,
+            programs_wanted: 2,
+            min_components: 3,
+            max_cegis_iterations: 8,
+            synth_conflict_limit: Some(20_000),
+            verify_conflict_limit: Some(20_000),
+            time_limit: Some(Duration::from_secs(60)),
+            ..SynthesisConfig::default()
+        }
+    }
+
+    #[test]
+    fn priority_penalises_same_name_components() {
+        let config = fast_config();
+        let lib = Library::standard();
+        let hpf = HpfCegis::new(config, lib.clone());
+        let spec = Spec::for_opcode(Opcode::Add, 8);
+        let add_idx = lib.components().iter().position(|c| c.name == "ADD").unwrap();
+        let sub_idx = lib.components().iter().position(|c| c.name == "SUB").unwrap();
+        let with_add = vec![add_idx, sub_idx, sub_idx];
+        let without_add = vec![sub_idx, sub_idx, sub_idx];
+        assert!(
+            hpf.priority(&without_add, &spec) > hpf.priority(&with_add, &spec),
+            "the paper prefers SUB-only multisets for the ADD specification"
+        );
+    }
+
+    #[test]
+    fn weights_update_after_synthesis() {
+        let config = fast_config();
+        let lib = Library::minimal();
+        let mut hpf = HpfCegis::new(config.clone(), lib);
+        let spec = Spec::for_opcode(Opcode::Sub, 8);
+        let before = hpf.weight("XORI").unwrap();
+        let result = hpf.synthesize(&spec);
+        assert!(result.multisets_tried > 0);
+        let after = hpf.weight("XORI").unwrap();
+        assert!(
+            after.choice > before.choice || after.exclusion > before.exclusion,
+            "weights must move after trying multisets containing XORI"
+        );
+    }
+
+    #[test]
+    fn finds_equivalent_programs_for_sub() {
+        let mut config = fast_config();
+        config.programs_wanted = 1;
+        let mut hpf = HpfCegis::new(config, Library::minimal());
+        let spec = Spec::for_opcode(Opcode::Sub, 8);
+        let result = hpf.synthesize(&spec);
+        assert!(result.succeeded(), "SUB has equivalent programs in the minimal library");
+        let program = result.best().unwrap();
+        assert_eq!(program.for_opcode, Opcode::Sub);
+        assert!(program.len() >= 3);
+        // The program is verified at the synthesis width (8 bits here);
+        // prove the equivalence once more through an independent query.
+        let mut tm = sepe_smt::TermManager::new();
+        let inputs = spec.fresh_inputs(&mut tm, "chk");
+        let prog_out =
+            crate::cegis::template_result_term(&mut tm, program, &spec, &inputs);
+        let spec_out = spec.result(&mut tm, &inputs);
+        let eq = tm.eq(prog_out, spec_out);
+        assert_eq!(
+            sepe_smt::solver::is_valid(&mut tm, eq, None),
+            sepe_smt::SatResult::Sat
+        );
+    }
+}

@@ -1,0 +1,344 @@
+//! Synthesized-program templates.
+//!
+//! A synthesized program is stored as a *template*: a straight-line sequence
+//! of instruction patterns whose register operands are symbolic slots
+//! (original `rs1`/`rs2`, temporaries, destination) and whose immediates are
+//! either constants fixed by synthesis or references to the original
+//! instruction's immediate.  The EDSEP-V transformation in `sepe-sqed`
+//! instantiates the slots with concrete registers from the E/T register sets
+//! (Listing 2 of the paper).
+
+use std::fmt;
+
+use sepe_isa::{exec::ArchState, Instr, Opcode, OperandKind, Reg};
+
+/// A register-operand slot of a template instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Slot {
+    /// The original instruction's first source operand.
+    Rs1,
+    /// The original instruction's second source operand.
+    Rs2,
+    /// The hard-wired zero register.
+    Zero,
+    /// A temporary produced inside the equivalent program.
+    Temp(u8),
+    /// The destination of the whole equivalent program.
+    Dest,
+}
+
+/// An immediate-operand slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImmSlot {
+    /// A constant fixed at synthesis time.
+    Const(i32),
+    /// The original instruction's immediate operand, passed through.
+    FromOriginal,
+}
+
+/// One instruction of an equivalent-program template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TemplateInstr {
+    /// The opcode.
+    pub opcode: Opcode,
+    /// Where the result goes.
+    pub dest: Slot,
+    /// First source operand.
+    pub src1: Slot,
+    /// Second source operand (R-type only).
+    pub src2: Slot,
+    /// Immediate operand (I-type / shifts / LUI only).
+    pub imm: ImmSlot,
+}
+
+/// A program semantically equivalent to one original instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivTemplate {
+    /// The opcode of the original instruction this template replaces.
+    pub for_opcode: Opcode,
+    /// The instruction sequence; the last instruction writes [`Slot::Dest`].
+    pub instrs: Vec<TemplateInstr>,
+    /// Names of the library components the program was assembled from
+    /// (useful for reports and the HPF priority bookkeeping).
+    pub component_names: Vec<String>,
+}
+
+impl EquivTemplate {
+    /// Number of instructions in the template.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the template is empty (never true for valid templates).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The number of distinct temporaries used.
+    pub fn temps_used(&self) -> usize {
+        let mut temps: Vec<u8> = self
+            .instrs
+            .iter()
+            .flat_map(|i| [i.dest, i.src1, i.src2])
+            .filter_map(|s| match s {
+                Slot::Temp(t) => Some(t),
+                _ => None,
+            })
+            .collect();
+        temps.sort_unstable();
+        temps.dedup();
+        temps.len()
+    }
+
+    /// Whether the template ever uses the original instruction's immediate.
+    pub fn uses_original_imm(&self) -> bool {
+        self.instrs.iter().any(|i| {
+            i.imm == ImmSlot::FromOriginal
+                && !matches!(i.opcode.operand_kind(), OperandKind::RegReg)
+        })
+    }
+
+    /// Instantiates the template with concrete registers and the original
+    /// instruction's immediate, producing executable instructions.
+    ///
+    /// `temp_regs` must provide at least [`temps_used`](Self::temps_used)
+    /// registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if too few temporary registers are supplied, or if a constant
+    /// immediate is out of range for its instruction format.
+    pub fn instantiate(
+        &self,
+        rs1: Reg,
+        rs2: Reg,
+        dest: Reg,
+        temp_regs: &[Reg],
+        original_imm: i32,
+    ) -> Vec<Instr> {
+        let resolve = |slot: Slot| -> Reg {
+            match slot {
+                Slot::Rs1 => rs1,
+                Slot::Rs2 => rs2,
+                Slot::Zero => Reg::ZERO,
+                Slot::Dest => dest,
+                Slot::Temp(t) => {
+                    *temp_regs.get(t as usize).expect("not enough temporary registers")
+                }
+            }
+        };
+        self.instrs
+            .iter()
+            .map(|ti| {
+                let imm = match ti.imm {
+                    ImmSlot::Const(c) => c,
+                    ImmSlot::FromOriginal => original_imm,
+                };
+                match ti.opcode.operand_kind() {
+                    OperandKind::RegReg => {
+                        Instr::reg_reg(ti.opcode, resolve(ti.dest), resolve(ti.src1), resolve(ti.src2))
+                    }
+                    OperandKind::RegImm | OperandKind::RegShamt => {
+                        Instr::new(ti.opcode, resolve(ti.dest), resolve(ti.src1), Reg::ZERO, imm)
+                    }
+                    OperandKind::Upper => Instr::lui(resolve(ti.dest), imm),
+                    OperandKind::Load | OperandKind::Store => {
+                        unreachable!("memory instructions never appear in equivalence templates")
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Executes the template concretely on the architectural golden model and
+    /// returns the destination value, for differential validation against the
+    /// original instruction.
+    pub fn evaluate(&self, rs1_value: u32, rs2_value: u32, original_imm: i32) -> u32 {
+        // Fixed register convention for evaluation only.
+        let rs1 = Reg(1);
+        let rs2 = Reg(2);
+        let dest = Reg(3);
+        let temps: Vec<Reg> = (4..12).map(Reg).collect();
+        let instrs = self.instantiate(rs1, rs2, dest, &temps, original_imm);
+        let mut state = ArchState::new();
+        state.set_reg(rs1, rs1_value);
+        state.set_reg(rs2, rs2_value);
+        state.run(&instrs);
+        state.reg(dest)
+    }
+
+    /// Checks on random operand values that the template agrees with the
+    /// original instruction's RV32 semantics.  Returns the number of failing
+    /// samples (0 means the differential check passed).
+    ///
+    /// Note: this check runs at 32 bits.  Templates synthesized at a reduced
+    /// width are only verified at that width and may legitimately fail here
+    /// (shift-based identities do not always generalise across widths); the
+    /// curated equivalence database and the default synthesis configuration
+    /// work at 32 bits, where this check is authoritative.
+    pub fn differential_check(&self, original_imm: i32, samples: u32, seed: u64) -> u32 {
+        use sepe_isa::exec::alu_value;
+        let mut failures = 0;
+        let mut x = seed | 1;
+        let mut next = || {
+            // xorshift64*
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 32) as u32
+        };
+        for _ in 0..samples {
+            let a = next();
+            let b = next();
+            let expected = match self.for_opcode.operand_kind() {
+                OperandKind::RegReg => alu_value(self.for_opcode, a, b),
+                OperandKind::RegImm | OperandKind::RegShamt => {
+                    alu_value(self.for_opcode, a, original_imm as u32)
+                }
+                OperandKind::Upper => (original_imm as u32) << 12,
+                _ => continue,
+            };
+            if self.evaluate(a, b, original_imm) != expected {
+                failures += 1;
+            }
+        }
+        failures
+    }
+}
+
+impl fmt::Display for EquivTemplate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; equivalent program for {}", self.for_opcode)?;
+        for i in &self.instrs {
+            let slot = |s: Slot| match s {
+                Slot::Rs1 => "rs1".to_string(),
+                Slot::Rs2 => "rs2".to_string(),
+                Slot::Zero => "x0".to_string(),
+                Slot::Dest => "rd".to_string(),
+                Slot::Temp(t) => format!("t{t}"),
+            };
+            match i.opcode.operand_kind() {
+                OperandKind::RegReg => writeln!(
+                    f,
+                    "{} {}, {}, {}",
+                    i.opcode,
+                    slot(i.dest),
+                    slot(i.src1),
+                    slot(i.src2)
+                )?,
+                _ => {
+                    let imm = match i.imm {
+                        ImmSlot::Const(c) => format!("{c}"),
+                        ImmSlot::FromOriginal => "<imm>".to_string(),
+                    };
+                    writeln!(f, "{} {}, {}, {}", i.opcode, slot(i.dest), slot(i.src1), imm)?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The paper's Listing-1 template: `SUB rd, rs1, rs2` is equivalent to
+/// `XORI t1, rs1, -1 ; ADD t2, t1, rs2 ; XORI rd, t2, -1`.
+pub fn listing1_sub_template() -> EquivTemplate {
+    EquivTemplate {
+        for_opcode: Opcode::Sub,
+        instrs: vec![
+            TemplateInstr {
+                opcode: Opcode::Xori,
+                dest: Slot::Temp(0),
+                src1: Slot::Rs1,
+                src2: Slot::Zero,
+                imm: ImmSlot::Const(-1),
+            },
+            TemplateInstr {
+                opcode: Opcode::Add,
+                dest: Slot::Temp(1),
+                src1: Slot::Temp(0),
+                src2: Slot::Rs2,
+                imm: ImmSlot::Const(0),
+            },
+            TemplateInstr {
+                opcode: Opcode::Xori,
+                dest: Slot::Dest,
+                src1: Slot::Temp(1),
+                src2: Slot::Zero,
+                imm: ImmSlot::Const(-1),
+            },
+        ],
+        component_names: vec!["XORI".into(), "ADD".into(), "XORI".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing1_template_is_equivalent_to_sub() {
+        let t = listing1_sub_template();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.temps_used(), 2);
+        assert!(!t.uses_original_imm());
+        assert_eq!(t.differential_check(0, 200, 0xfeed), 0);
+        assert_eq!(t.evaluate(10, 3, 0), 7);
+        assert_eq!(t.evaluate(3, 10, 0), (3u32).wrapping_sub(10));
+    }
+
+    #[test]
+    fn instantiate_maps_slots_to_registers_like_listing2() {
+        let t = listing1_sub_template();
+        // Listing 2: rs1 -> regs[15], rs2 -> regs[16], rd -> regs[14],
+        // temps -> regs[26], regs[27]
+        let instrs = t.instantiate(Reg(15), Reg(16), Reg(14), &[Reg(26), Reg(27)], 0);
+        assert_eq!(instrs[0].to_string(), "xori x26, x15, -1");
+        assert_eq!(instrs[1].to_string(), "add x27, x26, x16");
+        assert_eq!(instrs[2].to_string(), "xori x14, x27, -1");
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough temporary registers")]
+    fn instantiate_panics_without_enough_temps() {
+        listing1_sub_template().instantiate(Reg(1), Reg(2), Reg(3), &[Reg(4)], 0);
+    }
+
+    #[test]
+    fn from_original_imm_passthrough() {
+        // XORI rd rs1 imm == XOR of rs1 with materialised imm via ORI trick is
+        // not generally true; use a trivial passthrough template instead:
+        // ADDI t0, x0, <imm>; XOR rd, rs1, t0 is equivalent to XORI rd rs1 imm.
+        let t = EquivTemplate {
+            for_opcode: Opcode::Xori,
+            instrs: vec![
+                TemplateInstr {
+                    opcode: Opcode::Addi,
+                    dest: Slot::Temp(0),
+                    src1: Slot::Zero,
+                    src2: Slot::Zero,
+                    imm: ImmSlot::FromOriginal,
+                },
+                TemplateInstr {
+                    opcode: Opcode::Xor,
+                    dest: Slot::Dest,
+                    src1: Slot::Rs1,
+                    src2: Slot::Temp(0),
+                    imm: ImmSlot::Const(0),
+                },
+            ],
+            component_names: vec!["ADDI".into(), "XOR".into()],
+        };
+        assert!(t.uses_original_imm());
+        for imm in [-1, 0, 5, -2048, 2047] {
+            assert_eq!(t.differential_check(imm, 100, 7), 0, "failed for imm={imm}");
+        }
+    }
+
+    #[test]
+    fn display_renders_the_program() {
+        let s = listing1_sub_template().to_string();
+        assert!(s.contains("xori t0, rs1, -1"));
+        assert!(s.contains("add t1, t0, rs2"));
+        assert!(s.contains("xori rd, t1, -1"));
+    }
+}

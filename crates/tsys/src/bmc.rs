@@ -1,0 +1,400 @@
+//! The bounded model checker.
+
+use std::time::{Duration, Instant};
+
+use sepe_smt::{Model, SatResult, Solver, TermManager};
+
+use crate::ts::TransitionSystem;
+use crate::unroll::Unroller;
+use crate::witness::{Frame, Witness};
+
+/// How the checker explores depths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BmcMode {
+    /// One SAT query per depth; the first counterexample found is a shortest
+    /// one.
+    #[default]
+    PerDepth,
+    /// A single SAT query at the maximum bound with the bad states of every
+    /// depth disjoined.  Usually much faster when a counterexample exists;
+    /// the returned witness is truncated to the earliest violating frame, so
+    /// counterexample lengths still match the per-depth mode.
+    Cumulative,
+}
+
+/// Configuration of a BMC run.
+#[derive(Debug, Clone, Copy)]
+pub struct BmcConfig {
+    /// Conflict budget per SAT call (`None` = unlimited).
+    pub conflict_limit: Option<u64>,
+    /// Wall-clock budget for the whole run (`None` = unlimited).  When the
+    /// budget is exhausted the check returns [`BmcResult::Unknown`].
+    pub time_limit: Option<Duration>,
+    /// First depth to check (0 checks the initial state itself).
+    pub start_bound: usize,
+    /// Depth-exploration strategy.
+    pub mode: BmcMode,
+}
+
+impl Default for BmcConfig {
+    fn default() -> Self {
+        BmcConfig {
+            conflict_limit: None,
+            time_limit: None,
+            start_bound: 0,
+            mode: BmcMode::PerDepth,
+        }
+    }
+}
+
+/// Statistics of a BMC run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BmcStats {
+    /// Number of SAT queries issued.
+    pub queries: u64,
+    /// Total SAT conflicts over all queries.
+    pub conflicts: u64,
+    /// Total wall-clock time.
+    pub duration: Duration,
+    /// Deepest bound that was fully checked (or at which a counterexample was
+    /// found).
+    pub deepest_bound: usize,
+}
+
+/// Outcome of a BMC run.
+#[derive(Debug, Clone)]
+pub enum BmcResult {
+    /// A counterexample reaching a bad state was found.
+    Counterexample(Witness),
+    /// No bad state is reachable within the bound.
+    NoCounterexample {
+        /// The bound that was exhaustively checked.
+        bound: usize,
+    },
+    /// The resource budget ran out at the given bound.
+    Unknown {
+        /// The bound being checked when the budget ran out.
+        bound: usize,
+    },
+}
+
+impl BmcResult {
+    /// Whether a counterexample was found.
+    pub fn is_counterexample(&self) -> bool {
+        matches!(self, BmcResult::Counterexample(_))
+    }
+
+    /// The witness, if a counterexample was found.
+    pub fn witness(&self) -> Option<&Witness> {
+        match self {
+            BmcResult::Counterexample(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// The bounded model checker.
+#[derive(Debug, Clone, Default)]
+pub struct Bmc {
+    config: BmcConfig,
+    stats: BmcStats,
+}
+
+impl Bmc {
+    /// Creates a checker with the given configuration.
+    pub fn new(config: BmcConfig) -> Self {
+        Bmc { config, stats: BmcStats::default() }
+    }
+
+    /// Statistics of the most recent [`check`](Self::check) call.
+    pub fn stats(&self) -> BmcStats {
+        self.stats
+    }
+
+    /// Checks whether any bad state of `ts` is reachable within `max_bound`
+    /// transition steps, searching depth by depth so that the first
+    /// counterexample found is a shortest one.
+    pub fn check(
+        &mut self,
+        tm: &mut TermManager,
+        ts: &TransitionSystem,
+        max_bound: usize,
+    ) -> BmcResult {
+        match self.config.mode {
+            BmcMode::PerDepth => self.check_per_depth(tm, ts, max_bound),
+            BmcMode::Cumulative => self.check_cumulative(tm, ts, max_bound),
+        }
+    }
+
+    fn check_per_depth(
+        &mut self,
+        tm: &mut TermManager,
+        ts: &TransitionSystem,
+        max_bound: usize,
+    ) -> BmcResult {
+        let start = Instant::now();
+        self.stats = BmcStats::default();
+        let mut unroller = Unroller::new(ts);
+
+        // Path constraints accumulated across depths so that each depth only
+        // adds the new frame's transition and constraints.
+        let mut path: Vec<sepe_smt::TermId> = vec![unroller.init(tm)];
+        path.push(unroller.constraints_at(tm, 0));
+
+        for bound in self.config.start_bound..=max_bound {
+            while path.len() < bound + 2 {
+                // path[k+1] covers transition k->k+1 plus constraints at k+1
+                let k = path.len() - 2;
+                let tr = unroller.transition(tm, k);
+                let cs = unroller.constraints_at(tm, k + 1);
+                let both = tm.and(tr, cs);
+                path.push(both);
+            }
+            if let Some(limit) = self.config.time_limit {
+                if start.elapsed() > limit {
+                    self.stats.duration = start.elapsed();
+                    return BmcResult::Unknown { bound };
+                }
+            }
+            let bad = unroller.bad_at(tm, bound);
+            let mut solver = Solver::new();
+            solver.set_conflict_limit(self.config.conflict_limit);
+            for &p in path.iter().take(bound + 2) {
+                solver.assert_term(tm, p);
+            }
+            solver.assert_term(tm, bad);
+            let result = solver.check(tm);
+            self.stats.queries += 1;
+            self.stats.conflicts += solver.stats().conflicts;
+            self.stats.deepest_bound = bound;
+            match result {
+                SatResult::Sat => {
+                    let witness =
+                        extract_witness(tm, ts, &mut unroller, solver.model(tm), bound);
+                    self.stats.duration = start.elapsed();
+                    return BmcResult::Counterexample(witness);
+                }
+                SatResult::Unsat => {}
+                SatResult::Unknown => {
+                    self.stats.duration = start.elapsed();
+                    return BmcResult::Unknown { bound };
+                }
+            }
+        }
+        self.stats.duration = start.elapsed();
+        BmcResult::NoCounterexample { bound: max_bound }
+    }
+
+    fn check_cumulative(
+        &mut self,
+        tm: &mut TermManager,
+        ts: &TransitionSystem,
+        max_bound: usize,
+    ) -> BmcResult {
+        let start = Instant::now();
+        self.stats = BmcStats::default();
+        let mut unroller = Unroller::new(ts);
+
+        let mut solver = Solver::new();
+        solver.set_conflict_limit(self.config.conflict_limit);
+        let init = unroller.init(tm);
+        solver.assert_term(tm, init);
+        let c0 = unroller.constraints_at(tm, 0);
+        solver.assert_term(tm, c0);
+        let mut bads = Vec::new();
+        for k in 0..max_bound {
+            let tr = unroller.transition(tm, k);
+            solver.assert_term(tm, tr);
+            let cs = unroller.constraints_at(tm, k + 1);
+            solver.assert_term(tm, cs);
+        }
+        let mut any_bad = tm.fls();
+        for k in self.config.start_bound..=max_bound {
+            let bad = unroller.bad_at(tm, k);
+            bads.push((k, bad));
+            any_bad = tm.or(any_bad, bad);
+        }
+        solver.assert_term(tm, any_bad);
+        let outcome = solver.check(tm);
+        self.stats.queries = 1;
+        self.stats.conflicts = solver.stats().conflicts;
+        self.stats.deepest_bound = max_bound;
+        let result = match outcome {
+            SatResult::Sat => {
+                let model = solver.model(tm).clone();
+                // the earliest violated depth gives the counterexample length
+                let violated = bads
+                    .iter()
+                    .find(|(_, bad)| model.eval(tm, *bad) == 1)
+                    .map(|(k, _)| *k)
+                    .unwrap_or(max_bound);
+                self.stats.deepest_bound = violated;
+                let witness = extract_witness(tm, ts, &mut unroller, &model, violated);
+                BmcResult::Counterexample(witness)
+            }
+            SatResult::Unsat => BmcResult::NoCounterexample { bound: max_bound },
+            SatResult::Unknown => BmcResult::Unknown { bound: max_bound },
+        };
+        self.stats.duration = start.elapsed();
+        result
+    }
+}
+
+fn extract_witness(
+    tm: &mut TermManager,
+    ts: &TransitionSystem,
+    unroller: &mut Unroller<'_>,
+    model: &Model,
+    bound: usize,
+) -> Witness {
+    let mut frames = Vec::with_capacity(bound + 1);
+    for k in 0..=bound {
+        let mut frame = Frame::default();
+        for sv in ts.state_vars() {
+            let name = tm.var_name(sv.current).expect("state vars are variables").to_string();
+            let at = unroller.var_at(tm, sv.current, k);
+            frame.states.insert(name, model.eval(tm, at));
+        }
+        for &input in ts.inputs() {
+            let name = tm.var_name(input).expect("inputs are variables").to_string();
+            let at = unroller.var_at(tm, input, k);
+            frame.inputs.insert(name, model.eval(tm, at));
+        }
+        frames.push(frame);
+    }
+    Witness::new(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepe_smt::Sort;
+    use std::collections::HashMap;
+
+    /// Counter with symbolic increment input; bad state: counter == target.
+    fn counter_system(
+        tm: &mut TermManager,
+        width: u32,
+        target: u64,
+        constrain_inc_to_one: bool,
+    ) -> TransitionSystem {
+        let c = tm.var("count", Sort::BitVec(width));
+        let inc = tm.var("inc", Sort::BitVec(width));
+        let next = tm.bv_add(c, inc);
+        let zero = tm.zero(width);
+        let tgt = tm.bv_const(target, width);
+        let bad = tm.eq(c, tgt);
+        let mut ts = TransitionSystem::new();
+        ts.add_state_var(tm, c, Some(zero), next);
+        ts.add_input(tm, inc);
+        ts.add_bad(bad);
+        if constrain_inc_to_one {
+            let one = tm.one(width);
+            let c1 = tm.eq(inc, one);
+            ts.add_constraint(c1);
+        }
+        ts
+    }
+
+    #[test]
+    fn finds_shortest_counterexample_with_free_inputs() {
+        let mut tm = TermManager::new();
+        let ts = counter_system(&mut tm, 8, 200, false);
+        let mut bmc = Bmc::new(BmcConfig::default());
+        // with a free increment the counter can jump to 200 in one step
+        match bmc.check(&mut tm, &ts, 10) {
+            BmcResult::Counterexample(w) => {
+                assert_eq!(w.num_steps(), 1);
+                assert_eq!(w.last().state("count"), 200);
+                assert_eq!(w.frame(0).input("inc"), 200);
+            }
+            other => panic!("expected a counterexample, got {other:?}"),
+        }
+        assert!(bmc.stats().queries >= 1);
+    }
+
+    #[test]
+    fn respects_constraints_when_searching() {
+        let mut tm = TermManager::new();
+        let ts = counter_system(&mut tm, 8, 5, true);
+        let mut bmc = Bmc::new(BmcConfig::default());
+        // increments constrained to one: needs exactly 5 steps
+        match bmc.check(&mut tm, &ts, 10) {
+            BmcResult::Counterexample(w) => {
+                assert_eq!(w.num_steps(), 5);
+                let counts: Vec<u64> = w.frames().iter().map(|f| f.state("count")).collect();
+                assert_eq!(counts, vec![0, 1, 2, 3, 4, 5]);
+            }
+            other => panic!("expected a counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_no_counterexample_when_unreachable_within_bound() {
+        let mut tm = TermManager::new();
+        let ts = counter_system(&mut tm, 8, 50, true);
+        let mut bmc = Bmc::new(BmcConfig::default());
+        match bmc.check(&mut tm, &ts, 10) {
+            BmcResult::NoCounterexample { bound } => assert_eq!(bound, 10),
+            other => panic!("expected no counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn witness_replays_on_the_concrete_simulator() {
+        let mut tm = TermManager::new();
+        let ts = counter_system(&mut tm, 8, 42, false);
+        let mut bmc = Bmc::new(BmcConfig::default());
+        let witness = match bmc.check(&mut tm, &ts, 10) {
+            BmcResult::Counterexample(w) => w,
+            other => panic!("expected a counterexample, got {other:?}"),
+        };
+        // replay the witness inputs through TransitionSystem::simulate
+        let inc = tm.find_var("inc").expect("input exists");
+        let count = tm.find_var("count").expect("state exists");
+        let inputs: Vec<HashMap<_, _>> = witness.frames()[..witness.num_steps()]
+            .iter()
+            .map(|f| HashMap::from([(inc, f.input("inc"))]))
+            .collect();
+        let trace = ts.simulate(&tm, &inputs);
+        assert_eq!(trace.last().expect("trace non-empty")[&count], 42);
+    }
+
+    #[test]
+    fn zero_bound_checks_the_initial_state() {
+        let mut tm = TermManager::new();
+        // bad state: count == 0 (true initially)
+        let ts = counter_system(&mut tm, 8, 0, true);
+        let mut bmc = Bmc::new(BmcConfig::default());
+        match bmc.check(&mut tm, &ts, 4) {
+            BmcResult::Counterexample(w) => assert_eq!(w.num_steps(), 0),
+            other => panic!("expected an immediate counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_on_tiny_conflict_budget() {
+        let mut tm = TermManager::new();
+        // a harder target at 16 bits with constrained increments of exactly 3
+        let c = tm.var("count", Sort::BitVec(16));
+        let inc = tm.var("inc", Sort::BitVec(16));
+        let prod = tm.bv_mul(c, inc);
+        let next = tm.bv_add(prod, inc);
+        let one = tm.one(16);
+        let tgt = tm.bv_const(0x8d2b, 16);
+        let bad = tm.eq(c, tgt);
+        let mut ts = TransitionSystem::new();
+        ts.add_state_var(&tm, c, Some(one), next);
+        ts.add_input(&tm, inc);
+        ts.add_bad(bad);
+        let mut bmc = Bmc::new(BmcConfig {
+            conflict_limit: Some(1),
+            ..BmcConfig::default()
+        });
+        let result = bmc.check(&mut tm, &ts, 6);
+        assert!(
+            matches!(result, BmcResult::Unknown { .. } | BmcResult::Counterexample(_)),
+            "tiny budgets either give up or get lucky, got {result:?}"
+        );
+    }
+}

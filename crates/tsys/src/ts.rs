@@ -1,0 +1,202 @@
+//! The transition-system IR.
+
+use std::collections::HashMap;
+
+use sepe_smt::{concrete, TermId, TermManager};
+
+/// One state variable: its current-state term (a variable), an optional
+/// initial value and its next-state function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateVar {
+    /// The current-state variable term.
+    pub current: TermId,
+    /// Initial-state value (a term over constants and other current-state
+    /// variables); `None` leaves the initial value unconstrained.
+    pub init: Option<TermId>,
+    /// Next-state function (a term over current-state variables and inputs).
+    pub next: TermId,
+}
+
+/// A word-level transition system (the BTOR2-like IR of the reproduction).
+#[derive(Debug, Clone, Default)]
+pub struct TransitionSystem {
+    state_vars: Vec<StateVar>,
+    inputs: Vec<TermId>,
+    constraints: Vec<TermId>,
+    bad: Vec<TermId>,
+}
+
+impl TransitionSystem {
+    /// Creates an empty system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a state variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `current` is not a variable term, or if the sorts of
+    /// `current`, `init` and `next` disagree.
+    pub fn add_state_var(
+        &mut self,
+        tm: &TermManager,
+        current: TermId,
+        init: Option<TermId>,
+        next: TermId,
+    ) -> StateVar {
+        assert!(
+            tm.var_name(current).is_some(),
+            "state variables must be variable terms"
+        );
+        assert_eq!(tm.sort(current), tm.sort(next), "next-state sort mismatch");
+        if let Some(init) = init {
+            assert_eq!(tm.sort(current), tm.sort(init), "init sort mismatch");
+        }
+        let sv = StateVar { current, init, next };
+        self.state_vars.push(sv);
+        sv
+    }
+
+    /// Registers an input variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is not a variable term.
+    pub fn add_input(&mut self, tm: &TermManager, input: TermId) {
+        assert!(tm.var_name(input).is_some(), "inputs must be variable terms");
+        self.inputs.push(input);
+    }
+
+    /// Adds an invariant constraint (assumed to hold in every frame).
+    pub fn add_constraint(&mut self, constraint: TermId) {
+        self.constraints.push(constraint);
+    }
+
+    /// Adds a bad-state property (the BMC target).
+    pub fn add_bad(&mut self, bad: TermId) {
+        self.bad.push(bad);
+    }
+
+    /// The registered state variables.
+    pub fn state_vars(&self) -> &[StateVar] {
+        &self.state_vars
+    }
+
+    /// The registered inputs.
+    pub fn inputs(&self) -> &[TermId] {
+        &self.inputs
+    }
+
+    /// The invariant constraints.
+    pub fn constraints(&self) -> &[TermId] {
+        &self.constraints
+    }
+
+    /// The bad-state properties.
+    pub fn bad_states(&self) -> &[TermId] {
+        &self.bad
+    }
+
+    /// Looks up a state variable by its variable name.
+    pub fn find_state(&self, tm: &TermManager, name: &str) -> Option<StateVar> {
+        self.state_vars
+            .iter()
+            .copied()
+            .find(|sv| tm.var_name(sv.current) == Some(name))
+    }
+
+    /// Concretely simulates the system for `inputs_per_frame.len()` steps.
+    ///
+    /// Returns, for each frame, the value of every state variable *before*
+    /// that frame's transition (frame 0 holds the initial state), plus one
+    /// final post-state entry.  Unconstrained initial values and unspecified
+    /// inputs default to zero.  This is used to replay BMC witnesses on an
+    /// independent path.
+    pub fn simulate(
+        &self,
+        tm: &TermManager,
+        inputs_per_frame: &[HashMap<TermId, u64>],
+    ) -> Vec<HashMap<TermId, u64>> {
+        let mut state: HashMap<TermId, u64> = HashMap::new();
+        for sv in &self.state_vars {
+            let v = sv.init.map(|t| concrete::eval(tm, t, &HashMap::new())).unwrap_or(0);
+            state.insert(sv.current, v);
+        }
+        let mut trace = vec![state.clone()];
+        for frame_inputs in inputs_per_frame {
+            let mut env = state.clone();
+            for (&k, &v) in frame_inputs {
+                env.insert(k, v);
+            }
+            let mut next_state = HashMap::new();
+            for sv in &self.state_vars {
+                next_state.insert(sv.current, concrete::eval(tm, sv.next, &env));
+            }
+            state = next_state;
+            trace.push(state.clone());
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepe_smt::Sort;
+
+    #[test]
+    fn builds_and_queries_a_counter() {
+        let mut tm = TermManager::new();
+        let c = tm.var("count", Sort::BitVec(4));
+        let inc = tm.var("inc", Sort::BitVec(4));
+        let next = tm.bv_add(c, inc);
+        let zero = tm.zero(4);
+        let mut ts = TransitionSystem::new();
+        ts.add_state_var(&tm, c, Some(zero), next);
+        ts.add_input(&tm, inc);
+        assert_eq!(ts.state_vars().len(), 1);
+        assert_eq!(ts.inputs().len(), 1);
+        assert_eq!(ts.find_state(&tm, "count").map(|s| s.current), Some(c));
+        assert!(ts.find_state(&tm, "missing").is_none());
+    }
+
+    #[test]
+    fn simulate_follows_next_functions() {
+        let mut tm = TermManager::new();
+        let c = tm.var("count", Sort::BitVec(8));
+        let inc = tm.var("inc", Sort::BitVec(8));
+        let next = tm.bv_add(c, inc);
+        let five = tm.bv_const(5, 8);
+        let mut ts = TransitionSystem::new();
+        ts.add_state_var(&tm, c, Some(five), next);
+        ts.add_input(&tm, inc);
+        let frames = vec![
+            HashMap::from([(inc, 1u64)]),
+            HashMap::from([(inc, 2u64)]),
+            HashMap::from([(inc, 3u64)]),
+        ];
+        let trace = ts.simulate(&tm, &frames);
+        let values: Vec<u64> = trace.iter().map(|s| s[&c]).collect();
+        assert_eq!(values, vec![5, 6, 8, 11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "state variables must be variable terms")]
+    fn non_variable_state_panics() {
+        let mut tm = TermManager::new();
+        let c = tm.bv_const(3, 4);
+        let mut ts = TransitionSystem::new();
+        ts.add_state_var(&tm, c, None, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "next-state sort mismatch")]
+    fn sort_mismatch_panics() {
+        let mut tm = TermManager::new();
+        let c = tm.var("c", Sort::BitVec(4));
+        let n = tm.zero(8);
+        let mut ts = TransitionSystem::new();
+        ts.add_state_var(&tm, c, None, n);
+    }
+}

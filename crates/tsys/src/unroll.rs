@@ -1,0 +1,163 @@
+//! Frame unrolling of transition systems.
+
+use std::collections::HashMap;
+
+use sepe_smt::{subst, TermId, TermManager};
+
+use crate::ts::TransitionSystem;
+
+/// Unrolls a [`TransitionSystem`] into per-frame copies of its variables.
+///
+/// Frame `k` has one fresh variable per state variable and per input, named
+/// `<original>@<k>`.  The unroller produces the standard BMC constraints:
+///
+/// * `init`: frame-0 state variables equal their initial values,
+/// * `transition(k)`: frame-`k+1` state variables equal the next-state
+///   functions evaluated over frame `k`,
+/// * `constraint(k)` / `bad(k)`: the invariant constraints and bad-state
+///   properties instantiated at frame `k`.
+#[derive(Debug)]
+pub struct Unroller<'a> {
+    ts: &'a TransitionSystem,
+    /// frame -> (original var -> frame var)
+    frame_maps: Vec<HashMap<TermId, TermId>>,
+}
+
+impl<'a> Unroller<'a> {
+    /// Creates an unroller for `ts`.
+    pub fn new(ts: &'a TransitionSystem) -> Self {
+        Unroller { ts, frame_maps: Vec::new() }
+    }
+
+    /// Ensures frame `k` variables exist and returns the substitution map of
+    /// that frame.
+    pub fn frame_map(&mut self, tm: &mut TermManager, k: usize) -> &HashMap<TermId, TermId> {
+        while self.frame_maps.len() <= k {
+            let frame = self.frame_maps.len();
+            let mut map = HashMap::new();
+            for sv in self.ts.state_vars() {
+                let name = tm.var_name(sv.current).expect("state vars are variables").to_string();
+                let fresh = tm.var(&format!("{name}@{frame}"), tm.sort(sv.current));
+                map.insert(sv.current, fresh);
+            }
+            for &input in self.ts.inputs() {
+                let name = tm.var_name(input).expect("inputs are variables").to_string();
+                let fresh = tm.var(&format!("{name}@{frame}"), tm.sort(input));
+                map.insert(input, fresh);
+            }
+            self.frame_maps.push(map);
+        }
+        &self.frame_maps[k]
+    }
+
+    /// The frame-`k` copy of an original state/input variable.
+    pub fn var_at(&mut self, tm: &mut TermManager, original: TermId, k: usize) -> TermId {
+        self.frame_map(tm, k)[&original]
+    }
+
+    /// Instantiates an arbitrary term (over current-state vars and inputs) at
+    /// frame `k`.
+    pub fn term_at(&mut self, tm: &mut TermManager, term: TermId, k: usize) -> TermId {
+        let map = self.frame_map(tm, k).clone();
+        subst::substitute_once(tm, term, &map)
+    }
+
+    /// The conjunction of frame-0 initial-state equalities.
+    pub fn init(&mut self, tm: &mut TermManager) -> TermId {
+        let mut conj = tm.tru();
+        let state_vars: Vec<_> = self.ts.state_vars().to_vec();
+        for sv in state_vars {
+            if let Some(init) = sv.init {
+                let lhs = self.var_at(tm, sv.current, 0);
+                let rhs = self.term_at(tm, init, 0);
+                let eq = tm.eq(lhs, rhs);
+                conj = tm.and(conj, eq);
+            }
+        }
+        conj
+    }
+
+    /// The transition relation between frame `k` and frame `k + 1`.
+    pub fn transition(&mut self, tm: &mut TermManager, k: usize) -> TermId {
+        let mut conj = tm.tru();
+        let state_vars: Vec<_> = self.ts.state_vars().to_vec();
+        for sv in state_vars {
+            let lhs = self.var_at(tm, sv.current, k + 1);
+            let rhs = self.term_at(tm, sv.next, k);
+            let eq = tm.eq(lhs, rhs);
+            conj = tm.and(conj, eq);
+        }
+        conj
+    }
+
+    /// The conjunction of invariant constraints at frame `k`.
+    pub fn constraints_at(&mut self, tm: &mut TermManager, k: usize) -> TermId {
+        let cs: Vec<_> = self.ts.constraints().to_vec();
+        let mut conj = tm.tru();
+        for c in cs {
+            let at = self.term_at(tm, c, k);
+            conj = tm.and(conj, at);
+        }
+        conj
+    }
+
+    /// The disjunction of bad-state properties at frame `k`.
+    pub fn bad_at(&mut self, tm: &mut TermManager, k: usize) -> TermId {
+        let bads: Vec<_> = self.ts.bad_states().to_vec();
+        let mut disj = tm.fls();
+        for b in bads {
+            let at = self.term_at(tm, b, k);
+            disj = tm.or(disj, at);
+        }
+        disj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepe_smt::{SatResult, Solver, Sort};
+
+    #[test]
+    fn frames_get_distinct_variables() {
+        let mut tm = TermManager::new();
+        let c = tm.var("c", Sort::BitVec(4));
+        let one = tm.one(4);
+        let next = tm.bv_add(c, one);
+        let mut ts = TransitionSystem::new();
+        ts.add_state_var(&tm, c, None, next);
+        let mut unroller = Unroller::new(&ts);
+        let c0 = unroller.var_at(&mut tm, c, 0);
+        let c1 = unroller.var_at(&mut tm, c, 1);
+        assert_ne!(c0, c1);
+        assert_eq!(tm.var_name(c0), Some("c@0"));
+        assert_eq!(tm.var_name(c1), Some("c@1"));
+        // asking again returns the same frame variable
+        assert_eq!(unroller.var_at(&mut tm, c, 0), c0);
+    }
+
+    #[test]
+    fn transition_encodes_the_next_function() {
+        let mut tm = TermManager::new();
+        let c = tm.var("c", Sort::BitVec(8));
+        let one = tm.one(8);
+        let next = tm.bv_add(c, one);
+        let zero = tm.zero(8);
+        let mut ts = TransitionSystem::new();
+        ts.add_state_var(&tm, c, Some(zero), next);
+        let mut unroller = Unroller::new(&ts);
+        let init = unroller.init(&mut tm);
+        let t01 = unroller.transition(&mut tm, 0);
+        let t12 = unroller.transition(&mut tm, 1);
+        let c2 = unroller.var_at(&mut tm, c, 2);
+        let two = tm.bv_const(2, 8);
+        let goal = tm.neq(c2, two);
+        let mut solver = Solver::new();
+        for t in [init, t01, t12, goal] {
+            solver.assert_term(&tm, t);
+        }
+        // after two increments from 0 the counter must be 2, so asking for a
+        // different value is unsatisfiable
+        assert_eq!(solver.check(&tm), SatResult::Unsat);
+    }
+}
