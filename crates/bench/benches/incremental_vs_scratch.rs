@@ -1,0 +1,92 @@
+//! Criterion bench: incremental vs scratch solving on a Table-1 detection
+//! at increasing BMC bounds.
+//!
+//! Both paths run the identical per-depth exploration of the same QED
+//! transition system; the only difference is the solver pipeline behind it:
+//!
+//! * `incremental` — [`BmcMode::PerDepth`]: one persistent
+//!   `IncrementalSolver`, the unrolling asserted once, per-depth bad states
+//!   as retractable assumptions, learnt clauses carried across depths;
+//! * `scratch` — [`BmcMode::PerDepthScratch`]: a fresh solver per depth that
+//!   re-bit-blasts the whole prefix (O(k²) total encoding work).
+//!
+//! After the timed groups a summary table prints the measured speedup per
+//! bound together with the solver-reuse counters of the incremental run.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sepe_isa::Opcode;
+use sepe_processor::{Mutation, ProcessorConfig};
+use sepe_sqed::detect::{Detector, DetectorConfig, Method};
+use sepe_tsys::BmcMode;
+
+fn detector(max_bound: usize, mode: BmcMode) -> Detector {
+    Detector::new(DetectorConfig {
+        processor: ProcessorConfig::tiny().with_opcodes(&[Opcode::Add]),
+        max_bound,
+        bmc_mode: mode,
+        ..DetectorConfig::default()
+    })
+}
+
+/// One full SQED sweep (the Table-1 bug is invisible to SQED, so every depth
+/// up to `max_bound` is explored — the worst case for scratch re-encoding
+/// and cold restarts).
+fn run_detection(max_bound: usize, mode: BmcMode, bug: &Mutation) -> Duration {
+    let d = detector(max_bound, mode);
+    let start = Instant::now();
+    let detection = d.check(Method::Sqed, Some(bug));
+    assert!(!detection.detected, "SQED must miss the Table-1 bug");
+    start.elapsed()
+}
+
+fn bench_incremental_vs_scratch(c: &mut Criterion) {
+    let bug = Mutation::table1()[0].clone(); // ADD off by one
+    let mut group = c.benchmark_group("incremental_vs_scratch");
+    // The deepest sweeps take tens of seconds on the scratch path; keep the
+    // sample count small so the whole bench stays in the minutes.
+    group.sample_size(2);
+    for &bound in &[2usize, 4, 6] {
+        group.bench_function(&format!("incremental_bound{bound}"), |b| {
+            b.iter(|| run_detection(bound, BmcMode::PerDepth, &bug))
+        });
+        group.bench_function(&format!("scratch_bound{bound}"), |b| {
+            b.iter(|| run_detection(bound, BmcMode::PerDepthScratch, &bug))
+        });
+    }
+    group.finish();
+
+    // Direct measurement summary with the incremental run's reuse counters.
+    println!("\n== incremental vs scratch: measured speedup");
+    println!(
+        "{:>6} {:>14} {:>14} {:>9} {:>12} {:>12} {:>14}",
+        "bound",
+        "incr [ms]",
+        "scratch [ms]",
+        "speedup",
+        "terms-cache",
+        "cache-hits",
+        "learnt-retain"
+    );
+    for &bound in &[2usize, 4, 6] {
+        let incr = run_detection(bound, BmcMode::PerDepth, &bug);
+        let scratch = run_detection(bound, BmcMode::PerDepthScratch, &bug);
+        let d = detector(bound, BmcMode::PerDepth);
+        let reuse = d.check(Method::Sqed, Some(&bug)).solver;
+        println!(
+            "{:>6} {:>14.2} {:>14.2} {:>8.2}x {:>12} {:>12} {:>14}",
+            bound,
+            incr.as_secs_f64() * 1e3,
+            scratch.as_secs_f64() * 1e3,
+            scratch.as_secs_f64() / incr.as_secs_f64(),
+            reuse.terms_cached,
+            reuse.terms_reused,
+            reuse.learnt_retained,
+        );
+    }
+}
+
+criterion_group!(benches, bench_incremental_vs_scratch);
+criterion_main!(benches);

@@ -8,7 +8,10 @@ fn main() {
     let profile = Profile::from_args();
     let rows = fig3::run(profile);
     if std::env::args().any(|a| a == "--json") {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serializable rows")
+        );
         return;
     }
     println!("# Figure 3 — instruction-synthesis time ({profile:?} profile)\n");
@@ -17,6 +20,10 @@ fn main() {
     println!(
         "\nclassical CEGIS baseline on {case}: {} after {secs:.2}s \
          (paper: failed to synthesize a single instruction in weeks)",
-        if succeeded { "synthesized a program" } else { "gave up within its budget" }
+        if succeeded {
+            "synthesized a program"
+        } else {
+            "gave up within its budget"
+        }
     );
 }

@@ -9,7 +9,10 @@ fn main() {
     let profile = Profile::from_args();
     let rows = fig4::run(profile);
     if std::env::args().any(|a| a == "--json") {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serializable rows")
+        );
         return;
     }
     println!("# Figure 4 — injected multiple-instruction bugs ({profile:?} profile)\n");

@@ -9,7 +9,10 @@ fn main() {
     let profile = Profile::from_args();
     let rows = table1::run(profile);
     if std::env::args().any(|a| a == "--json") {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serializable rows")
+        );
         return;
     }
     println!("# Table 1 — injected single-instruction bugs ({profile:?} profile)\n");

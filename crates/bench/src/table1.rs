@@ -8,6 +8,7 @@ use serde::Serialize;
 use sepe_isa::Opcode;
 use sepe_processor::{Mutation, ProcessorConfig};
 use sepe_sqed::detect::{Detector, DetectorConfig, Method};
+use sepe_tsys::BmcMode;
 
 use crate::Profile;
 
@@ -28,12 +29,19 @@ pub struct Table1Row {
     pub sqed_detected: bool,
     /// Bound up to which SQED proved consistency.
     pub sqed_bound: usize,
+    /// Term encodings reused across depths by the SEPE-SQED incremental
+    /// per-depth sweep.
+    pub sepe_terms_reused: u64,
+    /// Learnt clauses retained across the sweep's SAT calls.
+    pub sepe_learnt_retained: u64,
 }
 
 impl Table1Row {
     /// The SEPE-SQED cell of the table.
     pub fn sepe_cell(&self) -> String {
-        self.sepe_secs.map(|s| format!("{s:.2}s")).unwrap_or_else(|| "-".into())
+        self.sepe_secs
+            .map(|s| format!("{s:.2}s"))
+            .unwrap_or_else(|| "-".into())
     }
 
     /// The SQED cell of the table.
@@ -104,7 +112,14 @@ pub fn run(profile: Profile) -> Vec<Table1Row> {
                 ..detector.config().clone()
             });
             let sqed = sqed_detector.check(Method::Sqed, Some(bug));
-            let sepe = detector.check(Method::SepeSqed, Some(bug));
+            // SEPE-SQED explores depth by depth on the persistent incremental
+            // solver: shortest counterexamples first, encodings and learnt
+            // clauses shared across depths.
+            let sepe_detector = Detector::new(DetectorConfig {
+                bmc_mode: BmcMode::PerDepth,
+                ..detector.config().clone()
+            });
+            let sepe = sepe_detector.check(Method::SepeSqed, Some(bug));
             Table1Row {
                 bug: bug.name.clone(),
                 opcode: bug
@@ -112,10 +127,12 @@ pub fn run(profile: Profile) -> Vec<Table1Row> {
                     .map(|o| o.mnemonic().to_uppercase())
                     .unwrap_or_default(),
                 function: bug.description.clone(),
-                sepe_secs: sepe.detected.then(|| sepe.runtime.as_secs_f64()),
+                sepe_secs: sepe.detected.then_some(sepe.runtime.as_secs_f64()),
                 sepe_trace_len: sepe.trace_len,
                 sqed_detected: sqed.detected,
                 sqed_bound: sqed.bound_reached,
+                sepe_terms_reused: sepe.solver.terms_reused,
+                sepe_learnt_retained: sepe.solver.learnt_retained,
             }
         })
         .collect()
@@ -144,6 +161,12 @@ pub fn print(rows: &[Table1Row]) {
         rows.len() - sqed_missed,
         rows.len()
     );
+    let reused: u64 = rows.iter().map(|r| r.sepe_terms_reused).sum();
+    let learnt: u64 = rows.iter().map(|r| r.sepe_learnt_retained).sum();
+    println!(
+        "solver reuse (SEPE-SQED incremental per-depth sweeps): \
+         {reused} term encodings served from cache, {learnt} learnt clauses retained across depths"
+    );
 }
 
 #[cfg(test)]
@@ -166,6 +189,8 @@ mod tests {
             sepe_trace_len: Some(4),
             sqed_detected: false,
             sqed_bound: 8,
+            sepe_terms_reused: 0,
+            sepe_learnt_retained: 0,
         };
         assert_eq!(row.sepe_cell(), "3410.93s");
         assert_eq!(row.sqed_cell(), "-");

@@ -47,6 +47,13 @@ pub struct DetectorConfig {
     /// Equivalence database for SEPE-SQED (`None` uses the curated database
     /// at the processor's data-path width).
     pub equivalence: Option<EquivalenceDb>,
+    /// Depth-exploration strategy of the model checker.
+    ///
+    /// The default is [`BmcMode::Cumulative`] (one query over all depths,
+    /// usually fastest when a counterexample exists); the per-depth modes
+    /// are exposed for shortest-counterexample-first exploration and for the
+    /// incremental-vs-scratch benchmarks.
+    pub bmc_mode: BmcMode,
 }
 
 impl Default for DetectorConfig {
@@ -58,6 +65,7 @@ impl Default for DetectorConfig {
             time_limit: None,
             queue_depth: None,
             equivalence: None,
+            bmc_mode: BmcMode::Cumulative,
         }
     }
 }
@@ -84,6 +92,9 @@ pub struct Detection {
     pub bound_reached: usize,
     /// Total SAT conflicts spent by the model checker.
     pub conflicts: u64,
+    /// Solver-reuse counters of the model-checking run (all zero for the
+    /// scratch/cumulative modes, which build fresh solvers per query).
+    pub solver: sepe_smt::SolverReuseStats,
 }
 
 impl Detection {
@@ -159,9 +170,10 @@ impl Detector {
             time_limit: self.config.time_limit,
             // the initial state is consistent by construction, start at 1
             start_bound: 1,
-            // one cumulative query over all depths; the witness is truncated
-            // to the earliest violating frame so trace lengths are minimal
-            mode: BmcMode::Cumulative,
+            // default: one cumulative query over all depths (fastest when a
+            // counterexample exists); per-depth modes guarantee shortest
+            // counterexamples and enable incremental solver reuse
+            mode: self.config.bmc_mode,
         });
         let result = bmc.check(&mut tm, &system.ts, self.config.max_bound);
         let stats = bmc.stats();
@@ -177,6 +189,7 @@ impl Detector {
                 witness: Some(witness),
                 bound_reached: stats.deepest_bound,
                 conflicts: stats.conflicts,
+                solver: stats.solver,
             },
             BmcResult::NoCounterexample { bound } => Detection {
                 method,
@@ -188,6 +201,7 @@ impl Detector {
                 witness: None,
                 bound_reached: bound,
                 conflicts: stats.conflicts,
+                solver: stats.solver,
             },
             BmcResult::Unknown { bound } => Detection {
                 method,
@@ -199,13 +213,17 @@ impl Detector {
                 witness: None,
                 bound_reached: bound,
                 conflicts: stats.conflicts,
+                solver: stats.solver,
             },
         }
     }
 
     /// Convenience: runs both methods on the same bug.
     pub fn compare(&self, mutation: Option<&Mutation>) -> (Detection, Detection) {
-        (self.check(Method::Sqed, mutation), self.check(Method::SepeSqed, mutation))
+        (
+            self.check(Method::Sqed, mutation),
+            self.check(Method::SepeSqed, mutation),
+        )
     }
 }
 
@@ -238,12 +256,18 @@ mod tests {
         let bug = &Mutation::table1()[0]; // ADD off by one
         let d = detector(&[Opcode::Add, Opcode::Addi], 4);
         let sqed = d.check(Method::Sqed, Some(bug));
-        assert!(!sqed.detected, "EDDI-V duplication cannot see single-instruction bugs");
+        assert!(
+            !sqed.detected,
+            "EDDI-V duplication cannot see single-instruction bugs"
+        );
         let sepe = d.check(Method::SepeSqed, Some(bug));
         assert!(sepe.detected, "SEPE-SQED must detect the ADD bug");
         let len = sepe.trace_len.expect("counterexample length");
-        assert!(len >= 2, "the trace commits the original and its equivalent program");
-        assert_eq!(sepe.table_cell().ends_with('s'), true);
+        assert!(
+            len >= 2,
+            "the trace commits the original and its equivalent program"
+        );
+        assert!(sepe.table_cell().ends_with('s'));
         assert_eq!(sqed.table_cell(), "-");
     }
 
@@ -267,6 +291,10 @@ mod tests {
         let sqed_ops = d.original_opcodes(Method::Sqed);
         let sepe_ops = d.original_opcodes(Method::SepeSqed);
         assert_eq!(sqed_ops.len(), 3);
-        assert_eq!(sepe_ops.len(), 3, "memory ops are handled natively by EDSEP-V");
+        assert_eq!(
+            sepe_ops.len(),
+            3,
+            "memory ops are handled natively by EDSEP-V"
+        );
     }
 }

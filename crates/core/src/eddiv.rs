@@ -23,7 +23,9 @@ impl Default for EddiV {
 impl EddiV {
     /// Creates the transformation with the standard SQED register split.
     pub fn new() -> Self {
-        EddiV { mapping: RegisterMapping::sqed() }
+        EddiV {
+            mapping: RegisterMapping::sqed(),
+        }
     }
 
     /// The register mapping in use.
@@ -56,7 +58,10 @@ impl EddiV {
     /// and reports whether the final state is QED-consistent.
     pub fn concrete_check(&self, core: &mut MutantCore, originals: &[Instr]) -> bool {
         for instr in originals {
-            assert!(self.is_legal_original(instr), "{instr} uses non-original registers");
+            assert!(
+                self.is_legal_original(instr),
+                "{instr} uses non-original registers"
+            );
             core.commit_banked(instr, false);
             core.commit_banked(&self.duplicate(instr), true);
         }
@@ -156,6 +161,9 @@ mod tests {
         core.commit_banked(&xor, false);
         core.commit_banked(&eddiv.duplicate(&add), true);
         core.commit_banked(&eddiv.duplicate(&xor), true);
-        assert!(!eddiv.is_consistent(&core), "x4 != x20 exposes the dropped write-back");
+        assert!(
+            !eddiv.is_consistent(&core),
+            "x4 != x20 exposes the dropped write-back"
+        );
     }
 }

@@ -19,7 +19,10 @@ pub struct EdsepV {
 impl EdsepV {
     /// Creates the transformation from an equivalence database.
     pub fn new(db: EquivalenceDb) -> Self {
-        EdsepV { mapping: RegisterMapping::sepe(), db }
+        EdsepV {
+            mapping: RegisterMapping::sepe(),
+            db,
+        }
     }
 
     /// Creates the transformation from the curated database.
@@ -69,10 +72,7 @@ impl EdsepV {
                 Instr::addi(t0, rs1, instr.imm),
                 Instr::lw(self.mapped(instr.rd), t0, 0),
             ],
-            Opcode::Sw => vec![
-                Instr::addi(t0, rs1, instr.imm),
-                Instr::sw(t0, rs2, 0),
-            ],
+            Opcode::Sw => vec![Instr::addi(t0, rs1, instr.imm), Instr::sw(t0, rs2, 0)],
             op => {
                 let template = self
                     .db
@@ -93,7 +93,10 @@ impl EdsepV {
     /// whether the final state is QED-consistent.
     pub fn concrete_check(&self, core: &mut MutantCore, originals: &[Instr]) -> bool {
         for instr in originals {
-            assert!(self.is_legal_original(instr), "{instr} is not a legal original");
+            assert!(
+                self.is_legal_original(instr),
+                "{instr} is not a legal original"
+            );
             core.commit_banked(instr, false);
             for eq in self.equivalent_program(instr) {
                 core.commit_banked(&eq, true);
@@ -206,9 +209,7 @@ mod tests {
             let original = match target.operand_kind() {
                 sepe_isa::OperandKind::RegReg => Instr::reg_reg(target, Reg(1), Reg(2), Reg(3)),
                 sepe_isa::OperandKind::RegImm => Instr::new(target, Reg(1), Reg(2), Reg::ZERO, 5),
-                sepe_isa::OperandKind::RegShamt => {
-                    Instr::new(target, Reg(1), Reg(2), Reg::ZERO, 3)
-                }
+                sepe_isa::OperandKind::RegShamt => Instr::new(target, Reg(1), Reg(2), Reg::ZERO, 3),
                 sepe_isa::OperandKind::Upper => Instr::lui(Reg(1), 0x123),
                 sepe_isa::OperandKind::Store => Instr::sw(Reg(2), Reg(3), 8),
                 sepe_isa::OperandKind::Load => Instr::lw(Reg(1), Reg(2), 8),

@@ -19,11 +19,23 @@ pub struct EquivalenceDb {
 }
 
 fn rr(opcode: Opcode, dest: Slot, src1: Slot, src2: Slot) -> TemplateInstr {
-    TemplateInstr { opcode, dest, src1, src2, imm: ImmSlot::Const(0) }
+    TemplateInstr {
+        opcode,
+        dest,
+        src1,
+        src2,
+        imm: ImmSlot::Const(0),
+    }
 }
 
 fn ri(opcode: Opcode, dest: Slot, src1: Slot, imm: ImmSlot) -> TemplateInstr {
-    TemplateInstr { opcode, dest, src1, src2: Slot::Zero, imm }
+    TemplateInstr {
+        opcode,
+        dest,
+        src1,
+        src2: Slot::Zero,
+        imm,
+    }
 }
 
 impl EquivalenceDb {
@@ -49,7 +61,10 @@ impl EquivalenceDb {
         use ImmSlot::{Const, FromOriginal};
         use Opcode::*;
         use Slot::{Dest, Rs1, Rs2, Temp, Zero};
-        assert!((4..=32).contains(&width) && width.is_power_of_two(), "unsupported width");
+        assert!(
+            (4..=32).contains(&width) && width.is_power_of_two(),
+            "unsupported width"
+        );
         // an instruction materialising the single sign bit of the data path
         let sign_bit_instr = |dest: Slot| {
             if width > 12 {
@@ -229,7 +244,13 @@ impl EquivalenceDb {
         add(
             Lui,
             vec![
-                TemplateInstr { opcode: Lui, dest: Temp(0), src1: Zero, src2: Zero, imm: FromOriginal },
+                TemplateInstr {
+                    opcode: Lui,
+                    dest: Temp(0),
+                    src1: Zero,
+                    src2: Zero,
+                    imm: FromOriginal,
+                },
                 rr(Add, Dest, Temp(0), Zero),
             ],
             vec!["LUI", "ADD"],

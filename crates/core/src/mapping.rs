@@ -23,7 +23,11 @@ pub struct RegisterMapping {
 impl RegisterMapping {
     /// The SQED (EDDI-V) mapping: `x0..x15` original, `x16..x31` duplicate.
     pub fn sqed() -> Self {
-        RegisterMapping { original_count: 16, offset: 16, temps: Vec::new() }
+        RegisterMapping {
+            original_count: 16,
+            offset: 16,
+            temps: Vec::new(),
+        }
     }
 
     /// The SEPE-SQED (EDSEP-V) mapping: `O = x0..x12`, `E = x13..x25`,
@@ -64,7 +68,9 @@ impl RegisterMapping {
     /// The pairs `(original, shadow)` compared by the QED-consistency
     /// property.
     pub fn consistency_pairs(&self) -> Vec<(Reg, Reg)> {
-        (0..self.original_count).map(|i| (Reg(i), Reg(i + self.offset))).collect()
+        (0..self.original_count)
+            .map(|i| (Reg(i), Reg(i + self.offset)))
+            .collect()
     }
 
     /// Number of temporaries available.
@@ -107,7 +113,11 @@ mod tests {
         // the three sets partition the register file
         for r in Reg::all() {
             let in_sets = [m.is_original(r), m.is_shadow(r), m.is_temp(r)];
-            assert_eq!(in_sets.iter().filter(|&&b| b).count(), 1, "{r} must be in exactly one set");
+            assert_eq!(
+                in_sets.iter().filter(|&&b| b).count(),
+                1,
+                "{r} must be in exactly one set"
+            );
         }
     }
 

@@ -136,7 +136,10 @@ impl QedBuilder {
     ) -> QedSystem {
         let mapping = scheme.mapping();
         let originals = &self.original_opcodes;
-        assert!(!originals.is_empty(), "at least one original opcode is required");
+        assert!(
+            !originals.is_empty(),
+            "at least one original opcode is required"
+        );
 
         // The DUV must accept both the original opcodes and whatever the
         // transformed programs contain.
@@ -145,11 +148,20 @@ impl QedBuilder {
         allowed.extend(scheme.transform_opcodes(originals));
         allowed.sort();
         allowed.dedup();
-        let proc_config = ProcessorConfig { allowed_opcodes: allowed, ..self.processor.clone() };
+        let proc_config = ProcessorConfig {
+            allowed_opcodes: allowed,
+            ..self.processor.clone()
+        };
 
-        let max_prog_len =
-            originals.iter().map(|&op| scheme.program_len(op)).max().unwrap_or(1);
-        let depth = self.queue_depth.unwrap_or(max_prog_len + 3).max(max_prog_len + 1);
+        let max_prog_len = originals
+            .iter()
+            .map(|&op| scheme.program_len(op))
+            .max()
+            .unwrap_or(1);
+        let depth = self
+            .queue_depth
+            .unwrap_or(max_prog_len + 3)
+            .max(max_prog_len + 1);
 
         let processor = SymbolicProcessor::build(tm, &proc_config, mutation);
         let mut ts = processor.ts.clone();
@@ -166,7 +178,14 @@ impl QedBuilder {
             imm: tm.var("orig_imm", Sort::BitVec(xlen)),
             pick_original: tm.var("pick_original", Sort::Bool),
         };
-        for input in [port.op, port.rd, port.rs1, port.rs2, port.imm, port.pick_original] {
+        for input in [
+            port.op,
+            port.rd,
+            port.rs1,
+            port.rs2,
+            port.imm,
+            port.pick_original,
+        ] {
             ts.add_input(tm, input);
         }
 
@@ -190,8 +209,7 @@ impl QedBuilder {
         // ------------------------------------------------------------------
         // Transformed-program entries (functions of the original fields).
         // ------------------------------------------------------------------
-        let entries =
-            transform_entries(tm, scheme, &mapping, &port, originals, max_prog_len, xlen);
+        let entries = transform_entries(tm, scheme, &mapping, &port, originals, max_prog_len, xlen);
         let len_bits = {
             let mut bits = 1;
             while (1usize << bits) <= depth + max_prog_len {
@@ -223,8 +241,9 @@ impl QedBuilder {
         // queue[field][slot]
         let mut queue: Vec<Vec<TermId>> = Vec::new();
         for (field, sort) in slot_sorts {
-            let slots =
-                (0..depth).map(|i| tm.var(&format!("q{i}_{field}"), sort)).collect::<Vec<_>>();
+            let slots = (0..depth)
+                .map(|i| tm.var(&format!("q{i}_{field}"), sort))
+                .collect::<Vec<_>>();
             queue.push(slots);
         }
         let q_len = tm.var("q_len", Sort::BitVec(len_bits));
@@ -274,8 +293,11 @@ impl QedBuilder {
             for j in 0..depth {
                 let current = queue[field_idx][j];
                 // Pop: everything shifts down by one.
-                let popped =
-                    if j + 1 < depth { queue[field_idx][j + 1] } else { zero_field };
+                let popped = if j + 1 < depth {
+                    queue[field_idx][j + 1]
+                } else {
+                    zero_field
+                };
                 // Push: entries are appended starting at the current length.
                 let mut pushed = current;
                 for ql in 0..=j.min(depth - 1) {
@@ -336,7 +358,13 @@ impl QedBuilder {
         let bad = tm.and(qed_ready, inconsistent);
         ts.add_bad(bad);
 
-        QedSystem { ts, mapping, port, processor, queue_depth: depth }
+        QedSystem {
+            ts,
+            mapping,
+            port,
+            processor,
+            queue_depth: depth,
+        }
     }
 }
 
@@ -409,7 +437,9 @@ fn transform_entries(
 
     match scheme {
         Scheme::Sqed => {
-            vec![vec![port.op, shadow_rd, shadow_rs1, shadow_rs2, port.imm, tru]]
+            vec![vec![
+                port.op, shadow_rd, shadow_rs1, shadow_rs2, port.imm, tru,
+            ]]
         }
         Scheme::Sepe(db) => {
             let temp_reg = |t: u8| u64::from(mapping.temps[t as usize].0);
@@ -472,9 +502,7 @@ fn transform_entries(
                             let imm_term = match ti.imm {
                                 ImmSlot::FromOriginal => port.imm,
                                 ImmSlot::Const(c) => match ti.opcode {
-                                    Opcode::Lui => {
-                                        tm.bv_const(((c as u32) as u64) << 12, xlen)
-                                    }
+                                    Opcode::Lui => tm.bv_const(((c as u32) as u64) << 12, xlen),
                                     _ => tm.bv_const(c as i64 as u64, xlen),
                                 },
                             };
@@ -644,16 +672,14 @@ mod tests {
         // prepare distinct operands by running ADDI originals is not possible
         // here (only SUB allowed), so rely on zero-initialised registers:
         // SUB x1, x2, x3 = 0, and its equivalent program also produces 0.
-        let steps = vec![
-            Some(Instr::sub(Reg(1), Reg(2), Reg(3))),
-            None,
-            None,
-            None,
-        ];
+        let steps = vec![Some(Instr::sub(Reg(1), Reg(2), Reg(3))), None, None, None];
         let trace = simulate(&tm, &system, &steps, 32);
         let last = trace.last().expect("trace");
         assert_eq!(last[&system.processor.regs[1]], 0);
-        assert_eq!(last[&system.processor.regs[14]], 0, "equivalent program wrote rd+13");
+        assert_eq!(
+            last[&system.processor.regs[14]], 0,
+            "equivalent program wrote rd+13"
+        );
         let count_o = tm.find_var("count_original").expect("counter");
         let count_e = tm.find_var("count_equivalent").expect("counter");
         assert_eq!(last[&count_o], 1);
@@ -684,9 +710,16 @@ mod tests {
         let last = trace.last().expect("trace");
         let mut core = MutantCore::new(system.processor.config.clone(), None);
         core.commit_banked(&Instr::add(Reg(3), Reg(4), Reg(5)), false);
-        core.commit_banked(&crate::eddiv::EddiV::new().duplicate(&Instr::add(Reg(3), Reg(4), Reg(5))), true);
+        core.commit_banked(
+            &crate::eddiv::EddiV::new().duplicate(&Instr::add(Reg(3), Reg(4), Reg(5))),
+            true,
+        );
         for r in 0..32 {
-            assert_eq!(last[&system.processor.regs[r]], core.regs()[r], "register x{r}");
+            assert_eq!(
+                last[&system.processor.regs[r]],
+                core.regs()[r],
+                "register x{r}"
+            );
         }
     }
 }

@@ -53,7 +53,13 @@ fn s_type(imm: i32, rs2: Reg, rs1: Reg, funct3: u32, opcode: u32) -> u32 {
 /// Encodes an instruction into its 32-bit RISC-V machine word.
 pub fn encode(instr: &Instr) -> u32 {
     use Opcode::*;
-    let Instr { opcode, rd, rs1, rs2, imm } = *instr;
+    let Instr {
+        opcode,
+        rd,
+        rs1,
+        rs2,
+        imm,
+    } = *instr;
     match opcode {
         Add => r_type(0b000_0000, rs2, rs1, 0b000, rd, OPCODE_OP),
         Sub => r_type(0b010_0000, rs2, rs1, 0b000, rd, OPCODE_OP),
@@ -77,7 +83,13 @@ pub fn encode(instr: &Instr) -> u32 {
         Andi => i_type(imm, rs1, 0b111, rd, OPCODE_OP_IMM),
         Slli => i_type(imm & 0x1f, rs1, 0b001, rd, OPCODE_OP_IMM),
         Srli => i_type(imm & 0x1f, rs1, 0b101, rd, OPCODE_OP_IMM),
-        Srai => i_type((imm & 0x1f) | (0b010_0000 << 5), rs1, 0b101, rd, OPCODE_OP_IMM),
+        Srai => i_type(
+            (imm & 0x1f) | (0b010_0000 << 5),
+            rs1,
+            0b101,
+            rd,
+            OPCODE_OP_IMM,
+        ),
         Lui => ((imm as u32) << 12) | ((rd.0 as u32) << 7) | OPCODE_LUI,
         Lw => i_type(imm, rs1, 0b010, rd, OPCODE_LOAD),
         Sw => s_type(imm, rs2, rs1, 0b010, OPCODE_STORE),
@@ -132,12 +144,8 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
             0b100 => Instr::new(Opcode::Xori, rd, rs1, Reg::ZERO, imm_i),
             0b110 => Instr::new(Opcode::Ori, rd, rs1, Reg::ZERO, imm_i),
             0b111 => Instr::new(Opcode::Andi, rd, rs1, Reg::ZERO, imm_i),
-            0b001 if funct7 == 0 => {
-                Instr::new(Opcode::Slli, rd, rs1, Reg::ZERO, (rs2.0) as i32)
-            }
-            0b101 if funct7 == 0 => {
-                Instr::new(Opcode::Srli, rd, rs1, Reg::ZERO, (rs2.0) as i32)
-            }
+            0b001 if funct7 == 0 => Instr::new(Opcode::Slli, rd, rs1, Reg::ZERO, (rs2.0) as i32),
+            0b101 if funct7 == 0 => Instr::new(Opcode::Srli, rd, rs1, Reg::ZERO, (rs2.0) as i32),
             0b101 if funct7 == 0b010_0000 => {
                 Instr::new(Opcode::Srai, rd, rs1, Reg::ZERO, (rs2.0) as i32)
             }
@@ -157,7 +165,8 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn known_encodings_match_the_spec() {
@@ -174,7 +183,10 @@ mod tests {
         // sw x10, 20(x11) = 0x00a5aa23
         assert_eq!(encode(&Instr::sw(Reg(11), Reg(10), 20)), 0x00a5_aa23);
         // srai x1, x2, 4 = 0x40415093
-        assert_eq!(encode(&Instr::reg_imm(Opcode::Srai, Reg(1), Reg(2), 4)), 0x4041_5093);
+        assert_eq!(
+            encode(&Instr::reg_imm(Opcode::Srai, Reg(1), Reg(2), 4)),
+            0x4041_5093
+        );
         // mulh x3, x4, x5 = 0x025211b3
         assert_eq!(
             encode(&Instr::reg_reg(Opcode::Mulh, Reg(3), Reg(4), Reg(5))),
@@ -212,33 +224,32 @@ mod tests {
         }
     }
 
-    fn arb_instr() -> impl Strategy<Value = Instr> {
-        (0usize..Opcode::ALL.len(), 0u8..32, 0u8..32, 0u8..32, -2048i32..2048, 0i32..32, 0i32..(1 << 20))
-            .prop_map(|(op, rd, rs1, rs2, imm12, shamt, imm20)| {
-                let op = Opcode::ALL[op];
-                match op.operand_kind() {
-                    crate::instr::OperandKind::RegReg => {
-                        Instr::reg_reg(op, Reg(rd), Reg(rs1), Reg(rs2))
-                    }
-                    crate::instr::OperandKind::RegImm => {
-                        Instr::new(op, Reg(rd), Reg(rs1), Reg::ZERO, imm12)
-                    }
-                    crate::instr::OperandKind::RegShamt => {
-                        Instr::new(op, Reg(rd), Reg(rs1), Reg::ZERO, shamt)
-                    }
-                    crate::instr::OperandKind::Upper => Instr::lui(Reg(rd), imm20),
-                    crate::instr::OperandKind::Load => Instr::lw(Reg(rd), Reg(rs1), imm12),
-                    crate::instr::OperandKind::Store => Instr::sw(Reg(rs1), Reg(rs2), imm12),
-                }
-            })
+    fn arb_instr(rng: &mut StdRng) -> Instr {
+        let op = Opcode::ALL[rng.gen_range(0..Opcode::ALL.len())];
+        let rd = Reg(rng.gen_range(0u8..32));
+        let rs1 = Reg(rng.gen_range(0u8..32));
+        let rs2 = Reg(rng.gen_range(0u8..32));
+        let imm12 = rng.gen_range(-2048i32..2048);
+        let shamt = rng.gen_range(0i32..32);
+        let imm20 = rng.gen_range(0i32..(1 << 20));
+        match op.operand_kind() {
+            crate::instr::OperandKind::RegReg => Instr::reg_reg(op, rd, rs1, rs2),
+            crate::instr::OperandKind::RegImm => Instr::new(op, rd, rs1, Reg::ZERO, imm12),
+            crate::instr::OperandKind::RegShamt => Instr::new(op, rd, rs1, Reg::ZERO, shamt),
+            crate::instr::OperandKind::Upper => Instr::lui(rd, imm20),
+            crate::instr::OperandKind::Load => Instr::lw(rd, rs1, imm12),
+            crate::instr::OperandKind::Store => Instr::sw(rs1, rs2, imm12),
+        }
     }
 
-    proptest! {
-        #[test]
-        fn encode_decode_roundtrip(instr in arb_instr()) {
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0x15a_c0de);
+        for _ in 0..512 {
+            let instr = arb_instr(&mut rng);
             let word = encode(&instr);
             let back = decode(word).expect("generated instructions are decodable");
-            prop_assert_eq!(back, instr);
+            assert_eq!(back, instr);
         }
     }
 }

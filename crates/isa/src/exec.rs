@@ -105,7 +105,11 @@ impl ArchState {
                 self.set_reg(instr.rd, (instr.imm as u32) << 12);
             }
             op => {
-                let b = if op.reads_rs2() { self.reg(instr.rs2) } else { instr.imm as u32 };
+                let b = if op.reads_rs2() {
+                    self.reg(instr.rs2)
+                } else {
+                    instr.imm as u32
+                };
                 self.set_reg(instr.rd, alu_value(op, a, b));
             }
         }
@@ -140,7 +144,11 @@ mod tests {
         assert_eq!(alu_value(Opcode::Sltu, 0xffff_ffff, 0), 0);
         assert_eq!(alu_value(Opcode::Sra, 0x8000_0000, 4), 0xf800_0000);
         assert_eq!(alu_value(Opcode::Srl, 0x8000_0000, 4), 0x0800_0000);
-        assert_eq!(alu_value(Opcode::Sll, 1, 33), 2, "shift amounts use the low 5 bits");
+        assert_eq!(
+            alu_value(Opcode::Sll, 1, 33),
+            2,
+            "shift amounts use the low 5 bits"
+        );
         assert_eq!(alu_value(Opcode::Mulh, 0x8000_0000, 2), 0xffff_ffff);
         assert_eq!(alu_value(Opcode::Mulhu, 0x8000_0000, 2), 1);
         assert_eq!(alu_value(Opcode::Mulhsu, 0xffff_ffff, 2), 0xffff_ffff);

@@ -139,7 +139,10 @@ impl Opcode {
 
     /// Whether the instruction reads `rs2`.
     pub fn reads_rs2(self) -> bool {
-        matches!(self.operand_kind(), OperandKind::RegReg | OperandKind::Store)
+        matches!(
+            self.operand_kind(),
+            OperandKind::RegReg | OperandKind::Store
+        )
     }
 
     /// Whether the instruction accesses data memory.
@@ -149,7 +152,10 @@ impl Opcode {
 
     /// Whether the instruction belongs to the M extension.
     pub fn is_multiply(self) -> bool {
-        matches!(self, Opcode::Mul | Opcode::Mulh | Opcode::Mulhsu | Opcode::Mulhu)
+        matches!(
+            self,
+            Opcode::Mul | Opcode::Mulh | Opcode::Mulhsu | Opcode::Mulhu
+        )
     }
 
     /// The assembly mnemonic.
@@ -219,7 +225,13 @@ impl Instr {
     ///
     /// Panics if the immediate is out of range for the opcode's format.
     pub fn new(opcode: Opcode, rd: Reg, rs1: Reg, rs2: Reg, imm: i32) -> Self {
-        let mut instr = Instr { opcode, rd, rs1, rs2, imm };
+        let mut instr = Instr {
+            opcode,
+            rd,
+            rs1,
+            rs2,
+            imm,
+        };
         match opcode.operand_kind() {
             OperandKind::RegReg => {
                 instr.imm = 0;
@@ -229,7 +241,11 @@ impl Instr {
                     (-2048..=2047).contains(&imm),
                     "immediate {imm} out of range for {opcode}"
                 );
-                instr.rs2 = if opcode.operand_kind() == OperandKind::Store { rs2 } else { Reg::ZERO };
+                instr.rs2 = if opcode.operand_kind() == OperandKind::Store {
+                    rs2
+                } else {
+                    Reg::ZERO
+                };
             }
             OperandKind::RegShamt => {
                 assert!((0..32).contains(&imm), "shift amount {imm} out of range");
@@ -262,14 +278,21 @@ impl Instr {
 
     /// An R-type ALU instruction.
     pub fn reg_reg(opcode: Opcode, rd: Reg, rs1: Reg, rs2: Reg) -> Self {
-        assert_eq!(opcode.operand_kind(), OperandKind::RegReg, "{opcode} is not R-type");
+        assert_eq!(
+            opcode.operand_kind(),
+            OperandKind::RegReg,
+            "{opcode} is not R-type"
+        );
         Instr::new(opcode, rd, rs1, rs2, 0)
     }
 
     /// An I-type ALU instruction (including immediate shifts).
     pub fn reg_imm(opcode: Opcode, rd: Reg, rs1: Reg, imm: i32) -> Self {
         assert!(
-            matches!(opcode.operand_kind(), OperandKind::RegImm | OperandKind::RegShamt),
+            matches!(
+                opcode.operand_kind(),
+                OperandKind::RegImm | OperandKind::RegShamt
+            ),
             "{opcode} is not I-type"
         );
         Instr::new(opcode, rd, rs1, Reg::ZERO, imm)
@@ -363,7 +386,11 @@ impl fmt::Display for Instr {
                 write!(f, "{} {}, {}({})", self.opcode, self.rd, self.imm, self.rs1)
             }
             OperandKind::Store => {
-                write!(f, "{} {}, {}({})", self.opcode, self.rs2, self.imm, self.rs1)
+                write!(
+                    f,
+                    "{} {}, {}({})",
+                    self.opcode, self.rs2, self.imm, self.rs1
+                )
             }
         }
     }
@@ -436,13 +463,22 @@ mod tests {
         assert_eq!(mapped.rs1, Reg::ZERO, "LUI does not read rs1");
         let i = Instr::add(Reg(1), Reg(2), Reg(3));
         let mapped = i.map_registers(|r| Reg(r.0 + 13));
-        assert_eq!((mapped.rd, mapped.rs1, mapped.rs2), (Reg(14), Reg(15), Reg(16)));
+        assert_eq!(
+            (mapped.rd, mapped.rs1, mapped.rs2),
+            (Reg(14), Reg(15), Reg(16))
+        );
     }
 
     #[test]
     fn display_formats_assembly() {
-        assert_eq!(Instr::add(Reg(1), Reg(2), Reg(3)).to_string(), "add x1, x2, x3");
-        assert_eq!(Instr::xori(Reg(1), Reg(2), -1).to_string(), "xori x1, x2, -1");
+        assert_eq!(
+            Instr::add(Reg(1), Reg(2), Reg(3)).to_string(),
+            "add x1, x2, x3"
+        );
+        assert_eq!(
+            Instr::xori(Reg(1), Reg(2), -1).to_string(),
+            "xori x1, x2, -1"
+        );
         assert_eq!(Instr::lw(Reg(1), Reg(2), 8).to_string(), "lw x1, 8(x2)");
         assert_eq!(Instr::sw(Reg(2), Reg(3), 12).to_string(), "sw x3, 12(x2)");
         assert_eq!(Instr::lui(Reg(1), 0x12345).to_string(), "lui x1, 0x12345");

@@ -31,7 +31,10 @@ pub fn imm_term(tm: &mut TermManager, imm: i32, width: u32) -> TermId {
 ///
 /// Panics if `width` is not a power of two.
 pub fn shift_amount(tm: &mut TermManager, amount: TermId, width: u32) -> TermId {
-    assert!(width.is_power_of_two(), "symbolic semantics require a power-of-two width");
+    assert!(
+        width.is_power_of_two(),
+        "symbolic semantics require a power-of-two width"
+    );
     let mask = tm.bv_const(u64::from(width) - 1, width);
     tm.bv_and(amount, mask)
 }
@@ -87,17 +90,19 @@ pub fn alu_result(tm: &mut TermManager, opcode: Opcode, a: TermId, b: TermId) ->
     }
 }
 
-fn mul_high(
-    tm: &mut TermManager,
-    a: TermId,
-    b: TermId,
-    a_signed: bool,
-    b_signed: bool,
-) -> TermId {
+fn mul_high(tm: &mut TermManager, a: TermId, b: TermId, a_signed: bool, b_signed: bool) -> TermId {
     let width = tm.width(a);
     assert!(width * 2 <= 64, "MULH semantics need 2*width <= 64");
-    let ea = if a_signed { tm.bv_sign_ext(a, width) } else { tm.bv_zero_ext(a, width) };
-    let eb = if b_signed { tm.bv_sign_ext(b, width) } else { tm.bv_zero_ext(b, width) };
+    let ea = if a_signed {
+        tm.bv_sign_ext(a, width)
+    } else {
+        tm.bv_zero_ext(a, width)
+    };
+    let eb = if b_signed {
+        tm.bv_sign_ext(b, width)
+    } else {
+        tm.bv_zero_ext(b, width)
+    };
     let p = tm.bv_mul(ea, eb);
     tm.bv_extract(p, 2 * width - 1, width)
 }
@@ -172,10 +177,15 @@ mod tests {
                 let a = tm.var("a", Sort::BitVec(32));
                 let b = tm.var("b", Sort::BitVec(32));
                 let r = alu_result(&mut tm, op, a, b);
-                let env: HashMap<_, _> =
-                    [(a, u64::from(av)), (b, u64::from(bv))].into_iter().collect();
+                let env: HashMap<_, _> = [(a, u64::from(av)), (b, u64::from(bv))]
+                    .into_iter()
+                    .collect();
                 let got = concrete::eval(&tm, r, &env) as u32;
-                assert_eq!(got, alu_value(op, av, bv), "mismatch for {op} on {av:#x},{bv:#x}");
+                assert_eq!(
+                    got,
+                    alu_value(op, av, bv),
+                    "mismatch for {op} on {av:#x},{bv:#x}"
+                );
             }
         }
     }
@@ -238,8 +248,7 @@ mod tests {
         for av in 0..=255u64 {
             for bv in (0..=255u64).step_by(17) {
                 let env: HashMap<_, _> = [(a, av), (b, bv)].into_iter().collect();
-                let expect =
-                    (((av as i8 as i16) * (bv as i8 as i16)) as u16 >> 8) as u64 & 0xff;
+                let expect = (((av as i8 as i16) * (bv as i8 as i16)) as u16 >> 8) as u64 & 0xff;
                 assert_eq!(concrete::eval(&tm, r, &env), expect);
             }
         }

@@ -185,15 +185,18 @@ impl MutantCore {
                 Opcode::Sw => rs2_val,
                 Opcode::Lui => imm,
                 op => {
-                    let b = if op.operand_kind() == OperandKind::RegReg { rs2_val } else { imm };
+                    let b = if op.operand_kind() == OperandKind::RegReg {
+                        rs2_val
+                    } else {
+                        imm
+                    };
                     alu_value_width(op2, rs1_val, b, xlen)
                 }
             },
             _ => nominal,
         };
 
-        let drops_writeback =
-            matches!(effect, Some(Effect::DropWriteback)) && triggered;
+        let drops_writeback = matches!(effect, Some(Effect::DropWriteback)) && triggered;
         if instr.opcode == Opcode::Sw {
             let idx = self.memory_index(address, bank);
             self.mem[idx] = result;
@@ -263,8 +266,12 @@ mod tests {
                 let rs2 = Reg(rng.gen_range(0..32));
                 match op.operand_kind() {
                     OperandKind::RegReg => Instr::reg_reg(op, rd, rs1, rs2),
-                    OperandKind::RegImm => Instr::new(op, rd, rs1, Reg::ZERO, rng.gen_range(-2048..2048)),
-                    OperandKind::RegShamt => Instr::new(op, rd, rs1, Reg::ZERO, rng.gen_range(0..32)),
+                    OperandKind::RegImm => {
+                        Instr::new(op, rd, rs1, Reg::ZERO, rng.gen_range(-2048..2048))
+                    }
+                    OperandKind::RegShamt => {
+                        Instr::new(op, rd, rs1, Reg::ZERO, rng.gen_range(0..32))
+                    }
                     OperandKind::Upper => Instr::lui(rd, rng.gen_range(0..(1 << 20))),
                     OperandKind::Load => Instr::lw(rd, rs1, rng.gen_range(-2048..2048)),
                     OperandKind::Store => Instr::sw(rs1, rs2, rng.gen_range(-2048..2048)),
@@ -284,7 +291,11 @@ mod tests {
         mutations.extend(Mutation::figure4().into_iter().map(Some).take(4));
         for xlen in [8u32, 32] {
             for mutation in &mutations {
-                let config = ProcessorConfig { xlen, mem_words: 4, ..ProcessorConfig::default() };
+                let config = ProcessorConfig {
+                    xlen,
+                    mem_words: 4,
+                    ..ProcessorConfig::default()
+                };
                 let program = random_program(&mut rng, 12);
 
                 let mut core = MutantCore::new(config.clone(), mutation.clone());
@@ -323,7 +334,10 @@ mod tests {
         let bug = Mutation::table1()[1].clone(); // SUB computes ADD
         let mut clean = MutantCore::new(config.clone(), None);
         let mut buggy = MutantCore::new(config, Some(bug));
-        let setup = [Instr::addi(Reg(1), Reg(0), 30), Instr::addi(Reg(2), Reg(0), 12)];
+        let setup = [
+            Instr::addi(Reg(1), Reg(0), 30),
+            Instr::addi(Reg(2), Reg(0), 12),
+        ];
         clean.run(&setup);
         buggy.run(&setup);
         assert_eq!(clean.regs(), buggy.regs());
@@ -347,7 +361,10 @@ mod tests {
 
     #[test]
     fn store_address_wraps_into_the_small_memory() {
-        let config = ProcessorConfig { mem_words: 4, ..ProcessorConfig::default() };
+        let config = ProcessorConfig {
+            mem_words: 4,
+            ..ProcessorConfig::default()
+        };
         let mut core = MutantCore::new(config, None);
         core.set_reg(Reg(1), 100); // word index (100/4) % 4 == 1
         core.set_reg(Reg(2), 77);

@@ -41,13 +41,21 @@ impl ProcessorConfig {
     /// A configuration sized for fast formal queries (16-bit data path, small
     /// memory) — the default used by the benchmark harness.
     pub fn fast() -> Self {
-        ProcessorConfig { xlen: 16, mem_words: 4, ..Self::default() }
+        ProcessorConfig {
+            xlen: 16,
+            mem_words: 4,
+            ..Self::default()
+        }
     }
 
     /// A minimal configuration for unit tests (4-bit data path, the smallest
     /// width at which every QED mechanism is still exercised).
     pub fn tiny() -> Self {
-        ProcessorConfig { xlen: 4, mem_words: 4, ..Self::default() }
+        ProcessorConfig {
+            xlen: 4,
+            mem_words: 4,
+            ..Self::default()
+        }
     }
 
     /// Restricts the instruction universe to `opcodes`.
@@ -74,7 +82,10 @@ impl ProcessorConfig {
             (1..=4).contains(&self.history_depth),
             "history_depth must be between 1 and 4"
         );
-        assert!(!self.allowed_opcodes.is_empty(), "at least one opcode must be allowed");
+        assert!(
+            !self.allowed_opcodes.is_empty(),
+            "at least one opcode must be allowed"
+        );
     }
 }
 
@@ -99,12 +110,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "xlen")]
     fn rejects_odd_width() {
-        ProcessorConfig { xlen: 12, ..ProcessorConfig::default() }.validate();
+        ProcessorConfig {
+            xlen: 12,
+            ..ProcessorConfig::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "mem_words")]
     fn rejects_non_power_of_two_memory() {
-        ProcessorConfig { mem_words: 3, ..ProcessorConfig::default() }.validate();
+        ProcessorConfig {
+            mem_words: 3,
+            ..ProcessorConfig::default()
+        }
+        .validate();
     }
 }

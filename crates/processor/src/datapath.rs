@@ -131,7 +131,11 @@ pub fn opcode_result(
 
 /// Creates the instruction-port field sorts for a given data-path width.
 pub fn port_sorts(xlen: u32) -> (Sort, Sort, Sort) {
-    (Sort::BitVec(OPCODE_BITS), Sort::BitVec(REG_BITS), Sort::BitVec(xlen))
+    (
+        Sort::BitVec(OPCODE_BITS),
+        Sort::BitVec(REG_BITS),
+        Sort::BitVec(xlen),
+    )
 }
 
 #[cfg(test)]
@@ -167,11 +171,16 @@ mod tests {
     #[test]
     fn select_reg_picks_the_indexed_register() {
         let mut tm = TermManager::new();
-        let regs: Vec<TermId> =
-            (0..32).map(|i| tm.var(&format!("r{i}"), Sort::BitVec(8))).collect();
+        let regs: Vec<TermId> = (0..32)
+            .map(|i| tm.var(&format!("r{i}"), Sort::BitVec(8)))
+            .collect();
         let idx = tm.var("idx", Sort::BitVec(REG_BITS));
         let sel = select_reg(&mut tm, &regs, idx);
-        let mut env: HashMap<_, _> = regs.iter().enumerate().map(|(i, &r)| (r, i as u64)).collect();
+        let mut env: HashMap<_, _> = regs
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (r, i as u64))
+            .collect();
         for pick in [0u64, 1, 17, 31] {
             env.insert(idx, pick);
             assert_eq!(concrete::eval(&tm, sel, &env), pick);
@@ -197,19 +206,35 @@ mod tests {
         let b = tm.var("b", Sort::BitVec(16));
         let imm = tm.var("imm", Sort::BitVec(16));
         let mr = tm.var("mr", Sort::BitVec(16));
-        let allowed = [Opcode::Add, Opcode::Xori, Opcode::Lw, Opcode::Sw, Opcode::Lui];
+        let allowed = [
+            Opcode::Add,
+            Opcode::Xori,
+            Opcode::Lw,
+            Opcode::Sw,
+            Opcode::Lui,
+        ];
         let mux = result_mux(&mut tm, &allowed, op, a, b, imm, mr);
-        let base: HashMap<_, _> =
-            [(a, 100u64), (b, 7u64), (imm, 0xff00u64), (mr, 0xabcdu64)].into_iter().collect();
+        let base: HashMap<_, _> = [(a, 100u64), (b, 7u64), (imm, 0xff00u64), (mr, 0xabcdu64)]
+            .into_iter()
+            .collect();
         let with_op = |env: &HashMap<_, _>, o: Opcode| {
             let mut e = env.clone();
             e.insert(op, opcode_index(o));
             e
         };
         assert_eq!(concrete::eval(&tm, mux, &with_op(&base, Opcode::Add)), 107);
-        assert_eq!(concrete::eval(&tm, mux, &with_op(&base, Opcode::Xori)), 100 ^ 0xff00);
-        assert_eq!(concrete::eval(&tm, mux, &with_op(&base, Opcode::Lw)), 0xabcd);
+        assert_eq!(
+            concrete::eval(&tm, mux, &with_op(&base, Opcode::Xori)),
+            100 ^ 0xff00
+        );
+        assert_eq!(
+            concrete::eval(&tm, mux, &with_op(&base, Opcode::Lw)),
+            0xabcd
+        );
         assert_eq!(concrete::eval(&tm, mux, &with_op(&base, Opcode::Sw)), 7);
-        assert_eq!(concrete::eval(&tm, mux, &with_op(&base, Opcode::Lui)), 0xff00);
+        assert_eq!(
+            concrete::eval(&tm, mux, &with_op(&base, Opcode::Lui)),
+            0xff00
+        );
     }
 }

@@ -57,7 +57,10 @@ pub struct Trigger {
 impl Trigger {
     /// A trigger that fires on every instruction with the given opcode.
     pub fn on_opcode(opcode: Opcode) -> Self {
-        Trigger { opcode: Some(opcode), ..Self::default() }
+        Trigger {
+            opcode: Some(opcode),
+            ..Self::default()
+        }
     }
 
     /// Whether the trigger refers to instruction history (and therefore
@@ -201,18 +204,62 @@ impl Mutation {
         };
         vec![
             single(Add, Effect::AddToResult(1), "addition result off by one"),
-            single(Sub, Effect::WrongOperation(Add), "subtraction computes an addition"),
-            single(Xor, Effect::WrongOperation(Or), "exclusive-or computes an inclusive or"),
-            single(Or, Effect::XorResult(0x10), "bitwise OR flips bit 4 of the result"),
-            single(And, Effect::WrongOperation(Or), "bitwise AND computes an OR"),
-            single(Slt, Effect::WrongOperation(Sltu), "signed compare treats operands as unsigned"),
-            single(Sltu, Effect::XorResult(1), "unsigned compare result inverted"),
-            single(Sra, Effect::WrongOperation(Srl), "arithmetic shift loses the sign fill"),
-            single(Mulh, Effect::WrongOperation(Mulhu), "high multiply ignores operand signs"),
+            single(
+                Sub,
+                Effect::WrongOperation(Add),
+                "subtraction computes an addition",
+            ),
+            single(
+                Xor,
+                Effect::WrongOperation(Or),
+                "exclusive-or computes an inclusive or",
+            ),
+            single(
+                Or,
+                Effect::XorResult(0x10),
+                "bitwise OR flips bit 4 of the result",
+            ),
+            single(
+                And,
+                Effect::WrongOperation(Or),
+                "bitwise AND computes an OR",
+            ),
+            single(
+                Slt,
+                Effect::WrongOperation(Sltu),
+                "signed compare treats operands as unsigned",
+            ),
+            single(
+                Sltu,
+                Effect::XorResult(1),
+                "unsigned compare result inverted",
+            ),
+            single(
+                Sra,
+                Effect::WrongOperation(Srl),
+                "arithmetic shift loses the sign fill",
+            ),
+            single(
+                Mulh,
+                Effect::WrongOperation(Mulhu),
+                "high multiply ignores operand signs",
+            ),
             single(Xori, Effect::WrongOperation(Ori), "XORI computes ORI"),
-            single(Slli, Effect::AddToResult(1), "left-shift-immediate result off by one"),
-            single(Srai, Effect::WrongOperation(Srli), "SRAI loses the sign fill"),
-            single(Sw, Effect::IgnoreMemOffset, "store ignores its immediate offset"),
+            single(
+                Slli,
+                Effect::AddToResult(1),
+                "left-shift-immediate result off by one",
+            ),
+            single(
+                Srai,
+                Effect::WrongOperation(Srli),
+                "SRAI loses the sign fill",
+            ),
+            single(
+                Sw,
+                Effect::IgnoreMemOffset,
+                "store ignores its immediate offset",
+            ),
         ]
     }
 
@@ -225,43 +272,73 @@ impl Mutation {
         use Opcode::*;
         let mut bugs = Vec::new();
         let mut push = |name: &str, desc: &str, trigger: Trigger, effect: Effect| {
-            bugs.push(Mutation::new(format!("multi-{name}"), desc, trigger, effect));
+            bugs.push(Mutation::new(
+                format!("multi-{name}"),
+                desc,
+                trigger,
+                effect,
+            ));
         };
 
         push(
             "01-raw-add-add",
             "ADD reading the result of an immediately preceding ADD gets a stale zero operand",
-            Trigger { opcode: Some(Add), prev_opcode: Some(Add), raw_on_prev_rd: true, ..Trigger::default() },
+            Trigger {
+                opcode: Some(Add),
+                prev_opcode: Some(Add),
+                raw_on_prev_rd: true,
+                ..Trigger::default()
+            },
             Effect::ZeroFirstOperand,
         );
         push(
             "02-raw-sub-forward",
             "SUB after any register-writing instruction it depends on uses a corrupted bypass",
-            Trigger { opcode: Some(Sub), raw_on_prev_rd: true, ..Trigger::default() },
+            Trigger {
+                opcode: Some(Sub),
+                raw_on_prev_rd: true,
+                ..Trigger::default()
+            },
             Effect::XorResult(0x2),
         );
         push(
             "03-raw-xor-after-add",
             "XOR consuming an ADD result swaps its operands",
-            Trigger { opcode: Some(Xor), prev_opcode: Some(Add), raw_on_prev_rd: true, ..Trigger::default() },
+            Trigger {
+                opcode: Some(Xor),
+                prev_opcode: Some(Add),
+                raw_on_prev_rd: true,
+                ..Trigger::default()
+            },
             Effect::SwapOperands,
         );
         push(
             "04-add-after-mul",
             "ADD issued right after a multiply drops its write-back",
-            Trigger { opcode: Some(Add), prev_opcode: Some(Mul), ..Trigger::default() },
+            Trigger {
+                opcode: Some(Add),
+                prev_opcode: Some(Mul),
+                ..Trigger::default()
+            },
             Effect::DropWriteback,
         );
         push(
             "05-waw-collision",
             "two consecutive writes to the same register lose the second result's low bit",
-            Trigger { waw_on_prev_rd: true, ..Trigger::default() },
+            Trigger {
+                waw_on_prev_rd: true,
+                ..Trigger::default()
+            },
             Effect::XorResult(0x1),
         );
         push(
             "06-or-after-sw",
             "OR following a store reads a stale first operand",
-            Trigger { opcode: Some(Or), prev_opcode: Some(Sw), ..Trigger::default() },
+            Trigger {
+                opcode: Some(Or),
+                prev_opcode: Some(Sw),
+                ..Trigger::default()
+            },
             Effect::ZeroFirstOperand,
         );
         push(
@@ -273,79 +350,133 @@ impl Mutation {
         push(
             "08-sll-after-sll",
             "back-to-back shifts: the second shift amount is off by one",
-            Trigger { opcode: Some(Sll), prev_opcode: Some(Sll), ..Trigger::default() },
+            Trigger {
+                opcode: Some(Sll),
+                prev_opcode: Some(Sll),
+                ..Trigger::default()
+            },
             Effect::AddToResult(1),
         );
         push(
             "09-and-raw-and",
             "AND chained on an AND result computes OR instead",
-            Trigger { opcode: Some(And), prev_opcode: Some(And), raw_on_prev_rd: true, ..Trigger::default() },
+            Trigger {
+                opcode: Some(And),
+                prev_opcode: Some(And),
+                raw_on_prev_rd: true,
+                ..Trigger::default()
+            },
             Effect::WrongOperation(Or),
         );
         push(
             "10-slt-after-sub",
             "SLT right after a SUB inverts its verdict",
-            Trigger { opcode: Some(Slt), prev_opcode: Some(Sub), ..Trigger::default() },
+            Trigger {
+                opcode: Some(Slt),
+                prev_opcode: Some(Sub),
+                ..Trigger::default()
+            },
             Effect::XorResult(0x1),
         );
         push(
             "11-addi-raw",
             "ADDI depending on the previous destination adds an extra one",
-            Trigger { opcode: Some(Addi), raw_on_prev_rd: true, ..Trigger::default() },
+            Trigger {
+                opcode: Some(Addi),
+                raw_on_prev_rd: true,
+                ..Trigger::default()
+            },
             Effect::AddToResult(1),
         );
         push(
             "12-sw-after-add",
             "store following an ADD writes to a shifted address",
-            Trigger { opcode: Some(Sw), prev_opcode: Some(Add), ..Trigger::default() },
+            Trigger {
+                opcode: Some(Sw),
+                prev_opcode: Some(Add),
+                ..Trigger::default()
+            },
             Effect::AddressOffset(4),
         );
         push(
             "13-mul-after-mul",
             "back-to-back multiplies corrupt the second product",
-            Trigger { opcode: Some(Mul), prev_opcode: Some(Mul), ..Trigger::default() },
+            Trigger {
+                opcode: Some(Mul),
+                prev_opcode: Some(Mul),
+                ..Trigger::default()
+            },
             Effect::XorResult(0x10),
         );
         push(
             "14-sra-raw",
             "SRA consuming the previous result loses the sign fill",
-            Trigger { opcode: Some(Sra), raw_on_prev_rd: true, ..Trigger::default() },
+            Trigger {
+                opcode: Some(Sra),
+                raw_on_prev_rd: true,
+                ..Trigger::default()
+            },
             Effect::WrongOperation(Srl),
         );
         push(
             "15-xori-after-xori",
             "consecutive XORIs: the second one turns into ORI",
-            Trigger { opcode: Some(Xori), prev_opcode: Some(Xori), ..Trigger::default() },
+            Trigger {
+                opcode: Some(Xori),
+                prev_opcode: Some(Xori),
+                ..Trigger::default()
+            },
             Effect::WrongOperation(Ori),
         );
         push(
             "16-sltu-after-writer",
             "SLTU right after any register write reads its first operand as zero",
-            Trigger { opcode: Some(Sltu), prev_writes_reg: true, ..Trigger::default() },
+            Trigger {
+                opcode: Some(Sltu),
+                prev_writes_reg: true,
+                ..Trigger::default()
+            },
             Effect::ZeroFirstOperand,
         );
         push(
             "17-srl-two-back",
             "SRL two instructions after an ADD drops its write-back",
-            Trigger { opcode: Some(Srl), prev2_opcode: Some(Add), ..Trigger::default() },
+            Trigger {
+                opcode: Some(Srl),
+                prev2_opcode: Some(Add),
+                ..Trigger::default()
+            },
             Effect::DropWriteback,
         );
         push(
             "18-andi-raw-xor",
             "ANDI depending on an XOR result flips bit 5",
-            Trigger { opcode: Some(Andi), prev_opcode: Some(Xor), raw_on_prev_rd: true, ..Trigger::default() },
+            Trigger {
+                opcode: Some(Andi),
+                prev_opcode: Some(Xor),
+                raw_on_prev_rd: true,
+                ..Trigger::default()
+            },
             Effect::XorResult(0x20),
         );
         push(
             "19-lui-after-lui",
             "two LUIs in a row: the second value is off by 0x1000",
-            Trigger { opcode: Some(Lui), prev_opcode: Some(Lui), ..Trigger::default() },
+            Trigger {
+                opcode: Some(Lui),
+                prev_opcode: Some(Lui),
+                ..Trigger::default()
+            },
             Effect::AddToResult(0x1000),
         );
         push(
             "20-waw-after-mul",
             "write-after-write with a multiply in front drops the younger write",
-            Trigger { waw_on_prev_rd: true, prev_opcode: Some(Mul), ..Trigger::default() },
+            Trigger {
+                waw_on_prev_rd: true,
+                prev_opcode: Some(Mul),
+                ..Trigger::default()
+            },
             Effect::DropWriteback,
         );
         bugs
@@ -380,14 +511,18 @@ mod tests {
                 Opcode::Sw,
             ]
         );
-        assert!(bugs.iter().all(|b| b.class() == BugClass::SingleInstruction));
+        assert!(bugs
+            .iter()
+            .all(|b| b.class() == BugClass::SingleInstruction));
     }
 
     #[test]
     fn figure4_bugs_are_multiple_instruction() {
         let bugs = Mutation::figure4();
         assert_eq!(bugs.len(), 20);
-        assert!(bugs.iter().all(|b| b.class() == BugClass::MultipleInstruction));
+        assert!(bugs
+            .iter()
+            .all(|b| b.class() == BugClass::MultipleInstruction));
         let mut names: Vec<&str> = bugs.iter().map(|b| b.name.as_str()).collect();
         names.sort_unstable();
         names.dedup();
@@ -416,7 +551,10 @@ mod tests {
         let independent = Instr::add(Reg(6), Reg(7), Reg(2));
         assert!(t.fires(&dependent, Some(&producer), None));
         assert!(!t.fires(&independent, Some(&producer), None));
-        assert!(!t.fires(&dependent, None, None), "no history, no dependency");
+        assert!(
+            !t.fires(&dependent, None, None),
+            "no history, no dependency"
+        );
         // producer writing x0 does not create a dependency
         let to_zero = Instr::add(Reg(0), Reg(1), Reg(2));
         let reads_zero = Instr::add(Reg(6), Reg(0), Reg(2));
@@ -426,7 +564,10 @@ mod tests {
 
     #[test]
     fn waw_and_prev2_triggers() {
-        let waw = Trigger { waw_on_prev_rd: true, ..Trigger::default() };
+        let waw = Trigger {
+            waw_on_prev_rd: true,
+            ..Trigger::default()
+        };
         let first = Instr::add(Reg(4), Reg(1), Reg(2));
         let second = Instr::sub(Reg(4), Reg(3), Reg(1));
         let other = Instr::sub(Reg(5), Reg(3), Reg(1));
@@ -445,11 +586,17 @@ mod tests {
 
     #[test]
     fn prev_writes_reg_trigger() {
-        let t = Trigger { prev_writes_reg: true, ..Trigger::default() };
+        let t = Trigger {
+            prev_writes_reg: true,
+            ..Trigger::default()
+        };
         let producer = Instr::add(Reg(5), Reg(1), Reg(2));
         let store = Instr::sw(Reg(1), Reg(2), 0);
         let any = Instr::add(Reg(6), Reg(7), Reg(8));
         assert!(t.fires(&any, Some(&producer), None));
-        assert!(!t.fires(&any, Some(&store), None), "stores do not write registers");
+        assert!(
+            !t.fires(&any, Some(&store), None),
+            "stores do not write registers"
+        );
     }
 }

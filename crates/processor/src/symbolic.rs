@@ -117,7 +117,9 @@ impl SymbolicProcessor {
             imm: tm.var("in_imm", Sort::BitVec(xlen)),
             bank: tm.var("in_bank", Sort::BitVec(1)),
         };
-        for input in [port.valid, port.op, port.rd, port.rs1, port.rs2, port.imm, port.bank] {
+        for input in [
+            port.valid, port.op, port.rd, port.rs1, port.rs2, port.imm, port.bank,
+        ] {
             ts.add_input(tm, input);
         }
         // Only opcodes of the allowed universe may appear.
@@ -127,8 +129,9 @@ impl SymbolicProcessor {
         // ------------------------------------------------------------------
         // State: register file, data memory, history window.
         // ------------------------------------------------------------------
-        let regs: Vec<TermId> =
-            (0..32).map(|i| tm.var(&format!("reg{i:02}"), Sort::BitVec(xlen))).collect();
+        let regs: Vec<TermId> = (0..32)
+            .map(|i| tm.var(&format!("reg{i:02}"), Sort::BitVec(xlen)))
+            .collect();
         let mem: Vec<TermId> = (0..config.mem_words)
             .map(|w| tm.var(&format!("mem{w:02}"), Sort::BitVec(xlen)))
             .collect();
@@ -186,8 +189,15 @@ impl SymbolicProcessor {
         let mem_read = select_mem(tm, &mem, word_index);
 
         // Result mux over the allowed opcodes, then result-level effects.
-        let nominal_result =
-            result_mux(tm, &config.allowed_opcodes, port.op, rs1_val, rs2_val, port.imm, mem_read);
+        let nominal_result = result_mux(
+            tm,
+            &config.allowed_opcodes,
+            port.op,
+            rs1_val,
+            rs2_val,
+            port.imm,
+            mem_read,
+        );
         let result = match effect {
             Some(Effect::XorResult(c)) => {
                 let k = tm.bv_const(c, xlen);
@@ -493,7 +503,11 @@ mod tests {
 
     #[test]
     fn reduced_width_masks_values() {
-        let config = ProcessorConfig { xlen: 8, mem_words: 4, ..ProcessorConfig::default() };
+        let config = ProcessorConfig {
+            xlen: 8,
+            mem_words: 4,
+            ..ProcessorConfig::default()
+        };
         let program = vec![
             Instr::addi(Reg(1), Reg(0), 200),
             Instr::addi(Reg(2), Reg(0), 100),
@@ -506,9 +520,15 @@ mod tests {
 
     #[test]
     fn materialised_immediates() {
-        assert_eq!(materialise_imm(&Instr::addi(Reg(1), Reg(0), -1), 32), 0xffff_ffff);
+        assert_eq!(
+            materialise_imm(&Instr::addi(Reg(1), Reg(0), -1), 32),
+            0xffff_ffff
+        );
         assert_eq!(materialise_imm(&Instr::addi(Reg(1), Reg(0), -1), 8), 0xff);
-        assert_eq!(materialise_imm(&Instr::lui(Reg(1), 0x12345), 32), 0x1234_5000);
+        assert_eq!(
+            materialise_imm(&Instr::lui(Reg(1), 0x12345), 32),
+            0x1234_5000
+        );
         assert_eq!(materialise_imm(&Instr::lw(Reg(1), Reg(2), 16), 32), 16);
     }
 

@@ -1,0 +1,111 @@
+//! `#[derive(Serialize)]` for the offline `serde` shim.
+//!
+//! Supports plain (non-generic) structs with named fields — exactly what the
+//! bench row structs need.  The implementation walks the raw token stream
+//! instead of pulling in `syn`/`quote`, because the build environment cannot
+//! fetch crates.  Field types may contain angle brackets (e.g. `Option<f64>`)
+//! and parenthesized/bracketed groups; generic parameters with top-level
+//! commas inside a field type (e.g. `HashMap<K, V>`) are also handled since
+//! commas inside `<...>` are tracked by nesting depth.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the shim trait) for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut name: Option<String> = None;
+    let mut fields: Vec<String> = Vec::new();
+
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Ident(id) if *id.to_string() == *"struct" => {
+                if let Some(TokenTree::Ident(n)) = tokens.next() {
+                    name = Some(n.to_string());
+                }
+                // The next brace group holds the fields.
+                for tt in tokens.by_ref() {
+                    if let TokenTree::Group(g) = &tt {
+                        if g.delimiter() == Delimiter::Brace {
+                            fields = field_names(g.stream());
+                            break;
+                        }
+                    }
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+
+    let name = name.expect("#[derive(Serialize)] shim: expected a struct");
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+            )
+        })
+        .collect();
+    let output = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+             }}\n\
+         }}\n"
+    );
+    output.parse().expect("derive shim generated invalid Rust")
+}
+
+/// Extracts field names from the token stream inside the struct braces.
+fn field_names(stream: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip outer attributes (`#[...]`, including doc comments).
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next(); // the bracketed attribute body
+                }
+                _ => break,
+            }
+        }
+        // Skip visibility (`pub`, `pub(crate)`, ...).
+        if let Some(TokenTree::Ident(id)) = tokens.peek() {
+            if *id.to_string() == *"pub" {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+        }
+        // Field name.
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            _ => break, // end of stream (or unsupported shape)
+        }
+        // Expect `:`, then skip the type up to a top-level comma.
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => break,
+        }
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    names
+}

@@ -12,6 +12,11 @@ use crate::cnf::{Cnf, Lit};
 use crate::term::{Op, TermId, TermManager};
 
 /// Bit-blaster: converts terms to CNF over a shared [`Cnf`] instance.
+///
+/// Encodings are cached per term, so a blaster that lives across several
+/// queries (the incremental pipeline) only lowers the not-yet-seen subgraph
+/// of each new term; [`cache_hits`](Self::cache_hits) /
+/// [`cached_terms`](Self::cached_terms) quantify the reuse.
 #[derive(Debug)]
 pub struct BitBlaster {
     cnf: Cnf,
@@ -19,6 +24,7 @@ pub struct BitBlaster {
     bool_cache: HashMap<TermId, Lit>,
     bits_cache: HashMap<TermId, Vec<Lit>>,
     var_bits: HashMap<TermId, Vec<Lit>>,
+    cache_hits: u64,
 }
 
 impl Default for BitBlaster {
@@ -40,7 +46,25 @@ impl BitBlaster {
             bool_cache: HashMap::new(),
             bits_cache: HashMap::new(),
             var_bits: HashMap::new(),
+            cache_hits: 0,
         }
+    }
+
+    /// Mutable access to the CNF under construction (for draining clauses).
+    pub fn cnf_mut(&mut self) -> &mut Cnf {
+        &mut self.cnf
+    }
+
+    /// Number of distinct terms with a cached encoding.
+    pub fn cached_terms(&self) -> u64 {
+        (self.bool_cache.len() + self.bits_cache.len()) as u64
+    }
+
+    /// Number of term-encoding lookups answered from the cache.  Every hit
+    /// counts — shared subgraphs within one query as well as terms
+    /// re-encountered by later queries of a persistent blaster.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
     }
 
     /// The literal that is always true.
@@ -61,6 +85,12 @@ impl BitBlaster {
     /// Consumes the blaster, returning the CNF.
     pub fn into_cnf(self) -> Cnf {
         self.cnf
+    }
+
+    /// Consumes the blaster, returning the CNF and the variable encodings
+    /// (for model read-back) without copying either.
+    pub fn into_parts(self) -> (Cnf, HashMap<TermId, Vec<Lit>>) {
+        (self.cnf, self.var_bits)
     }
 
     /// CNF literals of every *variable* term encountered, for model read-back.
@@ -210,11 +240,15 @@ impl BitBlaster {
 
     fn shifter(&mut self, a: &[Lit], amount: &[Lit], arithmetic: bool, left: bool) -> Vec<Lit> {
         let w = a.len();
-        let fill = if arithmetic { a[w - 1] } else { self.const_lit(false) };
+        let fill = if arithmetic {
+            a[w - 1]
+        } else {
+            self.const_lit(false)
+        };
         let stages = usize::BITS - (w - 1).leading_zeros(); // ceil(log2(w)) for w>1
         let stages = stages.max(1) as usize;
         let mut cur = a.to_vec();
-        for stage in 0..stages.min(amount.len()) {
+        for (stage, &amount_bit) in amount.iter().enumerate().take(stages) {
             let sh = 1usize << stage;
             let mut shifted = vec![fill; w];
             for i in 0..w {
@@ -228,7 +262,7 @@ impl BitBlaster {
                     shifted[i] = cur[i + sh];
                 }
             }
-            cur = self.mux_bits(amount[stage], &shifted, &cur);
+            cur = self.mux_bits(amount_bit, &shifted, &cur);
         }
         // If any shift-amount bit at or above `stages` is set, or the encoded
         // amount is >= w, the result saturates to the fill value (zero for
@@ -248,7 +282,9 @@ impl BitBlaster {
     }
 
     fn constant_bits(&mut self, value: u64, width: u32) -> Vec<Lit> {
-        (0..width).map(|i| self.const_lit((value >> i) & 1 == 1)).collect()
+        (0..width)
+            .map(|i| self.const_lit((value >> i) & 1 == 1))
+            .collect()
     }
 
     fn multiplier(&mut self, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
@@ -300,6 +336,7 @@ impl BitBlaster {
     /// Translates a boolean term into a single literal.
     pub fn blast_bool(&mut self, tm: &TermManager, t: TermId) -> Lit {
         if let Some(&l) = self.bool_cache.get(&t) {
+            self.cache_hits += 1;
             return l;
         }
         debug_assert!(tm.sort(t).is_bool(), "blast_bool on a bit-vector term");
@@ -383,14 +420,14 @@ impl BitBlaster {
     /// Translates a bit-vector term into its literal vector (LSB first).
     pub fn blast_bits(&mut self, tm: &TermManager, t: TermId) -> Vec<Lit> {
         if let Some(bits) = self.bits_cache.get(&t) {
+            self.cache_hits += 1;
             return bits.clone();
         }
         let width = tm.width(t);
         let bits: Vec<Lit> = match tm.term(t).op.clone() {
             Op::BvConst { value, .. } => self.constant_bits(value, width),
             Op::Var { .. } => {
-                let bits: Vec<Lit> =
-                    (0..width).map(|_| Lit::pos(self.cnf.fresh_var())).collect();
+                let bits: Vec<Lit> = (0..width).map(|_| Lit::pos(self.cnf.fresh_var())).collect();
                 self.var_bits.insert(t, bits.clone());
                 bits
             }
@@ -404,15 +441,21 @@ impl BitBlaster {
             }
             Op::BvAnd(a, b) => {
                 let (a, b) = (self.blast_bits(tm, a), self.blast_bits(tm, b));
-                (0..width as usize).map(|i| self.and_gate(a[i], b[i])).collect()
+                (0..width as usize)
+                    .map(|i| self.and_gate(a[i], b[i]))
+                    .collect()
             }
             Op::BvOr(a, b) => {
                 let (a, b) = (self.blast_bits(tm, a), self.blast_bits(tm, b));
-                (0..width as usize).map(|i| self.or_gate(a[i], b[i])).collect()
+                (0..width as usize)
+                    .map(|i| self.or_gate(a[i], b[i]))
+                    .collect()
             }
             Op::BvXor(a, b) => {
                 let (a, b) = (self.blast_bits(tm, a), self.blast_bits(tm, b));
-                (0..width as usize).map(|i| self.xor_gate(a[i], b[i])).collect()
+                (0..width as usize)
+                    .map(|i| self.xor_gate(a[i], b[i]))
+                    .collect()
             }
             Op::BvAdd(a, b) => {
                 let (a, b) = (self.blast_bits(tm, a), self.blast_bits(tm, b));
@@ -497,14 +540,14 @@ mod tests {
         let goal = tm.neq(lhs, rhs);
         let mut bb = BitBlaster::new();
         bb.assert_true(tm, goal);
-        let mut sat = SatSolver::from_cnf(bb.cnf());
+        let mut sat = SatSolver::from_cnf(bb.into_cnf());
         assert_eq!(sat.solve(), SolveOutcome::Unsat, "terms are not equivalent");
     }
 
     fn find_model(tm: &TermManager, goal: TermId) -> Option<Assignment> {
         let mut bb = BitBlaster::new();
         bb.assert_true(tm, goal);
-        let mut sat = SatSolver::from_cnf(bb.cnf());
+        let mut sat = SatSolver::from_cnf(bb.cnf().clone());
         match sat.solve() {
             SolveOutcome::Sat => {
                 let mut env = Assignment::new();
@@ -628,7 +671,7 @@ mod tests {
         let goal = tm.not(prop);
         let mut bb = BitBlaster::new();
         bb.assert_true(&tm, goal);
-        let mut sat = SatSolver::from_cnf(bb.cnf());
+        let mut sat = SatSolver::from_cnf(bb.into_cnf());
         assert_eq!(sat.solve(), SolveOutcome::Unsat);
     }
 

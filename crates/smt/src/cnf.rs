@@ -43,7 +43,7 @@ impl Lit {
 
     /// Whether the literal is positive.
     pub fn is_positive(self) -> bool {
-        self.0 % 2 == 0
+        self.0.is_multiple_of(2)
     }
 
     /// Dense 0-based index usable for watch lists (2 entries per variable).
@@ -122,6 +122,15 @@ impl Cnf {
     /// Consumes the formula, returning its clauses.
     pub fn into_clauses(self) -> Vec<Clause> {
         self.clauses
+    }
+
+    /// Drains the accumulated clauses, keeping the variable counter.
+    ///
+    /// This is the hand-off primitive of the incremental pipeline: the
+    /// bit-blaster keeps appending to the same `Cnf` while the SAT solver
+    /// periodically takes ownership of everything new.
+    pub fn take_clauses(&mut self) -> Vec<Clause> {
+        std::mem::take(&mut self.clauses)
     }
 }
 

@@ -33,7 +33,10 @@ pub fn eval(tm: &TermManager, root: TermId, env: &Assignment) -> u64 {
 /// Evaluates several roots sharing one cache.
 pub fn eval_many(tm: &TermManager, roots: &[TermId], env: &Assignment) -> Vec<u64> {
     let mut cache: HashMap<TermId, u64> = HashMap::new();
-    roots.iter().map(|&r| eval_cached(tm, r, env, &mut cache)).collect()
+    roots
+        .iter()
+        .map(|&r| eval_cached(tm, r, env, &mut cache))
+        .collect()
 }
 
 fn eval_cached(
@@ -64,12 +67,7 @@ fn eval_cached(
     cache[&root]
 }
 
-fn eval_node(
-    tm: &TermManager,
-    t: TermId,
-    env: &Assignment,
-    cache: &HashMap<TermId, u64>,
-) -> u64 {
+fn eval_node(tm: &TermManager, t: TermId, env: &Assignment, cache: &HashMap<TermId, u64>) -> u64 {
     let term = tm.term(t);
     let width = term.sort.width();
     let get = |id: TermId| -> u64 { cache[&id] };
@@ -98,14 +96,7 @@ fn eval_node(
         Op::BvAdd(a, b) => get(*a).wrapping_add(get(*b)),
         Op::BvSub(a, b) => get(*a).wrapping_sub(get(*b)),
         Op::BvMul(a, b) => get(*a).wrapping_mul(get(*b)),
-        Op::BvUdiv(a, b) => {
-            let d = get(*b);
-            if d == 0 {
-                u64::MAX
-            } else {
-                get(*a) / d
-            }
-        }
+        Op::BvUdiv(a, b) => get(*a).checked_div(get(*b)).unwrap_or(u64::MAX),
         Op::BvUrem(a, b) => {
             let d = get(*b);
             if d == 0 {

@@ -1,0 +1,381 @@
+//! Incremental SMT solving: one bit-blaster, one SAT solver, many queries.
+//!
+//! The scratch [`Solver`](crate::Solver) re-encodes its whole assertion set
+//! and builds a fresh CDCL instance on every `check`, which makes a depth-`k`
+//! BMC sweep pay O(k²) total encoding work and restarts every search cold.
+//! [`IncrementalSolver`] instead keeps a single [`BitBlaster`] and a single
+//! [`SatSolver`] alive for its lifetime:
+//!
+//! * [`assert_term`](IncrementalSolver::assert_term) adds a *permanent*
+//!   assertion — only the not-yet-encoded subgraph of the term is
+//!   bit-blasted, everything already seen is a cache hit;
+//! * [`check_assuming`](IncrementalSolver::check_assuming) decides the
+//!   permanent assertions conjoined with a set of *retractable* boolean
+//!   terms, lowered to assumption literals (the MiniSat `solve(assumps)`
+//!   model) — learnt clauses, VSIDS activity and saved phases carry over
+//!   from call to call;
+//! * on an assumption-caused UNSAT, [`unsat_core`]
+//!   (IncrementalSolver::unsat_core) names the subset of assumed terms that
+//!   participated in the final conflict.
+//!
+//! The Tseitin encoding used by the blaster is biconditional (each gate
+//! literal is equivalent to its gate), so assuming the literal of a cached
+//! boolean term is exactly "this term holds" — no auxiliary activation
+//! variables are needed, and the same term can be re-assumed for free in any
+//! later call.
+
+use std::time::{Duration, Instant};
+
+use crate::bitblast::BitBlaster;
+use crate::cnf::Lit;
+use crate::sat::{SatSolver, SolveOutcome};
+use crate::solver::{Model, SatResult};
+use crate::term::{TermId, TermManager};
+
+/// Solver-reuse counters shared by everything that runs on top of the
+/// incremental pipeline (BMC, CEGIS, the bench harness).
+///
+/// `*_last_check` fields describe the most recent
+/// [`check_assuming`](IncrementalSolver::check_assuming) call; the rest are
+/// cumulative over the solver's lifetime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverReuseStats {
+    /// Checks issued so far.
+    pub checks: u64,
+    /// Distinct terms with a cached CNF encoding.
+    pub terms_cached: u64,
+    /// Encoding lookups answered from the cache.  Counts every cache hit —
+    /// shared subgraphs revisited *within* one query as well as terms
+    /// re-encountered *across* checks — so it upper-bounds (rather than
+    /// exactly measures) the re-blasting avoided by persistence.
+    pub terms_reused: u64,
+    /// CNF variables allocated so far.
+    pub cnf_vars: u64,
+    /// CNF clauses fed to the SAT solver so far (excluding learnt).
+    pub cnf_clauses: u64,
+    /// Clauses that were new in the last check.
+    pub clauses_last_check: u64,
+    /// Learnt clauses retained at the end of the last check (available to
+    /// the next one).
+    pub learnt_retained: u64,
+    /// SAT conflicts over the solver's lifetime.
+    pub conflicts: u64,
+    /// SAT conflicts of the last check.
+    pub conflicts_last_check: u64,
+    /// SAT propagations over the solver's lifetime.
+    pub propagations: u64,
+    /// Wall-clock time spent inside checks.
+    pub duration: Duration,
+    /// Wall-clock time of the last check.
+    pub duration_last_check: Duration,
+}
+
+impl SolverReuseStats {
+    /// Merges another stats block into this one (for drivers aggregating
+    /// over several solver lifetimes).
+    pub fn absorb(&mut self, other: &SolverReuseStats) {
+        self.checks += other.checks;
+        self.terms_cached += other.terms_cached;
+        self.terms_reused += other.terms_reused;
+        self.cnf_vars += other.cnf_vars;
+        self.cnf_clauses += other.cnf_clauses;
+        self.clauses_last_check = other.clauses_last_check;
+        self.learnt_retained += other.learnt_retained;
+        self.conflicts += other.conflicts;
+        self.conflicts_last_check = other.conflicts_last_check;
+        self.propagations += other.propagations;
+        self.duration += other.duration;
+        self.duration_last_check = other.duration_last_check;
+    }
+}
+
+/// An SMT solver that persists its encoding and search state across checks.
+#[derive(Debug)]
+pub struct IncrementalSolver {
+    blaster: BitBlaster,
+    sat: SatSolver,
+    conflict_limit: Option<u64>,
+    last_model: Option<Model>,
+    last_core: Vec<TermId>,
+    stats: SolverReuseStats,
+}
+
+impl Default for IncrementalSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IncrementalSolver {
+    /// Creates an empty incremental solver.
+    pub fn new() -> Self {
+        IncrementalSolver {
+            blaster: BitBlaster::new(),
+            sat: SatSolver::new(),
+            conflict_limit: None,
+            last_model: None,
+            last_core: Vec::new(),
+            stats: SolverReuseStats::default(),
+        }
+    }
+
+    /// Limits the SAT conflict budget of each subsequent check; `None` means
+    /// unlimited.  Exceeding the budget makes the check return
+    /// [`SatResult::Unknown`].
+    pub fn set_conflict_limit(&mut self, limit: Option<u64>) {
+        self.conflict_limit = limit;
+    }
+
+    /// Sets a wall-clock deadline for subsequent checks; a check that passes
+    /// the deadline returns [`SatResult::Unknown`].  The solver state stays
+    /// valid — raise or clear the deadline and check again to continue.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.sat.set_deadline(deadline);
+    }
+
+    /// Permanently asserts a boolean term.  Only the subgraph not already
+    /// encoded by earlier assertions/checks is bit-blasted.
+    pub fn assert_term(&mut self, tm: &TermManager, t: TermId) {
+        assert!(tm.sort(t).is_bool(), "assertions must be boolean terms");
+        self.blaster.assert_true(tm, t);
+    }
+
+    /// Decides satisfiability of the permanent assertions.
+    pub fn check(&mut self, tm: &TermManager) -> SatResult {
+        self.check_assuming(tm, &[])
+    }
+
+    /// Decides satisfiability of the permanent assertions conjoined with the
+    /// given boolean terms, which are *retracted* when the call returns.
+    ///
+    /// On [`SatResult::Unsat`], [`unsat_core`](Self::unsat_core) holds the
+    /// subset of `assumptions` involved in the final conflict (empty when the
+    /// permanent assertions are unsatisfiable on their own).
+    pub fn check_assuming(&mut self, tm: &TermManager, assumptions: &[TermId]) -> SatResult {
+        let start = Instant::now();
+        let mut assumption_lits: Vec<(Lit, TermId)> = Vec::with_capacity(assumptions.len());
+        for &t in assumptions {
+            assert!(tm.sort(t).is_bool(), "assumptions must be boolean terms");
+            let l = self.blaster.blast_bool(tm, t);
+            assumption_lits.push((l, t));
+        }
+        let new_clauses = self.sync_clauses();
+        self.sat.set_conflict_limit(self.conflict_limit);
+        let conflicts_before = self.sat.num_conflicts();
+        let lits: Vec<Lit> = assumption_lits.iter().map(|&(l, _)| l).collect();
+        let outcome = self.sat.solve_under_assumptions(&lits);
+
+        self.stats.checks += 1;
+        self.stats.terms_cached = self.blaster.cached_terms();
+        self.stats.terms_reused = self.blaster.cache_hits();
+        self.stats.clauses_last_check = new_clauses;
+        self.stats.learnt_retained = self.sat.num_learnt() as u64;
+        self.stats.conflicts_last_check = self.sat.num_conflicts() - conflicts_before;
+        self.stats.conflicts = self.sat.num_conflicts();
+        self.stats.propagations = self.sat.num_propagations();
+        self.stats.duration_last_check = start.elapsed();
+        self.stats.duration += self.stats.duration_last_check;
+
+        self.last_core.clear();
+        match outcome {
+            SolveOutcome::Sat => {
+                self.last_model = Some(Model::read_back(self.blaster.var_encodings(), &self.sat));
+                SatResult::Sat
+            }
+            SolveOutcome::Unsat => {
+                self.last_model = None;
+                for &failed in self.sat.unsat_assumptions() {
+                    for &(l, t) in &assumption_lits {
+                        if l == failed && !self.last_core.contains(&t) {
+                            self.last_core.push(t);
+                        }
+                    }
+                }
+                SatResult::Unsat
+            }
+            SolveOutcome::Unknown => {
+                self.last_model = None;
+                SatResult::Unknown
+            }
+        }
+    }
+
+    /// Feeds every clause produced since the last check to the SAT solver.
+    fn sync_clauses(&mut self) -> u64 {
+        let num_vars = self.blaster.cnf().num_vars();
+        self.sat.reserve_vars(num_vars);
+        self.stats.cnf_vars = u64::from(num_vars);
+        let new = self.blaster.cnf_mut().take_clauses();
+        let count = new.len() as u64;
+        for clause in new {
+            // A `false` return marks permanent unsatisfiability; the solver
+            // itself remembers, so no separate flag is needed here.
+            let _ = self.sat.add_clause(clause);
+        }
+        self.stats.cnf_clauses += count;
+        count
+    }
+
+    /// The model of the last satisfiable check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last check was not satisfiable.
+    pub fn model(&self, _tm: &TermManager) -> &Model {
+        self.last_model
+            .as_ref()
+            .expect("model requested but last check was not SAT")
+    }
+
+    /// The model of the last satisfiable check, if any.
+    pub fn try_model(&self) -> Option<&Model> {
+        self.last_model.as_ref()
+    }
+
+    /// The subset of the last check's assumptions involved in its final
+    /// conflict, when the check returned [`SatResult::Unsat`].
+    pub fn unsat_core(&self) -> &[TermId] {
+        &self.last_core
+    }
+
+    /// Cumulative and per-check reuse statistics.
+    pub fn stats(&self) -> SolverReuseStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::Solver;
+    use crate::sort::Sort;
+
+    #[test]
+    fn incremental_matches_scratch_on_a_depth_sweep() {
+        // x0 = 0, x_{k+1} = x_k + 1; "bad at depth k" ⇔ x_k == 3.
+        let mut tm = TermManager::new();
+        let width = 8;
+        let mut inc = IncrementalSolver::new();
+        let mut frames = vec![tm.var("x@0", Sort::BitVec(width))];
+        let zero = tm.zero(width);
+        let init = tm.eq(frames[0], zero);
+        inc.assert_term(&tm, init);
+        let three = tm.bv_const(3, width);
+        for k in 0..6 {
+            let next = tm.var(&format!("x@{}", k + 1), Sort::BitVec(width));
+            let one = tm.one(width);
+            let step = tm.bv_add(frames[k], one);
+            let tr = tm.eq(next, step);
+            inc.assert_term(&tm, tr);
+            frames.push(next);
+            let bad = tm.eq(next, three);
+            let got = inc.check_assuming(&tm, &[bad]);
+            // Scratch reference: assert everything from zero.
+            let mut scratch = Solver::new();
+            scratch.assert_term(&tm, init);
+            for j in 0..=k {
+                let one = tm.one(width);
+                let step = tm.bv_add(frames[j], one);
+                let eq = tm.eq(frames[j + 1], step);
+                scratch.assert_term(&tm, eq);
+            }
+            scratch.assert_term(&tm, bad);
+            assert_eq!(got, scratch.check(&tm), "divergence at depth {k}");
+            if got == SatResult::Sat {
+                assert_eq!(inc.model(&tm).eval(&tm, bad), 1);
+                assert_eq!(k, 2, "counter reaches 3 exactly at depth 3");
+            }
+        }
+        let stats = inc.stats();
+        assert_eq!(stats.checks, 6);
+        assert!(
+            stats.terms_reused > 0,
+            "depth k+1 must reuse depth k encodings"
+        );
+    }
+
+    #[test]
+    fn retracted_assumptions_do_not_pollute_later_checks() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(8));
+        let five = tm.bv_const(5, 8);
+        let six = tm.bv_const(6, 8);
+        let is5 = tm.eq(x, five);
+        let is6 = tm.eq(x, six);
+        let mut inc = IncrementalSolver::new();
+        assert_eq!(inc.check_assuming(&tm, &[is5, is6]), SatResult::Unsat);
+        assert_eq!(inc.check_assuming(&tm, &[is5]), SatResult::Sat);
+        assert_eq!(inc.model(&tm).value(x), 5);
+        assert_eq!(inc.check_assuming(&tm, &[is6]), SatResult::Sat);
+        assert_eq!(inc.model(&tm).value(x), 6);
+    }
+
+    #[test]
+    fn unsat_core_names_the_conflicting_terms() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(8));
+        let y = tm.var("y", Sort::BitVec(8));
+        let c1 = tm.bv_const(1, 8);
+        let c2 = tm.bv_const(2, 8);
+        let x_is_1 = tm.eq(x, c1);
+        let x_is_2 = tm.eq(x, c2);
+        let y_is_1 = tm.eq(y, c1);
+        let mut inc = IncrementalSolver::new();
+        assert_eq!(
+            inc.check_assuming(&tm, &[x_is_1, y_is_1, x_is_2]),
+            SatResult::Unsat
+        );
+        let core = inc.unsat_core().to_vec();
+        assert!(
+            core.contains(&x_is_1) || core.contains(&x_is_2),
+            "core {core:?}"
+        );
+        assert!(!core.contains(&y_is_1), "y is irrelevant to the conflict");
+        // Core is itself unsatisfiable.
+        assert_eq!(inc.check_assuming(&tm, &core), SatResult::Unsat);
+    }
+
+    #[test]
+    fn permanent_unsat_yields_empty_core() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(4));
+        let c1 = tm.bv_const(1, 4);
+        let c2 = tm.bv_const(2, 4);
+        let a = tm.eq(x, c1);
+        let b = tm.eq(x, c2);
+        let mut inc = IncrementalSolver::new();
+        inc.assert_term(&tm, a);
+        inc.assert_term(&tm, b);
+        let t = tm.tru();
+        assert_eq!(inc.check_assuming(&tm, &[t]), SatResult::Unsat);
+        assert!(inc.unsat_core().is_empty());
+        // Permanent assertions stay contradictory forever.
+        assert_eq!(inc.check(&tm), SatResult::Unsat);
+    }
+
+    #[test]
+    fn conflict_limit_yields_unknown_and_recovers() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(20));
+        let y = tm.var("y", Sort::BitVec(20));
+        let p = tm.bv_mul(x, y);
+        let c = tm.bv_const(1048573, 20); // prime
+        let goal = tm.eq(p, c);
+        let one = tm.one(20);
+        let gx = tm.bv_ugt(x, one);
+        let gy = tm.bv_ugt(y, one);
+        let mut inc = IncrementalSolver::new();
+        inc.assert_term(&tm, goal);
+        inc.set_conflict_limit(Some(3));
+        let r = inc.check_assuming(&tm, &[gx, gy]);
+        assert!(matches!(r, SatResult::Unknown | SatResult::Sat));
+        // Raising the budget on the same solver finishes the job, reusing
+        // everything learnt so far (x*y wraps mod 2^20, so a factorization
+        // of the prime exists via the modular inverse).
+        inc.set_conflict_limit(None);
+        assert_eq!(inc.check_assuming(&tm, &[gx, gy]), SatResult::Sat);
+        let m = inc.model(&tm);
+        assert_eq!((m.value(x) * m.value(y)) & 0xf_ffff, 1048573);
+        assert!(m.value(x) > 1 && m.value(y) > 1);
+    }
+}

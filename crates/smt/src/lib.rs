@@ -12,10 +12,26 @@
 //! * [`BitBlaster`](bitblast::BitBlaster) — Tseitin conversion of term graphs
 //!   to CNF,
 //! * [`SatSolver`](sat::SatSolver) — a CDCL SAT solver (two-watched literals,
-//!   first-UIP learning, VSIDS, phase saving, Luby restarts),
-//! * [`Solver`] — the user-facing SMT interface combining the above.
+//!   first-UIP learning, VSIDS, phase saving, Luby restarts, and MiniSat-style
+//!   incremental solving under assumptions with unsat cores),
+//! * [`Solver`] — the scratch SMT interface: assert, check, model, where
+//!   every check re-encodes the assertion set from zero,
+//! * [`IncrementalSolver`] — the incremental SMT interface: one persistent
+//!   bit-blaster and SAT solver, permanent [`assert_term`]
+//!   (incremental::IncrementalSolver::assert_term) plus retractable
+//!   [`check_assuming`](incremental::IncrementalSolver::check_assuming),
+//!   with term-encoding caching and learnt-clause retention across checks.
 //!
-//! # Example
+//! The workloads this crate serves are dominated by *sequences of closely
+//! related queries*: BMC re-checks the same unrolling prefix at every depth,
+//! and CEGIS re-solves the same synthesis constraints plus one new
+//! counterexample per iteration.  The incremental pipeline exists for
+//! exactly that shape — each new query only pays for what it adds, and the
+//! SAT solver's learnt clauses, variable activities and saved phases carry
+//! over instead of restarting cold.  [`SolverReuseStats`] quantifies the
+//! reuse (encodings served from cache, learnt clauses retained).
+//!
+//! # Example: scratch solving
 //!
 //! ```
 //! use sepe_smt::{TermManager, Sort, Solver, SatResult};
@@ -37,10 +53,36 @@
 //!     _ => unreachable!("the constraint is satisfiable"),
 //! }
 //! ```
+//!
+//! # Example: incremental solving with assumptions
+//!
+//! ```
+//! use sepe_smt::{IncrementalSolver, TermManager, Sort, SatResult};
+//!
+//! let mut tm = TermManager::new();
+//! let x = tm.var("x", Sort::BitVec(8));
+//! let ten = tm.bv_const(10, 8);
+//! let below = tm.bv_ult(x, ten);
+//!
+//! let mut solver = IncrementalSolver::new();
+//! solver.assert_term(&tm, below); // permanent: x < 10
+//!
+//! // Retractable assumptions — each check reuses all prior encoding work.
+//! let three = tm.bv_const(3, 8);
+//! let twelve = tm.bv_const(12, 8);
+//! let is3 = tm.eq(x, three);
+//! let is12 = tm.eq(x, twelve);
+//! assert_eq!(solver.check_assuming(&tm, &[is3]), SatResult::Sat);
+//! assert_eq!(solver.check_assuming(&tm, &[is12]), SatResult::Unsat);
+//! assert_eq!(solver.unsat_core(), &[is12]); // and x < 10 still holds:
+//! assert_eq!(solver.check_assuming(&tm, &[is3]), SatResult::Sat);
+//! assert!(solver.stats().terms_reused > 0);
+//! ```
 
 pub mod bitblast;
 pub mod cnf;
 pub mod concrete;
+pub mod incremental;
 pub mod sat;
 pub mod solver;
 pub mod sort;
@@ -48,6 +90,7 @@ pub mod subst;
 pub mod term;
 
 pub use cnf::{Clause, Cnf, Lit, Var};
+pub use incremental::{IncrementalSolver, SolverReuseStats};
 pub use sat::{SatSolver, SolveOutcome};
 pub use solver::{Model, SatResult, Solver};
 pub use sort::Sort;

@@ -6,6 +6,18 @@
 //! clause database reduction.  It is deliberately self-contained (no
 //! dependencies) and deterministic, so every experiment in the reproduction
 //! is repeatable.
+//!
+//! The solver is *incremental* in the MiniSat sense: clauses may be added
+//! between calls, and [`SatSolver::solve_under_assumptions`] decides
+//! satisfiability under a set of assumption literals that are retracted when
+//! the call returns.  Learnt clauses, variable activities and saved phases
+//! all persist across calls, so sequences of closely related queries (BMC
+//! depth sweeps, CEGIS refinements) reuse the work of earlier calls.  When a
+//! call returns [`SolveOutcome::Unsat`] because of the assumptions,
+//! [`SatSolver::unsat_assumptions`] yields the subset of assumptions that
+//! participated in the final conflict (an unsat core over assumptions).
+
+use std::time::Instant;
 
 use crate::cnf::{Clause, Cnf, Lit, Var};
 
@@ -24,6 +36,16 @@ pub enum SolveOutcome {
 const UNASSIGNED: i8 = 0;
 const VALUE_TRUE: i8 = 1;
 const VALUE_FALSE: i8 = -1;
+
+/// Outcome of one decision step of the search loop.
+enum Decision {
+    /// A (pseudo-)decision was enqueued; keep propagating.
+    Continue,
+    /// Every variable is assigned: the formula is satisfiable.
+    Sat,
+    /// This assumption is falsified by the current trail.
+    FailedAssumption(Lit),
+}
 
 #[derive(Debug, Clone)]
 struct ClauseData {
@@ -154,6 +176,22 @@ pub struct SatSolver {
     propagations: u64,
     conflict_limit: Option<u64>,
     max_learnt: f64,
+    /// Assumption literals of the solve call in progress (enqueued as
+    /// pseudo-decisions on their own levels, retracted on return).
+    assumptions: Vec<Lit>,
+    /// Subset of the assumptions responsible for the last assumption-caused
+    /// UNSAT answer.
+    conflict_core: Vec<Lit>,
+    /// Assignment snapshot of the last SAT answer (the trail itself is
+    /// unwound to level 0 between calls so clauses can keep being added).
+    model: Vec<i8>,
+    /// Live (non-deleted) learnt clauses, kept as a counter so the search
+    /// loop's database-reduction trigger is O(1) instead of O(|arena|).
+    num_learnt_live: usize,
+    /// Wall-clock deadline for the current solve call; exceeding it yields
+    /// [`SolveOutcome::Unknown`] (checked every few conflicts, so a call
+    /// overruns the deadline by at most a short burst of conflicts).
+    deadline: Option<Instant>,
 }
 
 impl Default for SatSolver {
@@ -187,15 +225,23 @@ impl SatSolver {
             propagations: 0,
             conflict_limit: None,
             max_learnt: 4000.0,
+            assumptions: Vec::new(),
+            conflict_core: Vec::new(),
+            model: Vec::new(),
+            num_learnt_live: 0,
+            deadline: None,
         }
     }
 
     /// Builds a solver pre-loaded with the clauses of `cnf`.
-    pub fn from_cnf(cnf: &Cnf) -> Self {
+    ///
+    /// Takes the formula by value so the clause storage moves straight into
+    /// the solver; callers that need to keep their `Cnf` clone explicitly.
+    pub fn from_cnf(cnf: Cnf) -> Self {
         let mut s = Self::new();
         s.reserve_vars(cnf.num_vars());
-        for clause in cnf.clauses() {
-            s.add_clause(clause.clone());
+        for clause in cnf.into_clauses() {
+            s.add_clause(clause);
         }
         s
     }
@@ -244,6 +290,14 @@ impl SatSolver {
         self.conflict_limit = limit;
     }
 
+    /// Sets a wall-clock deadline for subsequent solve calls; a search that
+    /// passes the deadline returns [`SolveOutcome::Unknown`].  Unlike the
+    /// conflict limit this bounds real time, which makes solver calls
+    /// interruptible from drivers with wall-clock budgets.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
     fn lit_value(&self, l: Lit) -> i8 {
         let v = self.assign[l.var().index()];
         if v == UNASSIGNED {
@@ -255,9 +309,32 @@ impl SatSolver {
         }
     }
 
-    /// Value of a variable in the current (satisfying) assignment.
+    /// Value of a variable in the model of the last satisfiable call.
     pub fn value_of(&self, v: Var) -> bool {
-        self.assign[v.index()] == VALUE_TRUE
+        self.model.get(v.index()).copied().unwrap_or(UNASSIGNED) == VALUE_TRUE
+    }
+
+    /// The subset of the last call's assumptions that participated in the
+    /// final conflict, when [`solve_under_assumptions`]
+    /// (Self::solve_under_assumptions) returned [`SolveOutcome::Unsat`]
+    /// because of its assumptions.  Empty when the formula is unsatisfiable
+    /// on its own.
+    pub fn unsat_assumptions(&self) -> &[Lit] {
+        &self.conflict_core
+    }
+
+    /// Number of stored clauses (original + learnt, excluding deleted).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.deleted).count()
+    }
+
+    /// Number of live learnt clauses retained for future calls.
+    ///
+    /// Maintained as a counter (updated by learning and database reduction)
+    /// so the search loop never scans the clause arena, which grows with the
+    /// lifetime of an incremental solver.
+    pub fn num_learnt(&self) -> usize {
+        self.num_learnt_live
     }
 
     /// Adds a clause.  Returns `false` if the solver became trivially
@@ -322,7 +399,11 @@ impl SatSolver {
     fn enqueue(&mut self, l: Lit, reason: Option<u32>) {
         debug_assert_eq!(self.lit_value(l), UNASSIGNED);
         let v = l.var();
-        self.assign[v.index()] = if l.is_positive() { VALUE_TRUE } else { VALUE_FALSE };
+        self.assign[v.index()] = if l.is_positive() {
+            VALUE_TRUE
+        } else {
+            VALUE_FALSE
+        };
         self.level[v.index()] = self.decision_level();
         self.reason[v.index()] = reason;
         self.phase[v.index()] = l.is_positive();
@@ -557,6 +638,7 @@ impl SatSolver {
                     lbd,
                     activity: self.cla_inc,
                 });
+                self.num_learnt_live += 1;
                 Some(idx)
             }
         }
@@ -578,6 +660,79 @@ impl SatSolver {
         None
     }
 
+    /// Makes the next pseudo-decision (an assumption not yet at its level) or
+    /// real decision (VSIDS branch).
+    fn next_decision(&mut self) -> Decision {
+        while (self.decision_level() as usize) < self.assumptions.len() {
+            let p = self.assumptions[self.decision_level() as usize];
+            match self.lit_value(p) {
+                VALUE_TRUE => {
+                    // Already satisfied: open a dummy level so assumption
+                    // indices and decision levels stay aligned.
+                    self.trail_lim.push(self.trail.len());
+                }
+                VALUE_FALSE => return Decision::FailedAssumption(p),
+                _ => {
+                    self.trail_lim.push(self.trail.len());
+                    self.enqueue(p, None);
+                    return Decision::Continue;
+                }
+            }
+        }
+        match self.pick_branch() {
+            None => Decision::Sat,
+            Some(l) => {
+                self.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                self.enqueue(l, None);
+                Decision::Continue
+            }
+        }
+    }
+
+    /// Final-conflict analysis: `failed` is an assumption currently falsified
+    /// by the trail.  Walks the implication graph backwards from `¬failed`
+    /// and collects the pseudo-decisions (assumptions) it rests on, yielding
+    /// an unsat core over the assumptions in `conflict_core`.
+    fn analyze_final(&mut self, failed: Lit) {
+        self.conflict_core.clear();
+        self.conflict_core.push(failed);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[failed.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            if !self.seen[v.index()] {
+                continue;
+            }
+            match self.reason[v.index()] {
+                None => {
+                    // A decision above level 0 is always an assumption here:
+                    // analyze_final runs before any real branching happens on
+                    // top of a falsified assumption, and assumptions are
+                    // enqueued verbatim — so the trail literal is the
+                    // assumption itself (including `!failed` when the
+                    // assumption set contains both polarities of a variable).
+                    if self.level[v.index()] > 0 {
+                        self.conflict_core.push(l);
+                    }
+                }
+                Some(ci) => {
+                    let lits = self.clauses[ci as usize].lits.clone();
+                    for &q in &lits {
+                        if q.var() != v && self.level[q.var().index()] > 0 {
+                            self.seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[v.index()] = false;
+        }
+        self.seen[failed.var().index()] = false;
+    }
+
     fn reduce_db(&mut self) {
         let locked: std::collections::HashSet<u32> =
             self.reason.iter().flatten().copied().collect();
@@ -590,9 +745,11 @@ impl SatSolver {
         learnt_indices.sort_by(|&a, &b| {
             let ca = &self.clauses[a as usize];
             let cb = &self.clauses[b as usize];
-            cb.lbd
-                .cmp(&ca.lbd)
-                .then(ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal))
+            cb.lbd.cmp(&ca.lbd).then(
+                ca.activity
+                    .partial_cmp(&cb.activity)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         let to_remove = learnt_indices.len() / 2;
         let mut removed = 0;
@@ -604,6 +761,7 @@ impl SatSolver {
                 continue;
             }
             self.clauses[ci as usize].deleted = true;
+            self.num_learnt_live -= 1;
             removed += 1;
         }
         self.max_learnt *= 1.3;
@@ -623,27 +781,59 @@ impl SatSolver {
         }
     }
 
-    /// Runs the CDCL search.
+    /// Runs the CDCL search with no assumptions.
     pub fn solve(&mut self) -> SolveOutcome {
+        self.solve_under_assumptions(&[])
+    }
+
+    /// Runs the CDCL search under assumption literals.
+    ///
+    /// The assumptions are enqueued as pseudo-decisions below every real
+    /// decision, so the answer is the satisfiability of the clause database
+    /// *conjoined with* the assumptions.  The assumptions are retracted when
+    /// the call returns: the solver unwinds to decision level 0, keeping all
+    /// learnt clauses, activities and phases, so further clauses can be
+    /// added and further calls made.  On an assumption-caused
+    /// [`SolveOutcome::Unsat`], [`unsat_assumptions`]
+    /// (Self::unsat_assumptions) holds a core over the assumptions.
+    pub fn solve_under_assumptions(&mut self, assumps: &[Lit]) -> SolveOutcome {
+        self.conflict_core.clear();
+        self.model.clear();
         if !self.ok {
             return SolveOutcome::Unsat;
         }
+        debug_assert_eq!(
+            self.decision_level(),
+            0,
+            "solver must be at level 0 between calls"
+        );
+        for l in assumps {
+            self.reserve_vars(l.var().0 + 1);
+        }
+        self.assumptions = assumps.to_vec();
         if self.propagate().is_some() {
             self.ok = false;
+            self.assumptions.clear();
             return SolveOutcome::Unsat;
         }
         let mut restart_count = 0u64;
         let start_conflicts = self.conflicts;
-        loop {
+        let outcome = loop {
             let budget = 100 * Self::luby(restart_count);
             match self.search(budget, start_conflicts) {
-                Some(outcome) => return outcome,
+                Some(outcome) => break outcome,
                 None => {
                     restart_count += 1;
                     self.backtrack(0);
                 }
             }
+        };
+        if outcome == SolveOutcome::Sat {
+            self.model = self.assign.clone();
         }
+        self.backtrack(0);
+        self.assumptions.clear();
+        outcome
     }
 
     /// Searches until a verdict, a restart budget expiry (`None`) or the
@@ -675,22 +865,32 @@ impl SatSolver {
                         return Some(SolveOutcome::Unknown);
                     }
                 }
+                if let Some(deadline) = self.deadline {
+                    // An Instant read per conflict would already be noise
+                    // next to conflict analysis; sampling 1-in-64 makes it
+                    // free while bounding the overrun to a short burst.
+                    if self.conflicts.is_multiple_of(64) && Instant::now() >= deadline {
+                        self.backtrack(0);
+                        return Some(SolveOutcome::Unknown);
+                    }
+                }
             } else {
-                let learnt_count =
-                    self.clauses.iter().filter(|c| c.learnt && !c.deleted).count() as f64;
-                if learnt_count >= self.max_learnt {
+                if self.num_learnt_live as f64 >= self.max_learnt {
                     self.reduce_db();
                 }
                 if local_conflicts >= budget {
                     return None;
                 }
-                match self.pick_branch() {
-                    None => return Some(SolveOutcome::Sat),
-                    Some(l) => {
-                        self.decisions += 1;
-                        self.trail_lim.push(self.trail.len());
-                        self.enqueue(l, None);
+                // Re-establish assumptions first (each on its own level so
+                // conflict analysis can distinguish them), then branch.
+                match self.next_decision() {
+                    Decision::Sat => return Some(SolveOutcome::Sat),
+                    Decision::FailedAssumption(failed) => {
+                        self.analyze_final(failed);
+                        self.backtrack(0);
+                        return Some(SolveOutcome::Unsat);
                     }
+                    Decision::Continue => {}
                 }
             }
         }
@@ -702,7 +902,7 @@ mod tests {
     use super::*;
 
     fn lit(v: i32) -> Lit {
-        let var = Var(u32::try_from(v.unsigned_abs()).expect("var") - 1);
+        let var = Var(v.unsigned_abs() - 1);
         Lit::new(var, v > 0)
     }
 
@@ -790,6 +990,157 @@ mod tests {
         assert_eq!(s.solve(), SolveOutcome::Unknown);
     }
 
+    #[test]
+    fn assumptions_flip_the_verdict_without_mutating_the_formula() {
+        // (x1 ∨ x2) is SAT; assuming ¬x1 and ¬x2 makes it UNSAT; the formula
+        // itself stays SAT afterwards.
+        let mut s = solver_with(&[vec![1, 2]]);
+        assert_eq!(
+            s.solve_under_assumptions(&[lit(-1), lit(-2)]),
+            SolveOutcome::Unsat
+        );
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        assert_eq!(s.solve_under_assumptions(&[lit(-1)]), SolveOutcome::Sat);
+        assert!(s.value_of(Var(1)), "x2 must hold when x1 is assumed false");
+    }
+
+    #[test]
+    fn unsat_core_is_a_subset_of_the_assumptions() {
+        // x1 → x2, x2 → x3; assuming {x1, ¬x3, x5} is UNSAT and the core
+        // must not mention the irrelevant x5.
+        let mut s = solver_with(&[vec![-1, 2], vec![-2, 3]]);
+        let assumps = [lit(1), lit(-3), lit(5)];
+        assert_eq!(s.solve_under_assumptions(&assumps), SolveOutcome::Unsat);
+        let core = s.unsat_assumptions().to_vec();
+        assert!(!core.is_empty());
+        assert!(
+            core.iter().all(|l| assumps.contains(l)),
+            "core {core:?} ⊄ assumptions"
+        );
+        assert!(
+            !core.contains(&lit(5)),
+            "irrelevant assumption in core: {core:?}"
+        );
+        // The core itself must be unsatisfiable together with the clauses.
+        assert_eq!(s.solve_under_assumptions(&core), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn opposite_polarity_assumptions_yield_both_in_the_core() {
+        let mut s = solver_with(&[vec![1, 2]]);
+        assert_eq!(
+            s.solve_under_assumptions(&[lit(3), lit(-3)]),
+            SolveOutcome::Unsat
+        );
+        let core = s.unsat_assumptions();
+        assert!(
+            core.contains(&lit(3)) && core.contains(&lit(-3)),
+            "core {core:?}"
+        );
+    }
+
+    #[test]
+    fn clauses_can_be_added_between_solves() {
+        let mut s = solver_with(&[vec![1, 2]]);
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        assert!(s.add_clause(vec![lit(-1)]));
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        assert!(s.value_of(Var(1)));
+        // ¬x2 contradicts the level-0 consequence x2: add_clause reports the
+        // trivial inconsistency immediately.
+        assert!(!s.add_clause(vec![lit(-2)]));
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        assert!(
+            s.unsat_assumptions().is_empty(),
+            "global unsat has an empty core"
+        );
+    }
+
+    #[test]
+    fn learnt_clauses_persist_across_calls() {
+        // Solve a pigeonhole instance twice: the second run reuses the learnt
+        // clauses of the first and needs (strictly) fewer new conflicts.
+        let mut s = solver_with(&pigeonhole(5, 4));
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        // A global UNSAT answer is final: ok=false short-circuits.
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+
+        // Under assumptions UNSAT is not final; re-solving a SAT instance
+        // under changing assumptions must keep working.
+        let mut s = solver_with(&pigeonhole(4, 4));
+        assert_eq!(s.solve_under_assumptions(&[lit(1)]), SolveOutcome::Sat);
+        let first = s.num_conflicts();
+        assert_eq!(s.solve_under_assumptions(&[lit(-1)]), SolveOutcome::Sat);
+        assert_eq!(s.solve_under_assumptions(&[lit(1)]), SolveOutcome::Sat);
+        let after = s.num_conflicts() - first;
+        assert!(
+            after <= first + 50,
+            "later calls should not restart cold: {first} -> {after}"
+        );
+    }
+
+    #[test]
+    fn assumption_core_respects_already_false_units() {
+        // Unit clause ¬x1; assuming x1 fails with core {x1} at level 0.
+        let mut s = solver_with(&[vec![-1]]);
+        assert_eq!(s.solve_under_assumptions(&[lit(1)]), SolveOutcome::Unsat);
+        assert_eq!(s.unsat_assumptions(), &[lit(1)]);
+        // ... and the solver is still usable.
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+    }
+
+    /// Randomized differential check of assumption solving against adding the
+    /// assumptions as unit clauses to a fresh solver.
+    #[test]
+    fn assumptions_agree_with_unit_clauses_on_random_formulas() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xa55);
+        for round in 0..80 {
+            let num_vars = 7;
+            let clauses: Vec<Vec<i32>> = (0..(4 + round % 16))
+                .map(|_| {
+                    (0..3)
+                        .map(|_| {
+                            let v = rng.gen_range(1..=num_vars);
+                            if rng.gen_bool(0.5) {
+                                v
+                            } else {
+                                -v
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut assumps: Vec<i32> = Vec::new();
+            for v in 1..=num_vars {
+                if rng.gen_bool(0.3) {
+                    assumps.push(if rng.gen_bool(0.5) { v } else { -v });
+                }
+            }
+            let mut incremental = solver_with(&clauses);
+            let a_lits: Vec<Lit> = assumps.iter().map(|&v| lit(v)).collect();
+            let with_assumps = incremental.solve_under_assumptions(&a_lits);
+            let mut scratch = solver_with(&clauses);
+            for &v in &assumps {
+                scratch.add_clause(vec![lit(v)]);
+            }
+            let with_units = scratch.solve();
+            assert_eq!(
+                with_assumps, with_units,
+                "clauses {clauses:?} assumps {assumps:?}"
+            );
+            // The incremental solver must remain intact: re-solve without
+            // assumptions and compare against a fresh run.
+            let clean = incremental.solve();
+            let fresh = solver_with(&clauses).solve();
+            assert_eq!(
+                clean, fresh,
+                "post-assumption state corrupted on {clauses:?}"
+            );
+        }
+    }
+
     /// Brute-force model counting cross-check on random small formulas.
     #[test]
     fn agrees_with_brute_force_on_random_formulas() {
@@ -829,7 +1180,11 @@ mod tests {
             let outcome = s.solve();
             assert_eq!(
                 outcome,
-                if brute_sat { SolveOutcome::Sat } else { SolveOutcome::Unsat },
+                if brute_sat {
+                    SolveOutcome::Sat
+                } else {
+                    SolveOutcome::Unsat
+                },
                 "mismatch on {clauses:?}"
             );
             if outcome == SolveOutcome::Sat {

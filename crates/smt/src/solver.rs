@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use crate::bitblast::BitBlaster;
+use crate::cnf::Lit;
 use crate::concrete::{eval, Assignment};
 use crate::sat::{SatSolver, SolveOutcome};
 use crate::term::{TermId, TermManager};
@@ -45,6 +46,24 @@ impl Model {
     pub fn eval(&self, tm: &TermManager, t: TermId) -> u64 {
         eval(tm, t, &self.values)
     }
+
+    /// Reassembles variable values from a satisfying SAT assignment using
+    /// the bit-blaster's per-variable literal encodings (LSB first).
+    ///
+    /// Shared by the scratch and incremental solving paths.
+    pub fn read_back(encodings: &HashMap<TermId, Vec<Lit>>, sat: &SatSolver) -> Model {
+        let mut values = Assignment::new();
+        for (&term, bits) in encodings {
+            let mut v = 0u64;
+            for (i, &l) in bits.iter().enumerate() {
+                if sat.value_of(l.var()) == l.is_positive() {
+                    v |= 1u64 << i;
+                }
+            }
+            values.insert(term, v);
+        }
+        Model { values }
+    }
 }
 
 /// Statistics of the last [`Solver::check`] call.
@@ -75,6 +94,7 @@ pub struct SolverStats {
 pub struct Solver {
     assertions: Vec<TermId>,
     conflict_limit: Option<u64>,
+    deadline: Option<Instant>,
     last_model: Option<Model>,
     stats: SolverStats,
 }
@@ -108,6 +128,12 @@ impl Solver {
         self.conflict_limit = limit;
     }
 
+    /// Sets a wall-clock deadline for subsequent checks; a check that passes
+    /// the deadline returns [`SatResult::Unknown`].
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
     /// Statistics of the most recent check.
     pub fn stats(&self) -> SolverStats {
         self.stats
@@ -120,14 +146,16 @@ impl Solver {
         for &a in &self.assertions {
             blaster.assert_true(tm, a);
         }
-        let var_encodings = blaster.var_encodings().clone();
-        let cnf = blaster.into_cnf();
-        let mut sat = SatSolver::from_cnf(&cnf);
+        let (cnf, var_encodings) = blaster.into_parts();
+        let cnf_vars = u64::from(cnf.num_vars());
+        let cnf_clauses = cnf.num_clauses() as u64;
+        let mut sat = SatSolver::from_cnf(cnf);
         sat.set_conflict_limit(self.conflict_limit);
+        sat.set_deadline(self.deadline);
         let outcome = sat.solve();
         self.stats = SolverStats {
-            cnf_vars: u64::from(cnf.num_vars()),
-            cnf_clauses: cnf.num_clauses() as u64,
+            cnf_vars,
+            cnf_clauses,
             conflicts: sat.num_conflicts(),
             decisions: sat.num_decisions(),
             propagations: sat.num_propagations(),
@@ -135,17 +163,7 @@ impl Solver {
         };
         match outcome {
             SolveOutcome::Sat => {
-                let mut values = HashMap::new();
-                for (term, bits) in var_encodings {
-                    let mut v = 0u64;
-                    for (i, &l) in bits.iter().enumerate() {
-                        if sat.value_of(l.var()) == l.is_positive() {
-                            v |= 1u64 << i;
-                        }
-                    }
-                    values.insert(term, v);
-                }
-                self.last_model = Some(Model::from_values(values));
+                self.last_model = Some(Model::read_back(&var_encodings, &sat));
                 SatResult::Sat
             }
             SolveOutcome::Unsat => {
@@ -169,7 +187,9 @@ impl Solver {
     ///
     /// Panics if the last check was not satisfiable.
     pub fn model(&self, _tm: &TermManager) -> &Model {
-        self.last_model.as_ref().expect("model requested but last check was not SAT")
+        self.last_model
+            .as_ref()
+            .expect("model requested but last check was not SAT")
     }
 
     /// The model of the last satisfiable check, if any.
@@ -186,8 +206,8 @@ pub fn is_valid(tm: &mut TermManager, formula: TermId, conflict_limit: Option<u6
     solver.set_conflict_limit(conflict_limit);
     solver.assert_term(tm, negated);
     match solver.check(tm) {
-        SatResult::Sat => SatResult::Unsat,   // counterexample exists => not valid
-        SatResult::Unsat => SatResult::Sat,   // negation unsatisfiable => valid
+        SatResult::Sat => SatResult::Unsat, // counterexample exists => not valid
+        SatResult::Unsat => SatResult::Sat, // negation unsatisfiable => valid
         SatResult::Unknown => SatResult::Unknown,
     }
 }

@@ -57,7 +57,10 @@ impl fmt::Display for Sort {
 ///
 /// Widths of 64 are handled without overflow.
 pub fn mask(value: u64, width: u32) -> u64 {
-    debug_assert!(width >= 1 && width <= 64, "invalid bit-vector width {width}");
+    debug_assert!(
+        (1..=64).contains(&width),
+        "invalid bit-vector width {width}"
+    );
     if width >= 64 {
         value
     } else {
@@ -67,7 +70,7 @@ pub fn mask(value: u64, width: u32) -> u64 {
 
 /// Sign-extends a `width`-bit value to 64 bits (as `i64` reinterpreted in `u64`).
 pub fn sign_extend(value: u64, width: u32) -> u64 {
-    debug_assert!(width >= 1 && width <= 64);
+    debug_assert!((1..=64).contains(&width));
     if width >= 64 {
         return value;
     }
@@ -109,7 +112,7 @@ mod tests {
     fn sign_extension() {
         assert_eq!(sign_extend(0x80, 8), 0xffff_ffff_ffff_ff80);
         assert_eq!(sign_extend(0x7f, 8), 0x7f);
-        assert_eq!(sign_extend(0xfff, 12), u64::MAX & !0xfff | 0xfff);
+        assert_eq!(sign_extend(0xfff, 12), !0xfff | 0xfff);
         assert_eq!(sign_extend(1, 1), u64::MAX);
         assert_eq!(sign_extend(0, 1), 0);
     }

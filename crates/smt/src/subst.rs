@@ -55,11 +55,7 @@ pub fn substitute_once(
     substitute(tm, root, map, &mut cache)
 }
 
-fn lookup(
-    t: TermId,
-    map: &HashMap<TermId, TermId>,
-    cache: &HashMap<TermId, TermId>,
-) -> TermId {
+fn lookup(t: TermId, map: &HashMap<TermId, TermId>, cache: &HashMap<TermId, TermId>) -> TermId {
     if let Some(&r) = map.get(&t) {
         r
     } else {

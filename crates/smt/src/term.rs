@@ -213,12 +213,18 @@ impl TermManager {
 
     /// The boolean constant `true`.
     pub fn tru(&mut self) -> TermId {
-        self.intern(Term { op: Op::BoolConst(true), sort: Sort::Bool })
+        self.intern(Term {
+            op: Op::BoolConst(true),
+            sort: Sort::Bool,
+        })
     }
 
     /// The boolean constant `false`.
     pub fn fls(&mut self) -> TermId {
-        self.intern(Term { op: Op::BoolConst(false), sort: Sort::Bool })
+        self.intern(Term {
+            op: Op::BoolConst(false),
+            sort: Sort::Bool,
+        })
     }
 
     /// A boolean constant.
@@ -232,9 +238,15 @@ impl TermManager {
 
     /// A bit-vector constant of the given width.  The value is masked.
     pub fn bv_const(&mut self, value: u64, width: u32) -> TermId {
-        assert!((1..=64).contains(&width), "unsupported bit-vector width {width}");
+        assert!(
+            (1..=64).contains(&width),
+            "unsupported bit-vector width {width}"
+        );
         let value = mask(value, width);
-        self.intern(Term { op: Op::BvConst { value, width }, sort: Sort::BitVec(width) })
+        self.intern(Term {
+            op: Op::BvConst { value, width },
+            sort: Sort::BitVec(width),
+        })
     }
 
     /// The all-zero bit-vector of the given width.
@@ -267,7 +279,12 @@ impl TermManager {
             );
             return id;
         }
-        let id = self.intern(Term { op: Op::Var { name: name.to_string() }, sort });
+        let id = self.intern(Term {
+            op: Op::Var {
+                name: name.to_string(),
+            },
+            sort,
+        });
         self.vars_by_name.insert(name.to_string(), id);
         id
     }
@@ -307,7 +324,10 @@ impl TermManager {
         match self.term(a).op.clone() {
             Op::BoolConst(b) => self.bool_const(!b),
             Op::Not(inner) => inner,
-            _ => self.intern(Term { op: Op::Not(a), sort: Sort::Bool }),
+            _ => self.intern(Term {
+                op: Op::Not(a),
+                sort: Sort::Bool,
+            }),
         }
     }
 
@@ -323,7 +343,10 @@ impl TermManager {
             (_, Some(1)) => a,
             _ => {
                 let (a, b) = if a <= b { (a, b) } else { (b, a) };
-                self.intern(Term { op: Op::And(a, b), sort: Sort::Bool })
+                self.intern(Term {
+                    op: Op::And(a, b),
+                    sort: Sort::Bool,
+                })
             }
         }
     }
@@ -340,7 +363,10 @@ impl TermManager {
             (_, Some(0)) => a,
             _ => {
                 let (a, b) = if a <= b { (a, b) } else { (b, a) };
-                self.intern(Term { op: Op::Or(a, b), sort: Sort::Bool })
+                self.intern(Term {
+                    op: Op::Or(a, b),
+                    sort: Sort::Bool,
+                })
             }
         }
     }
@@ -359,7 +385,10 @@ impl TermManager {
             (_, Some(1)) => self.not(a),
             _ => {
                 let (a, b) = if a <= b { (a, b) } else { (b, a) };
-                self.intern(Term { op: Op::Xor(a, b), sort: Sort::Bool })
+                self.intern(Term {
+                    op: Op::Xor(a, b),
+                    sort: Sort::Bool,
+                })
             }
         }
     }
@@ -374,7 +403,10 @@ impl TermManager {
             (Some(0), _) | (_, Some(1)) => self.tru(),
             (Some(1), _) => b,
             (_, Some(0)) => self.not(a),
-            _ => self.intern(Term { op: Op::Implies(a, b), sort: Sort::Bool }),
+            _ => self.intern(Term {
+                op: Op::Implies(a, b),
+                sort: Sort::Bool,
+            }),
         }
     }
 
@@ -406,7 +438,10 @@ impl TermManager {
             return self.bool_const(x == y);
         }
         let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        self.intern(Term { op: Op::Eq(a, b), sort: Sort::Bool })
+        self.intern(Term {
+            op: Op::Eq(a, b),
+            sort: Sort::Bool,
+        })
     }
 
     /// Disequality.
@@ -418,7 +453,11 @@ impl TermManager {
     /// If-then-else over booleans or bit-vectors.
     pub fn ite(&mut self, cond: TermId, then: TermId, els: TermId) -> TermId {
         debug_assert!(self.sort(cond).is_bool());
-        assert_eq!(self.sort(then), self.sort(els), "ite branches must share a sort");
+        assert_eq!(
+            self.sort(then),
+            self.sort(els),
+            "ite branches must share a sort"
+        );
         if then == els {
             return then;
         }
@@ -427,7 +466,10 @@ impl TermManager {
             Some(0) => els,
             _ => {
                 let sort = self.sort(then);
-                self.intern(Term { op: Op::Ite(cond, then, els), sort })
+                self.intern(Term {
+                    op: Op::Ite(cond, then, els),
+                    sort,
+                })
             }
         }
     }
@@ -452,7 +494,10 @@ impl TermManager {
         if let Op::BvNot(inner) = self.term(a).op {
             return inner;
         }
-        self.intern(Term { op: Op::BvNot(a), sort: Sort::BitVec(w) })
+        self.intern(Term {
+            op: Op::BvNot(a),
+            sort: Sort::BitVec(w),
+        })
     }
 
     /// Two's complement negation.
@@ -461,7 +506,10 @@ impl TermManager {
         if let Some(v) = self.const_value(a) {
             return self.bv_const(v.wrapping_neg(), w);
         }
-        self.intern(Term { op: Op::BvNeg(a), sort: Sort::BitVec(w) })
+        self.intern(Term {
+            op: Op::BvNeg(a),
+            sort: Sort::BitVec(w),
+        })
     }
 
     /// Bit-wise and.
@@ -477,7 +525,10 @@ impl TermManager {
             (_, Some(y)) if y == mask(u64::MAX, w) => a,
             _ => {
                 let (a, b) = if a <= b { (a, b) } else { (b, a) };
-                self.intern(Term { op: Op::BvAnd(a, b), sort: Sort::BitVec(w) })
+                self.intern(Term {
+                    op: Op::BvAnd(a, b),
+                    sort: Sort::BitVec(w),
+                })
             }
         }
     }
@@ -496,7 +547,10 @@ impl TermManager {
             (_, Some(y)) if y == mask(u64::MAX, w) => self.ones(w),
             _ => {
                 let (a, b) = if a <= b { (a, b) } else { (b, a) };
-                self.intern(Term { op: Op::BvOr(a, b), sort: Sort::BitVec(w) })
+                self.intern(Term {
+                    op: Op::BvOr(a, b),
+                    sort: Sort::BitVec(w),
+                })
             }
         }
     }
@@ -513,7 +567,10 @@ impl TermManager {
             (_, Some(0)) => a,
             _ => {
                 let (a, b) = if a <= b { (a, b) } else { (b, a) };
-                self.intern(Term { op: Op::BvXor(a, b), sort: Sort::BitVec(w) })
+                self.intern(Term {
+                    op: Op::BvXor(a, b),
+                    sort: Sort::BitVec(w),
+                })
             }
         }
     }
@@ -527,7 +584,10 @@ impl TermManager {
             (_, Some(0)) => a,
             _ => {
                 let (a, b) = if a <= b { (a, b) } else { (b, a) };
-                self.intern(Term { op: Op::BvAdd(a, b), sort: Sort::BitVec(w) })
+                self.intern(Term {
+                    op: Op::BvAdd(a, b),
+                    sort: Sort::BitVec(w),
+                })
             }
         }
     }
@@ -541,7 +601,10 @@ impl TermManager {
         match (self.const_value(a), self.const_value(b)) {
             (Some(x), Some(y)) => self.bv_const(x.wrapping_sub(y), w),
             (_, Some(0)) => a,
-            _ => self.intern(Term { op: Op::BvSub(a, b), sort: Sort::BitVec(w) }),
+            _ => self.intern(Term {
+                op: Op::BvSub(a, b),
+                sort: Sort::BitVec(w),
+            }),
         }
     }
 
@@ -555,7 +618,10 @@ impl TermManager {
             (_, Some(1)) => a,
             _ => {
                 let (a, b) = if a <= b { (a, b) } else { (b, a) };
-                self.intern(Term { op: Op::BvMul(a, b), sort: Sort::BitVec(w) })
+                self.intern(Term {
+                    op: Op::BvMul(a, b),
+                    sort: Sort::BitVec(w),
+                })
             }
         }
     }
@@ -564,10 +630,13 @@ impl TermManager {
     pub fn bv_udiv(&mut self, a: TermId, b: TermId) -> TermId {
         let w = self.bv_binop_widths(a, b);
         if let (Some(x), Some(y)) = (self.const_value(a), self.const_value(b)) {
-            let r = if y == 0 { mask(u64::MAX, w) } else { x / y };
+            let r = x.checked_div(y).unwrap_or(mask(u64::MAX, w));
             return self.bv_const(r, w);
         }
-        self.intern(Term { op: Op::BvUdiv(a, b), sort: Sort::BitVec(w) })
+        self.intern(Term {
+            op: Op::BvUdiv(a, b),
+            sort: Sort::BitVec(w),
+        })
     }
 
     /// Unsigned remainder (x % 0 = x, as in SMT-LIB).
@@ -577,7 +646,10 @@ impl TermManager {
             let r = if y == 0 { x } else { x % y };
             return self.bv_const(r, w);
         }
-        self.intern(Term { op: Op::BvUrem(a, b), sort: Sort::BitVec(w) })
+        self.intern(Term {
+            op: Op::BvUrem(a, b),
+            sort: Sort::BitVec(w),
+        })
     }
 
     fn shift_amount(&self, b: TermId, w: u32) -> Option<u64> {
@@ -594,20 +666,30 @@ impl TermManager {
         if self.const_value(b) == Some(0) {
             return a;
         }
-        self.intern(Term { op: Op::BvShl(a, b), sort: Sort::BitVec(w) })
+        self.intern(Term {
+            op: Op::BvShl(a, b),
+            sort: Sort::BitVec(w),
+        })
     }
 
     /// Logical shift right.
     pub fn bv_lshr(&mut self, a: TermId, b: TermId) -> TermId {
         let w = self.bv_binop_widths(a, b);
         if let (Some(x), Some(s)) = (self.const_value(a), self.shift_amount(b, w)) {
-            let r = if s >= u64::from(w) { 0 } else { mask(x, w) >> s };
+            let r = if s >= u64::from(w) {
+                0
+            } else {
+                mask(x, w) >> s
+            };
             return self.bv_const(r, w);
         }
         if self.const_value(b) == Some(0) {
             return a;
         }
-        self.intern(Term { op: Op::BvLshr(a, b), sort: Sort::BitVec(w) })
+        self.intern(Term {
+            op: Op::BvLshr(a, b),
+            sort: Sort::BitVec(w),
+        })
     }
 
     /// Arithmetic shift right.
@@ -621,7 +703,10 @@ impl TermManager {
         if self.const_value(b) == Some(0) {
             return a;
         }
-        self.intern(Term { op: Op::BvAshr(a, b), sort: Sort::BitVec(w) })
+        self.intern(Term {
+            op: Op::BvAshr(a, b),
+            sort: Sort::BitVec(w),
+        })
     }
 
     /// Unsigned less-than.
@@ -633,7 +718,10 @@ impl TermManager {
         if let (Some(x), Some(y)) = (self.const_value(a), self.const_value(b)) {
             return self.bool_const(x < y);
         }
-        self.intern(Term { op: Op::BvUlt(a, b), sort: Sort::Bool })
+        self.intern(Term {
+            op: Op::BvUlt(a, b),
+            sort: Sort::Bool,
+        })
     }
 
     /// Unsigned less-or-equal.
@@ -645,7 +733,10 @@ impl TermManager {
         if let (Some(x), Some(y)) = (self.const_value(a), self.const_value(b)) {
             return self.bool_const(x <= y);
         }
-        self.intern(Term { op: Op::BvUle(a, b), sort: Sort::Bool })
+        self.intern(Term {
+            op: Op::BvUle(a, b),
+            sort: Sort::Bool,
+        })
     }
 
     /// Signed less-than.
@@ -657,7 +748,10 @@ impl TermManager {
         if let (Some(x), Some(y)) = (self.const_value(a), self.const_value(b)) {
             return self.bool_const((sign_extend(x, w) as i64) < (sign_extend(y, w) as i64));
         }
-        self.intern(Term { op: Op::BvSlt(a, b), sort: Sort::Bool })
+        self.intern(Term {
+            op: Op::BvSlt(a, b),
+            sort: Sort::Bool,
+        })
     }
 
     /// Signed less-or-equal.
@@ -669,7 +763,11 @@ impl TermManager {
         if let (Some(x), Some(y)) = (self.const_value(a), self.const_value(b)) {
             return self.bool_const((sign_extend(x, w) as i64) <= (sign_extend(y, w) as i64));
         }
-        self.intern(Term { op: Op::BvSlt(b, a), sort: Sort::Bool }).pipe_not(self)
+        self.intern(Term {
+            op: Op::BvSlt(b, a),
+            sort: Sort::Bool,
+        })
+        .pipe_not(self)
     }
 
     /// Unsigned greater-than.
@@ -691,13 +789,19 @@ impl TermManager {
         if let (Some(x), Some(y)) = (self.const_value(hi), self.const_value(lo)) {
             return self.bv_const((x << wl) | y, w);
         }
-        self.intern(Term { op: Op::BvConcat(hi, lo), sort: Sort::BitVec(w) })
+        self.intern(Term {
+            op: Op::BvConcat(hi, lo),
+            sort: Sort::BitVec(w),
+        })
     }
 
     /// Bit extraction `arg[hi:lo]` (inclusive).
     pub fn bv_extract(&mut self, arg: TermId, hi: u32, lo: u32) -> TermId {
         let w = self.width(arg);
-        assert!(hi >= lo && hi < w, "invalid extract bounds [{hi}:{lo}] on width {w}");
+        assert!(
+            hi >= lo && hi < w,
+            "invalid extract bounds [{hi}:{lo}] on width {w}"
+        );
         let ow = hi - lo + 1;
         if ow == w {
             return arg;
@@ -705,7 +809,10 @@ impl TermManager {
         if let Some(x) = self.const_value(arg) {
             return self.bv_const(x >> lo, ow);
         }
-        self.intern(Term { op: Op::BvExtract { hi, lo, arg }, sort: Sort::BitVec(ow) })
+        self.intern(Term {
+            op: Op::BvExtract { hi, lo, arg },
+            sort: Sort::BitVec(ow),
+        })
     }
 
     /// Zero extension by `by` bits.
@@ -718,7 +825,10 @@ impl TermManager {
         if let Some(x) = self.const_value(arg) {
             return self.bv_const(x, w);
         }
-        self.intern(Term { op: Op::BvZeroExt { by, arg }, sort: Sort::BitVec(w) })
+        self.intern(Term {
+            op: Op::BvZeroExt { by, arg },
+            sort: Sort::BitVec(w),
+        })
     }
 
     /// Sign extension by `by` bits.
@@ -732,7 +842,10 @@ impl TermManager {
         if let Some(x) = self.const_value(arg) {
             return self.bv_const(sign_extend(x, aw), w);
         }
-        self.intern(Term { op: Op::BvSignExt { by, arg }, sort: Sort::BitVec(w) })
+        self.intern(Term {
+            op: Op::BvSignExt { by, arg },
+            sort: Sort::BitVec(w),
+        })
     }
 
     /// Extracts a single bit as a boolean.

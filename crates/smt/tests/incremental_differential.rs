@@ -1,0 +1,187 @@
+//! Randomized differential test: [`IncrementalSolver`] vs the scratch
+//! [`Solver`] on random term-graph query sequences.
+//!
+//! Each round builds a random bit-vector term graph, then drives one
+//! incremental solver through a sequence of queries — permanent assertions
+//! interleaved with `check_assuming` calls over random boolean terms — and
+//! cross-checks every verdict against a fresh scratch solver given the same
+//! conjunction.  UNSAT answers also get core sanity checks: the core is a
+//! subset of the assumptions and is itself unsatisfiable together with the
+//! permanent assertions.
+//!
+//! Everything is seeded (no time/randomness nondeterminism), so failures
+//! reproduce exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sepe_smt::{IncrementalSolver, SatResult, Solver, Sort, TermId, TermManager};
+
+/// Builds a pool of random bit-vector terms over three variables.
+fn random_bv_pool(tm: &mut TermManager, rng: &mut StdRng, width: u32) -> Vec<TermId> {
+    let x = tm.var("x", Sort::BitVec(width));
+    let y = tm.var("y", Sort::BitVec(width));
+    let z = tm.var("z", Sort::BitVec(width));
+    let mut pool = vec![x, y, z];
+    for _ in 0..10 {
+        let a = pool[rng.gen_range(0..pool.len())];
+        let b = pool[rng.gen_range(0..pool.len())];
+        let t = match rng.gen_range(0..8) {
+            0 => tm.bv_add(a, b),
+            1 => tm.bv_sub(a, b),
+            2 => tm.bv_and(a, b),
+            3 => tm.bv_or(a, b),
+            4 => tm.bv_xor(a, b),
+            5 => tm.bv_mul(a, b),
+            6 => tm.bv_not(a),
+            _ => {
+                let c = tm.bv_ult(a, b);
+                tm.ite(c, a, b)
+            }
+        };
+        pool.push(t);
+    }
+    pool
+}
+
+/// Builds a random boolean constraint over the term pool.
+fn random_constraint(
+    tm: &mut TermManager,
+    rng: &mut StdRng,
+    pool: &[TermId],
+    width: u32,
+) -> TermId {
+    let a = pool[rng.gen_range(0..pool.len())];
+    let b = pool[rng.gen_range(0..pool.len())];
+    match rng.gen_range(0..5) {
+        0 => tm.eq(a, b),
+        1 => tm.neq(a, b),
+        2 => tm.bv_ult(a, b),
+        3 => tm.bv_ule(a, b),
+        _ => {
+            let c = tm.bv_const(rng.gen_range(0..(1u64 << width)), width);
+            tm.eq(a, c)
+        }
+    }
+}
+
+#[test]
+fn incremental_agrees_with_scratch_on_random_query_sequences() {
+    let mut rng = StdRng::seed_from_u64(0x01ec_5eed);
+    let width = 6;
+    let mut checks = 0usize;
+    for round in 0..25 {
+        let mut tm = TermManager::new();
+        let pool = random_bv_pool(&mut tm, &mut rng, width);
+        let mut incremental = IncrementalSolver::new();
+        let mut permanent: Vec<TermId> = Vec::new();
+        let mut permanently_unsat = false;
+
+        // A sequence of interleaved asserts and checks per round.
+        for _step in 0..6 {
+            if rng.gen_bool(0.4) && !permanently_unsat {
+                let c = random_constraint(&mut tm, &mut rng, &pool, width);
+                incremental.assert_term(&tm, c);
+                permanent.push(c);
+            }
+            let num_assumed = rng.gen_range(0..3);
+            let assumed: Vec<TermId> = (0..num_assumed)
+                .map(|_| random_constraint(&mut tm, &mut rng, &pool, width))
+                .collect();
+
+            let got = incremental.check_assuming(&tm, &assumed);
+            checks += 1;
+
+            // Scratch reference over the identical conjunction.
+            let mut scratch = Solver::new();
+            for &p in &permanent {
+                scratch.assert_term(&tm, p);
+            }
+            for &a in &assumed {
+                scratch.assert_term(&tm, a);
+            }
+            let expected = scratch.check(&tm);
+            assert_eq!(
+                got, expected,
+                "round {round}: incremental disagrees with scratch \
+                 (permanent: {permanent:?}, assumed: {assumed:?})"
+            );
+
+            match got {
+                SatResult::Sat => {
+                    // The incremental model must satisfy every constraint.
+                    let model = incremental.model(&tm);
+                    for &p in permanent.iter().chain(&assumed) {
+                        assert_eq!(
+                            model.eval(&tm, p),
+                            1,
+                            "round {round}: model violates a constraint"
+                        );
+                    }
+                }
+                SatResult::Unsat => {
+                    // Core sanity: subset of assumptions, itself UNSAT with
+                    // the permanent assertions (checked on a scratch solver
+                    // so the incremental state is not disturbed).
+                    let core: Vec<TermId> = incremental.unsat_core().to_vec();
+                    for t in &core {
+                        assert!(
+                            assumed.contains(t),
+                            "round {round}: core member not among assumptions"
+                        );
+                    }
+                    let mut core_check = Solver::new();
+                    for &p in &permanent {
+                        core_check.assert_term(&tm, p);
+                    }
+                    for &t in &core {
+                        core_check.assert_term(&tm, t);
+                    }
+                    assert_eq!(
+                        core_check.check(&tm),
+                        SatResult::Unsat,
+                        "round {round}: unsat core {core:?} is not unsatisfiable"
+                    );
+                    if assumed.is_empty() || core.is_empty() {
+                        permanently_unsat = true;
+                    }
+                }
+                SatResult::Unknown => unreachable!("no conflict limit is set"),
+            }
+        }
+    }
+    assert!(checks >= 100, "need ≥100 differential checks, ran {checks}");
+}
+
+#[test]
+fn incremental_depth_sweep_matches_scratch_with_growing_assertions() {
+    // A second shape: monotonically growing assertion sets (the BMC pattern)
+    // with one retractable "bad state" per check.
+    let mut rng = StdRng::seed_from_u64(0xb0c5);
+    let width = 5;
+    for round in 0..15 {
+        let mut tm = TermManager::new();
+        let pool = random_bv_pool(&mut tm, &mut rng, width);
+        let mut incremental = IncrementalSolver::new();
+        let mut permanent: Vec<TermId> = Vec::new();
+        for _depth in 0..5 {
+            let c = random_constraint(&mut tm, &mut rng, &pool, width);
+            incremental.assert_term(&tm, c);
+            permanent.push(c);
+            let bad = random_constraint(&mut tm, &mut rng, &pool, width);
+
+            let got = incremental.check_assuming(&tm, &[bad]);
+            let mut scratch = Solver::new();
+            for &p in &permanent {
+                scratch.assert_term(&tm, p);
+            }
+            scratch.assert_term(&tm, bad);
+            assert_eq!(got, scratch.check(&tm), "round {round} diverged");
+        }
+        let stats = incremental.stats();
+        assert_eq!(stats.checks, 5);
+        assert!(
+            stats.terms_reused > 0,
+            "round {round}: growing assertion sets must reuse cached encodings"
+        );
+    }
+}

@@ -7,10 +7,11 @@
 //! constraint that prevents the synthesized program from being the original
 //! instruction itself (Section 4.1).
 
+use std::cell::Cell;
 use std::time::Duration;
 
 use sepe_isa::{Opcode, OperandKind};
-use sepe_smt::{SatResult, Solver, Sort, TermId, TermManager};
+use sepe_smt::{IncrementalSolver, SatResult, Solver, SolverReuseStats, Sort, TermId, TermManager};
 
 use crate::component::{AttrResolution, Component};
 use crate::program::{EquivTemplate, ImmSlot, Slot, TemplateInstr};
@@ -90,12 +91,18 @@ impl CegisOutcome {
 #[derive(Debug, Clone)]
 pub struct CegisEngine {
     config: SynthesisConfig,
+    /// Solver-reuse counters accumulated over every CEGIS run of this
+    /// engine (a `Cell` so the engine API can stay `&self`).
+    stats: Cell<SolverReuseStats>,
 }
 
 impl CegisEngine {
     /// Creates an engine.
     pub fn new(config: SynthesisConfig) -> Self {
-        CegisEngine { config }
+        CegisEngine {
+            config,
+            stats: Cell::new(SolverReuseStats::default()),
+        }
     }
 
     /// The configuration.
@@ -103,13 +110,21 @@ impl CegisEngine {
         &self.config
     }
 
+    /// Solver-reuse statistics accumulated across every synthesis call made
+    /// through this engine.
+    pub fn solver_stats(&self) -> SolverReuseStats {
+        self.stats.get()
+    }
+
     /// Attempts to synthesize a program equivalent to `spec` using exactly
     /// the components of `multiset`.
-    pub fn synthesize_with_multiset(
-        &self,
-        spec: &Spec,
-        multiset: &[&Component],
-    ) -> CegisOutcome {
+    ///
+    /// The synthesis side runs on one persistent [`IncrementalSolver`] for
+    /// the whole refinement loop: the well-formedness constraints are
+    /// asserted once, each counterexample adds its constraints
+    /// monotonically, and the SAT solver's learnt clauses/activity carry
+    /// over between rounds instead of restarting cold.
+    pub fn synthesize_with_multiset(&self, spec: &Spec, multiset: &[&Component]) -> CegisOutcome {
         let width = self.config.width;
         let num_inputs = spec.num_inputs();
         let n = multiset.len();
@@ -118,180 +133,191 @@ impl CegisEngine {
 
         let mut examples: Vec<Vec<u64>> = seed_examples(spec, width);
 
-        for _round in 0..self.config.max_cegis_iterations {
-            // ----------------------------------------------------------
-            // Synthesis query over the accumulated examples.
-            // ----------------------------------------------------------
-            let mut tm = TermManager::new();
-            let mut solver = Solver::new();
-            solver.set_conflict_limit(self.config.synth_conflict_limit);
+        // ----------------------------------------------------------
+        // Persistent synthesis query state (one per multiset).
+        // ----------------------------------------------------------
+        let mut tm = TermManager::new();
+        let mut solver = IncrementalSolver::new();
+        solver.set_conflict_limit(self.config.synth_conflict_limit);
 
-            let outputs: Vec<TermId> = (0..n)
-                .map(|j| tm.var(&format!("o{j}"), Sort::BitVec(loc_bits)))
-                .collect();
-            let inputs_loc: Vec<Vec<TermId>> = (0..n)
-                .map(|j| {
-                    (0..multiset[j].num_inputs())
-                        .map(|k| tm.var(&format!("l{j}_{k}"), Sort::BitVec(loc_bits)))
-                        .collect()
-                })
-                .collect();
-            let attrs: Vec<Option<TermId>> = (0..n)
-                .map(|j| {
-                    multiset[j]
-                        .has_attr()
-                        .then(|| tm.var(&format!("attr{j}"), Sort::BitVec(width)))
-                })
-                .collect();
+        let outputs: Vec<TermId> = (0..n)
+            .map(|j| tm.var(&format!("o{j}"), Sort::BitVec(loc_bits)))
+            .collect();
+        let inputs_loc: Vec<Vec<TermId>> = (0..n)
+            .map(|j| {
+                (0..multiset[j].num_inputs())
+                    .map(|k| tm.var(&format!("l{j}_{k}"), Sort::BitVec(loc_bits)))
+                    .collect()
+            })
+            .collect();
+        let attrs: Vec<Option<TermId>> = (0..n)
+            .map(|j| {
+                multiset[j]
+                    .has_attr()
+                    .then(|| tm.var(&format!("attr{j}"), Sort::BitVec(width)))
+            })
+            .collect();
 
-            // ψ_wfp: output locations in range and distinct, inputs strictly
-            // before their component's output (acyclicity).
-            let lo = tm.bv_const(num_inputs as u64, loc_bits);
-            let hi = tm.bv_const(total_locations as u64, loc_bits);
-            for j in 0..n {
-                let ge = tm.bv_ule(lo, outputs[j]);
-                let lt = tm.bv_ult(outputs[j], hi);
-                solver.assert_term(&tm, ge);
-                solver.assert_term(&tm, lt);
-                for j2 in (j + 1)..n {
-                    let ne = tm.neq(outputs[j], outputs[j2]);
-                    solver.assert_term(&tm, ne);
-                }
+        // ψ_wfp: output locations in range and distinct, inputs strictly
+        // before their component's output (acyclicity).  Asserted once.
+        let lo = tm.bv_const(num_inputs as u64, loc_bits);
+        let hi = tm.bv_const(total_locations as u64, loc_bits);
+        for j in 0..n {
+            let ge = tm.bv_ule(lo, outputs[j]);
+            let lt = tm.bv_ult(outputs[j], hi);
+            solver.assert_term(&tm, ge);
+            solver.assert_term(&tm, lt);
+            for j2 in (j + 1)..n {
+                let ne = tm.neq(outputs[j], outputs[j2]);
+                solver.assert_term(&tm, ne);
+            }
+            for &l in &inputs_loc[j] {
+                let before = tm.bv_ult(l, outputs[j]);
+                solver.assert_term(&tm, before);
+            }
+            if let Some(attr) = attrs[j] {
+                let c = multiset[j].attr_constraint(&mut tm, attr);
+                solver.assert_term(&tm, c);
+            }
+            // The paper's "not identical to the original instruction"
+            // constraint: a component with the same base operation must
+            // not read exactly the original register operands.
+            if multiset[j].base_opcode() == Some(spec.opcode) && !inputs_loc[j].is_empty() {
+                let regs = tm.bv_const(spec.num_reg_inputs as u64, loc_bits);
+                let mut all_direct = tm.tru();
                 for &l in &inputs_loc[j] {
-                    let before = tm.bv_ult(l, outputs[j]);
-                    solver.assert_term(&tm, before);
+                    let direct = tm.bv_ult(l, regs);
+                    all_direct = tm.and(all_direct, direct);
                 }
-                if let Some(attr) = attrs[j] {
-                    let c = multiset[j].attr_constraint(&mut tm, attr);
-                    solver.assert_term(&tm, c);
-                }
-                // The paper's "not identical to the original instruction"
-                // constraint: a component with the same base operation must
-                // not read exactly the original register operands.
-                if multiset[j].base_opcode() == Some(spec.opcode) && !inputs_loc[j].is_empty() {
-                    let regs = tm.bv_const(spec.num_reg_inputs as u64, loc_bits);
-                    let mut all_direct = tm.tru();
-                    for &l in &inputs_loc[j] {
-                        let direct = tm.bv_ult(l, regs);
-                        all_direct = tm.and(all_direct, direct);
-                    }
-                    let forbidden = tm.not(all_direct);
-                    solver.assert_term(&tm, forbidden);
-                }
-            }
-
-            // φ_lib ∧ ψ_conn ∧ φ_spec for every example.
-            for (e_idx, example) in examples.iter().enumerate() {
-                let input_consts: Vec<TermId> =
-                    example.iter().map(|&v| tm.bv_const(v, width)).collect();
-                let comp_inputs: Vec<Vec<TermId>> = (0..n)
-                    .map(|j| {
-                        (0..multiset[j].num_inputs())
-                            .map(|k| {
-                                tm.var(&format!("I{e_idx}_{j}_{k}"), Sort::BitVec(width))
-                            })
-                            .collect()
-                    })
-                    .collect();
-                let comp_outputs: Vec<TermId> = (0..n)
-                    .map(|j| tm.var(&format!("O{e_idx}_{j}"), Sort::BitVec(width)))
-                    .collect();
-                for j in 0..n {
-                    let sem = multiset[j].semantics(&mut tm, &comp_inputs[j], attrs[j]);
-                    let eq = tm.eq(comp_outputs[j], sem);
-                    solver.assert_term(&tm, eq);
-                    for (k, &l) in inputs_loc[j].iter().enumerate() {
-                        // connection to the program inputs
-                        for (i, &value) in input_consts.iter().enumerate() {
-                            let loc = tm.bv_const(i as u64, loc_bits);
-                            let here = tm.eq(l, loc);
-                            let same = tm.eq(comp_inputs[j][k], value);
-                            let implied = tm.implies(here, same);
-                            solver.assert_term(&tm, implied);
-                        }
-                        // connection to other components' outputs
-                        for j2 in 0..n {
-                            if j2 == j {
-                                continue;
-                            }
-                            let here = tm.eq(l, outputs[j2]);
-                            let same = tm.eq(comp_inputs[j][k], comp_outputs[j2]);
-                            let implied = tm.implies(here, same);
-                            solver.assert_term(&tm, implied);
-                        }
-                    }
-                }
-                // The program output lives at the last location; whichever
-                // component writes it must produce the spec's value.
-                let spec_value = {
-                    let out = spec.result(&mut tm, &input_consts);
-                    out
-                };
-                let last = tm.bv_const((total_locations - 1) as u64, loc_bits);
-                for j in 0..n {
-                    let here = tm.eq(outputs[j], last);
-                    let same = tm.eq(comp_outputs[j], spec_value);
-                    let implied = tm.implies(here, same);
-                    solver.assert_term(&tm, implied);
-                }
-            }
-
-            match solver.check(&tm) {
-                SatResult::Unsat => return CegisOutcome::NoProgram,
-                SatResult::Unknown => return CegisOutcome::ResourceOut,
-                SatResult::Sat => {}
-            }
-            let model = solver.model(&tm);
-
-            // ----------------------------------------------------------
-            // Decode the candidate program.
-            // ----------------------------------------------------------
-            let decoded_outputs: Vec<u64> = outputs.iter().map(|&o| model.value(o)).collect();
-            let decoded_inputs: Vec<Vec<u64>> = inputs_loc
-                .iter()
-                .map(|ls| ls.iter().map(|&l| model.value(l)).collect())
-                .collect();
-            let decoded_attrs: Vec<Option<u64>> =
-                attrs.iter().map(|a| a.map(|t| model.value(t))).collect();
-            let candidate = decode_program(
-                spec,
-                multiset,
-                &decoded_outputs,
-                &decoded_inputs,
-                &decoded_attrs,
-                width,
-            );
-
-            // ----------------------------------------------------------
-            // Verification query: does the candidate match for all inputs?
-            // ----------------------------------------------------------
-            let mut vtm = TermManager::new();
-            let mut verifier = Solver::new();
-            verifier.set_conflict_limit(self.config.verify_conflict_limit);
-            let vinputs = spec.fresh_inputs(&mut vtm, "v");
-            let constraint = spec.input_constraint(&mut vtm, &vinputs);
-            verifier.assert_term(&vtm, constraint);
-            let spec_out = spec.result(&mut vtm, &vinputs);
-            let prog_out = template_result_term(&mut vtm, &candidate, spec, &vinputs);
-            let differ = vtm.neq(spec_out, prog_out);
-            verifier.assert_term(&vtm, differ);
-            match verifier.check(&vtm) {
-                SatResult::Unsat => {
-                    return CegisOutcome::Program(candidate);
-                }
-                SatResult::Unknown => return CegisOutcome::ResourceOut,
-                SatResult::Sat => {
-                    let cex_model = verifier.model(&vtm);
-                    let cex: Vec<u64> = vinputs.iter().map(|&v| cex_model.value(v)).collect();
-                    if examples.contains(&cex) {
-                        // No progress (should not happen); avoid looping.
-                        return CegisOutcome::ResourceOut;
-                    }
-                    examples.push(cex);
-                }
+                let forbidden = tm.not(all_direct);
+                solver.assert_term(&tm, forbidden);
             }
         }
-        CegisOutcome::ResourceOut
+
+        // Examples whose constraints are already asserted.
+        let mut encoded_examples = 0usize;
+
+        let outcome = 'refine: {
+            for _round in 0..self.config.max_cegis_iterations {
+                // ----------------------------------------------------------
+                // φ_lib ∧ ψ_conn ∧ φ_spec for every example not yet encoded
+                // (the example set only grows, so this is monotone).
+                // ----------------------------------------------------------
+                while encoded_examples < examples.len() {
+                    let e_idx = encoded_examples;
+                    let example = examples[e_idx].clone();
+                    let input_consts: Vec<TermId> =
+                        example.iter().map(|&v| tm.bv_const(v, width)).collect();
+                    let comp_inputs: Vec<Vec<TermId>> = (0..n)
+                        .map(|j| {
+                            (0..multiset[j].num_inputs())
+                                .map(|k| tm.var(&format!("I{e_idx}_{j}_{k}"), Sort::BitVec(width)))
+                                .collect()
+                        })
+                        .collect();
+                    let comp_outputs: Vec<TermId> = (0..n)
+                        .map(|j| tm.var(&format!("O{e_idx}_{j}"), Sort::BitVec(width)))
+                        .collect();
+                    for j in 0..n {
+                        let sem = multiset[j].semantics(&mut tm, &comp_inputs[j], attrs[j]);
+                        let eq = tm.eq(comp_outputs[j], sem);
+                        solver.assert_term(&tm, eq);
+                        for (k, &l) in inputs_loc[j].iter().enumerate() {
+                            // connection to the program inputs
+                            for (i, &value) in input_consts.iter().enumerate() {
+                                let loc = tm.bv_const(i as u64, loc_bits);
+                                let here = tm.eq(l, loc);
+                                let same = tm.eq(comp_inputs[j][k], value);
+                                let implied = tm.implies(here, same);
+                                solver.assert_term(&tm, implied);
+                            }
+                            // connection to other components' outputs
+                            for j2 in 0..n {
+                                if j2 == j {
+                                    continue;
+                                }
+                                let here = tm.eq(l, outputs[j2]);
+                                let same = tm.eq(comp_inputs[j][k], comp_outputs[j2]);
+                                let implied = tm.implies(here, same);
+                                solver.assert_term(&tm, implied);
+                            }
+                        }
+                    }
+                    // The program output lives at the last location; whichever
+                    // component writes it must produce the spec's value.
+                    let spec_value = spec.result(&mut tm, &input_consts);
+                    let last = tm.bv_const((total_locations - 1) as u64, loc_bits);
+                    for j in 0..n {
+                        let here = tm.eq(outputs[j], last);
+                        let same = tm.eq(comp_outputs[j], spec_value);
+                        let implied = tm.implies(here, same);
+                        solver.assert_term(&tm, implied);
+                    }
+                    encoded_examples += 1;
+                }
+
+                match solver.check(&tm) {
+                    SatResult::Unsat => break 'refine CegisOutcome::NoProgram,
+                    SatResult::Unknown => break 'refine CegisOutcome::ResourceOut,
+                    SatResult::Sat => {}
+                }
+                let model = solver.model(&tm);
+
+                // ----------------------------------------------------------
+                // Decode the candidate program.
+                // ----------------------------------------------------------
+                let decoded_outputs: Vec<u64> = outputs.iter().map(|&o| model.value(o)).collect();
+                let decoded_inputs: Vec<Vec<u64>> = inputs_loc
+                    .iter()
+                    .map(|ls| ls.iter().map(|&l| model.value(l)).collect())
+                    .collect();
+                let decoded_attrs: Vec<Option<u64>> =
+                    attrs.iter().map(|a| a.map(|t| model.value(t))).collect();
+                let candidate = decode_program(
+                    spec,
+                    multiset,
+                    &decoded_outputs,
+                    &decoded_inputs,
+                    &decoded_attrs,
+                    width,
+                );
+
+                // ----------------------------------------------------------
+                // Verification query: does the candidate match for all
+                // inputs?  Each round verifies a different candidate, so
+                // this query is not monotone and uses a scratch solver.
+                // ----------------------------------------------------------
+                let mut vtm = TermManager::new();
+                let mut verifier = Solver::new();
+                verifier.set_conflict_limit(self.config.verify_conflict_limit);
+                let vinputs = spec.fresh_inputs(&mut vtm, "v");
+                let constraint = spec.input_constraint(&mut vtm, &vinputs);
+                verifier.assert_term(&vtm, constraint);
+                let spec_out = spec.result(&mut vtm, &vinputs);
+                let prog_out = template_result_term(&mut vtm, &candidate, spec, &vinputs);
+                let differ = vtm.neq(spec_out, prog_out);
+                verifier.assert_term(&vtm, differ);
+                match verifier.check(&vtm) {
+                    SatResult::Unsat => break 'refine CegisOutcome::Program(candidate),
+                    SatResult::Unknown => break 'refine CegisOutcome::ResourceOut,
+                    SatResult::Sat => {
+                        let cex_model = verifier.model(&vtm);
+                        let cex: Vec<u64> = vinputs.iter().map(|&v| cex_model.value(v)).collect();
+                        if examples.contains(&cex) {
+                            // No progress (should not happen); avoid looping.
+                            break 'refine CegisOutcome::ResourceOut;
+                        }
+                        examples.push(cex);
+                    }
+                }
+            }
+            CegisOutcome::ResourceOut
+        };
+
+        let mut accumulated = self.stats.get();
+        accumulated.absorb(&solver.stats());
+        self.stats.set(accumulated);
+        outcome
     }
 }
 
@@ -311,7 +337,7 @@ fn seed_examples(spec: &Spec, width: u32) -> Vec<Vec<u64>> {
     let imm_patterns: Vec<u64> = match spec.opcode.operand_kind() {
         OperandKind::RegShamt => vec![1, u64::from(width) - 1],
         OperandKind::Upper => vec![0x1000 & mask, 0x7f00_0000 & mask & !0xfff],
-        _ => vec![1, 0xffff_ffff_ffff_ffff & mask], // 1 and -1
+        _ => vec![1, mask], // 1 and -1
     };
     (0..2)
         .map(|i| {
@@ -342,9 +368,8 @@ fn decode_program(
 
     // Does any component read the immediate input?  If so it must be
     // materialised into a temporary first.
-    let reads_imm = imm_loc.is_some_and(|imm| {
-        input_locs.iter().flatten().any(|&l| l as usize == imm)
-    });
+    let reads_imm =
+        imm_loc.is_some_and(|imm| input_locs.iter().flatten().any(|&l| l as usize == imm));
 
     let mut next_temp: u8 = 0;
     let mut location_slot: Vec<Slot> = Vec::with_capacity(total);
@@ -394,16 +419,21 @@ fn decode_program(
     for j in order {
         let component = multiset[j];
         component_names.push(component.name.clone());
-        let inputs: Vec<Slot> =
-            input_locs[j].iter().map(|&l| location_slot[l as usize]).collect();
+        let inputs: Vec<Slot> = input_locs[j]
+            .iter()
+            .map(|&l| location_slot[l as usize])
+            .collect();
         let dest = location_slot[outputs[j] as usize];
-        let attr = attrs[j].map(|raw| {
-            AttrResolution::Const(i64::from(component.attr_to_imm(raw, width)))
-        });
+        let attr =
+            attrs[j].map(|raw| AttrResolution::Const(i64::from(component.attr_to_imm(raw, width))));
         instrs.extend(component.expand(&inputs, attr, dest, &mut next_temp));
     }
 
-    EquivTemplate { for_opcode: spec.opcode, instrs, component_names }
+    EquivTemplate {
+        for_opcode: spec.opcode,
+        instrs,
+        component_names,
+    }
 }
 
 /// Builds the symbolic result of a template over the spec's symbolic inputs
@@ -477,7 +507,10 @@ mod tests {
     use sepe_smt::solver::is_valid;
 
     fn engine(width: u32) -> CegisEngine {
-        CegisEngine::new(SynthesisConfig { width, ..SynthesisConfig::default() })
+        CegisEngine::new(SynthesisConfig {
+            width,
+            ..SynthesisConfig::default()
+        })
     }
 
     #[test]
@@ -531,7 +564,10 @@ mod tests {
         let or = lib.find("OR").expect("OR exists");
         let spec = Spec::for_opcode(Opcode::Add, 8);
         let outcome = engine(8).synthesize_with_multiset(&spec, &[and, or]);
-        assert!(matches!(outcome, CegisOutcome::NoProgram), "got {outcome:?}");
+        assert!(
+            matches!(outcome, CegisOutcome::NoProgram),
+            "got {outcome:?}"
+        );
     }
 
     #[test]
@@ -543,7 +579,10 @@ mod tests {
         let add = lib.find("ADD").expect("ADD exists");
         let spec = Spec::for_opcode(Opcode::Add, 8);
         let outcome = engine(8).synthesize_with_multiset(&spec, &[add]);
-        assert!(matches!(outcome, CegisOutcome::NoProgram), "got {outcome:?}");
+        assert!(
+            matches!(outcome, CegisOutcome::NoProgram),
+            "got {outcome:?}"
+        );
     }
 
     #[test]

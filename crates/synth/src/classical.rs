@@ -46,6 +46,7 @@ impl ClassicalCegis {
             multisets_tried: 1,
             multisets_successful: successful,
             duration: start.elapsed(),
+            solver: engine.solver_stats(),
         }
     }
 }

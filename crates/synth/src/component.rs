@@ -87,9 +87,7 @@ impl Component {
     /// Creates a component; the name is derived from the kind.
     pub fn new(class: ComponentClass, kind: ComponentKind) -> Self {
         let name = match kind {
-            ComponentKind::Native(op) | ComponentKind::Derived(op) => {
-                op.mnemonic().to_uppercase()
-            }
+            ComponentKind::Native(op) | ComponentKind::Derived(op) => op.mnemonic().to_uppercase(),
             ComponentKind::MulByConst(op) => format!("{}_CONST", op.mnemonic().to_uppercase()),
             ComponentKind::ShiftLeftAdd => "SHL_ADD".to_string(),
             ComponentKind::Negate => "NEG".to_string(),
@@ -125,9 +123,9 @@ impl Component {
             ComponentKind::Derived(Opcode::Lui) => AttrKind::Upper20,
             ComponentKind::Derived(Opcode::Slli | Opcode::Srli | Opcode::Srai)
             | ComponentKind::ShiftLeftAdd => AttrKind::Shamt,
-            ComponentKind::Derived(_) | ComponentKind::MulByConst(_) | ComponentKind::LoadImmediate => {
-                AttrKind::Imm12
-            }
+            ComponentKind::Derived(_)
+            | ComponentKind::MulByConst(_)
+            | ComponentKind::LoadImmediate => AttrKind::Imm12,
         }
     }
 
@@ -178,7 +176,12 @@ impl Component {
         inputs: &[TermId],
         attr: Option<TermId>,
     ) -> TermId {
-        assert_eq!(inputs.len(), self.num_inputs(), "wrong input count for {}", self.name);
+        assert_eq!(
+            inputs.len(),
+            self.num_inputs(),
+            "wrong input count for {}",
+            self.name
+        );
         let attr = || attr.expect("component requires an attribute");
         match self.kind {
             ComponentKind::Native(op) => semantics::alu_result(tm, op, inputs[0], inputs[1]),
@@ -307,7 +310,13 @@ impl Component {
                         src2: Slot::Zero,
                         imm,
                     },
-                    TemplateInstr { opcode: op, dest, src1: inputs[0], src2: t, imm: ImmSlot::Const(0) },
+                    TemplateInstr {
+                        opcode: op,
+                        dest,
+                        src1: inputs[0],
+                        src2: t,
+                        imm: ImmSlot::Const(0),
+                    },
                 ]
             }
             ComponentKind::ShiftLeftAdd => {
@@ -388,8 +397,11 @@ mod tests {
             .collect();
         let attr_term = attr.map(|_| tm.var("attr", Sort::BitVec(width)));
         let out = c.semantics(&mut tm, &in_terms, attr_term);
-        let mut env: HashMap<TermId, u64> =
-            in_terms.iter().copied().zip(inputs.iter().copied()).collect();
+        let mut env: HashMap<TermId, u64> = in_terms
+            .iter()
+            .copied()
+            .zip(inputs.iter().copied())
+            .collect();
         if let (Some(t), Some(v)) = (attr_term, attr) {
             env.insert(t, v);
         }
@@ -403,7 +415,10 @@ mod tests {
         assert!(!add.has_attr());
         assert_eq!(eval_component(&add, &[40, 2], None, 32), 42);
         let sra = Component::new(ComponentClass::Nic, ComponentKind::Native(Opcode::Sra));
-        assert_eq!(eval_component(&sra, &[0x8000_0000, 4], None, 32), 0xf800_0000);
+        assert_eq!(
+            eval_component(&sra, &[0x8000_0000, 4], None, 32),
+            0xf800_0000
+        );
     }
 
     #[test]
@@ -411,16 +426,25 @@ mod tests {
         let xori = Component::new(ComponentClass::Dic, ComponentKind::Derived(Opcode::Xori));
         assert_eq!(xori.num_inputs(), 1);
         assert!(xori.has_attr());
-        assert_eq!(eval_component(&xori, &[0xff], Some(0xffff_ffff), 32), 0xffff_ff00);
+        assert_eq!(
+            eval_component(&xori, &[0xff], Some(0xffff_ffff), 32),
+            0xffff_ff00
+        );
         let lui = Component::new(ComponentClass::Dic, ComponentKind::Derived(Opcode::Lui));
         assert_eq!(lui.num_inputs(), 0);
-        assert_eq!(eval_component(&lui, &[], Some(0x1234_5000), 32), 0x1234_5000);
+        assert_eq!(
+            eval_component(&lui, &[], Some(0x1234_5000), 32),
+            0x1234_5000
+        );
     }
 
     #[test]
     fn composite_components_compute_their_identities() {
         let neg = Component::new(ComponentClass::Cic, ComponentKind::Negate);
-        assert_eq!(eval_component(&neg, &[5], None, 32), (5u32).wrapping_neg() as u64);
+        assert_eq!(
+            eval_component(&neg, &[5], None, 32),
+            (5u32).wrapping_neg() as u64
+        );
         let andnot = Component::new(ComponentClass::Cic, ComponentKind::AndNot);
         assert_eq!(eval_component(&andnot, &[0xff, 0x0f], None, 32), 0xf0);
         let sign = Component::new(ComponentClass::Cic, ComponentKind::SignBit);

@@ -50,11 +50,18 @@ impl HpfCegis {
             .map(|c| {
                 (
                     c.name.clone(),
-                    Weights { choice: config.initial_weight, exclusion: config.initial_weight },
+                    Weights {
+                        choice: config.initial_weight,
+                        exclusion: config.initial_weight,
+                    },
                 )
             })
             .collect();
-        HpfCegis { config, library, weights }
+        HpfCegis {
+            config,
+            library,
+            weights,
+        }
     }
 
     /// The current weight of a component (for reports and tests).
@@ -69,7 +76,11 @@ impl HpfCegis {
         for &idx in multiset {
             let component = &self.library.components()[idx];
             let w = self.weights[&component.name];
-            let chi = if component_matches_spec(component, spec) { 1.0 } else { 0.0 };
+            let chi = if component_matches_spec(component, spec) {
+                1.0
+            } else {
+                0.0
+            };
             numerator += w.choice as f64 - self.config.alpha as f64 * chi;
             denominator += w.exclusion as f64;
         }
@@ -116,8 +127,10 @@ impl HpfCegis {
                     .unwrap_or(std::cmp::Ordering::Equal)
             });
             let multiset = multisets.remove(0);
-            let components: Vec<&Component> =
-                multiset.iter().map(|&i| &self.library.components()[i]).collect();
+            let components: Vec<&Component> = multiset
+                .iter()
+                .map(|&i| &self.library.components()[i])
+                .collect();
             tried += 1;
             match engine.synthesize_with_multiset(spec, &components) {
                 CegisOutcome::Program(program) => {
@@ -141,6 +154,7 @@ impl HpfCegis {
             multisets_tried: tried,
             multisets_successful: successful,
             duration: start.elapsed(),
+            solver: engine.solver_stats(),
         }
     }
 }
@@ -177,8 +191,16 @@ mod tests {
         let lib = Library::standard();
         let hpf = HpfCegis::new(config, lib.clone());
         let spec = Spec::for_opcode(Opcode::Add, 8);
-        let add_idx = lib.components().iter().position(|c| c.name == "ADD").unwrap();
-        let sub_idx = lib.components().iter().position(|c| c.name == "SUB").unwrap();
+        let add_idx = lib
+            .components()
+            .iter()
+            .position(|c| c.name == "ADD")
+            .unwrap();
+        let sub_idx = lib
+            .components()
+            .iter()
+            .position(|c| c.name == "SUB")
+            .unwrap();
         let with_add = vec![add_idx, sub_idx, sub_idx];
         let without_add = vec![sub_idx, sub_idx, sub_idx];
         assert!(
@@ -210,7 +232,10 @@ mod tests {
         let mut hpf = HpfCegis::new(config, Library::minimal());
         let spec = Spec::for_opcode(Opcode::Sub, 8);
         let result = hpf.synthesize(&spec);
-        assert!(result.succeeded(), "SUB has equivalent programs in the minimal library");
+        assert!(
+            result.succeeded(),
+            "SUB has equivalent programs in the minimal library"
+        );
         let program = result.best().unwrap();
         assert_eq!(program.for_opcode, Opcode::Sub);
         assert!(program.len() >= 3);
@@ -218,8 +243,7 @@ mod tests {
         // prove the equivalence once more through an independent query.
         let mut tm = sepe_smt::TermManager::new();
         let inputs = spec.fresh_inputs(&mut tm, "chk");
-        let prog_out =
-            crate::cegis::template_result_term(&mut tm, program, &spec, &inputs);
+        let prog_out = crate::cegis::template_result_term(&mut tm, program, &spec, &inputs);
         let spec_out = spec.result(&mut tm, &inputs);
         let eq = tm.eq(prog_out, spec_out);
         assert_eq!(

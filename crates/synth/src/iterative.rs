@@ -53,8 +53,10 @@ impl IterativeCegis {
                 if counted >= self.config.programs_wanted {
                     break 'sizes;
                 }
-                let components: Vec<&Component> =
-                    multiset.iter().map(|&i| &self.library.components()[i]).collect();
+                let components: Vec<&Component> = multiset
+                    .iter()
+                    .map(|&i| &self.library.components()[i])
+                    .collect();
                 tried += 1;
                 if let CegisOutcome::Program(program) =
                     engine.synthesize_with_multiset(spec, &components)
@@ -74,6 +76,7 @@ impl IterativeCegis {
             multisets_tried: tried,
             multisets_successful: successful,
             duration: start.elapsed(),
+            solver: engine.solver_stats(),
         }
     }
 }

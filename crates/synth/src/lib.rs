@@ -58,6 +58,10 @@ pub struct SynthesisResult {
     pub multisets_successful: usize,
     /// Total wall-clock time spent.
     pub duration: std::time::Duration,
+    /// Solver-reuse counters accumulated over every CEGIS invocation of the
+    /// run (terms cached/reused by the persistent bit-blaster, learnt
+    /// clauses retained across refinement rounds).
+    pub solver: sepe_smt::SolverReuseStats,
 }
 
 impl SynthesisResult {

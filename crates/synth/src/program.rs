@@ -122,9 +122,9 @@ impl EquivTemplate {
                 Slot::Rs2 => rs2,
                 Slot::Zero => Reg::ZERO,
                 Slot::Dest => dest,
-                Slot::Temp(t) => {
-                    *temp_regs.get(t as usize).expect("not enough temporary registers")
-                }
+                Slot::Temp(t) => *temp_regs
+                    .get(t as usize)
+                    .expect("not enough temporary registers"),
             }
         };
         self.instrs
@@ -135,12 +135,19 @@ impl EquivTemplate {
                     ImmSlot::FromOriginal => original_imm,
                 };
                 match ti.opcode.operand_kind() {
-                    OperandKind::RegReg => {
-                        Instr::reg_reg(ti.opcode, resolve(ti.dest), resolve(ti.src1), resolve(ti.src2))
-                    }
-                    OperandKind::RegImm | OperandKind::RegShamt => {
-                        Instr::new(ti.opcode, resolve(ti.dest), resolve(ti.src1), Reg::ZERO, imm)
-                    }
+                    OperandKind::RegReg => Instr::reg_reg(
+                        ti.opcode,
+                        resolve(ti.dest),
+                        resolve(ti.src1),
+                        resolve(ti.src2),
+                    ),
+                    OperandKind::RegImm | OperandKind::RegShamt => Instr::new(
+                        ti.opcode,
+                        resolve(ti.dest),
+                        resolve(ti.src1),
+                        Reg::ZERO,
+                        imm,
+                    ),
                     OperandKind::Upper => Instr::lui(resolve(ti.dest), imm),
                     OperandKind::Load | OperandKind::Store => {
                         unreachable!("memory instructions never appear in equivalence templates")
@@ -231,7 +238,14 @@ impl fmt::Display for EquivTemplate {
                         ImmSlot::Const(c) => format!("{c}"),
                         ImmSlot::FromOriginal => "<imm>".to_string(),
                     };
-                    writeln!(f, "{} {}, {}, {}", i.opcode, slot(i.dest), slot(i.src1), imm)?
+                    writeln!(
+                        f,
+                        "{} {}, {}, {}",
+                        i.opcode,
+                        slot(i.dest),
+                        slot(i.src1),
+                        imm
+                    )?
                 }
             }
         }

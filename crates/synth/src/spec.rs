@@ -199,7 +199,10 @@ impl SynthesisCase {
         specs
             .into_iter()
             .enumerate()
-            .map(|(i, spec)| SynthesisCase { id: format!("case{}", i + 1), spec })
+            .map(|(i, spec)| SynthesisCase {
+                id: format!("case{}", i + 1),
+                spec,
+            })
             .collect()
     }
 }
@@ -218,7 +221,9 @@ mod tests {
         assert_eq!(spec.imm_input_index(), None);
         let inputs = spec.fresh_inputs(&mut tm, "t");
         let out = spec.result(&mut tm, &inputs);
-        let env: HashMap<_, _> = [(inputs[0], 10u64), (inputs[1], 4u64)].into_iter().collect();
+        let env: HashMap<_, _> = [(inputs[0], 10u64), (inputs[1], 4u64)]
+            .into_iter()
+            .collect();
         assert_eq!(concrete::eval(&tm, out, &env), 6);
         let c = spec.input_constraint(&mut tm, &inputs);
         assert_eq!(tm.const_value(c), Some(1), "no immediate, no constraint");
@@ -232,14 +237,24 @@ mod tests {
         assert_eq!(spec.imm_input_index(), Some(1));
         let inputs = spec.fresh_inputs(&mut tm, "x");
         let out = spec.result(&mut tm, &inputs);
-        let env: HashMap<_, _> =
-            [(inputs[0], 0xffu64), (inputs[1], 0xffff_ffffu64)].into_iter().collect();
+        let env: HashMap<_, _> = [(inputs[0], 0xffu64), (inputs[1], 0xffff_ffffu64)]
+            .into_iter()
+            .collect();
         assert_eq!(concrete::eval(&tm, out, &env), 0xffff_ff00);
         let c = spec.input_constraint(&mut tm, &inputs);
-        assert_eq!(concrete::eval(&tm, c, &env), 1, "-1 is a legal 12-bit immediate");
-        let bad: HashMap<_, _> =
-            [(inputs[0], 0u64), (inputs[1], 0x10_0000u64)].into_iter().collect();
-        assert_eq!(concrete::eval(&tm, c, &bad), 0, "too-large immediates are excluded");
+        assert_eq!(
+            concrete::eval(&tm, c, &env),
+            1,
+            "-1 is a legal 12-bit immediate"
+        );
+        let bad: HashMap<_, _> = [(inputs[0], 0u64), (inputs[1], 0x10_0000u64)]
+            .into_iter()
+            .collect();
+        assert_eq!(
+            concrete::eval(&tm, c, &bad),
+            0,
+            "too-large immediates are excluded"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::time::{Duration, Instant};
 
-use sepe_smt::{Model, SatResult, Solver, TermManager};
+use sepe_smt::{IncrementalSolver, Model, SatResult, Solver, SolverReuseStats, TermManager};
 
 use crate::ts::TransitionSystem;
 use crate::unroll::Unroller;
@@ -11,14 +11,25 @@ use crate::witness::{Frame, Witness};
 /// How the checker explores depths.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BmcMode {
-    /// One SAT query per depth; the first counterexample found is a shortest
-    /// one.
+    /// One SAT query per depth on a single persistent [`IncrementalSolver`]:
+    /// the unrolling is asserted once and grows monotonically, each depth's
+    /// bad state rides along as a retractable assumption, and learnt clauses
+    /// carry over between depths.  The first counterexample found is a
+    /// shortest one.
     #[default]
     PerDepth,
+    /// One SAT query per depth, each on a fresh scratch solver that
+    /// re-encodes the whole unrolling prefix (the pre-incremental behavior,
+    /// kept for differential testing and benchmarking against
+    /// [`BmcMode::PerDepth`]).
+    PerDepthScratch,
     /// A single SAT query at the maximum bound with the bad states of every
     /// depth disjoined.  Usually much faster when a counterexample exists;
-    /// the returned witness is truncated to the earliest violating frame, so
-    /// counterexample lengths still match the per-depth mode.
+    /// the returned witness is truncated to the earliest violating frame of
+    /// the model that was found.  Note this does not guarantee a *globally*
+    /// shortest counterexample — the solver returns an arbitrary model, and
+    /// a different model may violate earlier; use [`BmcMode::PerDepth`] when
+    /// minimal trace lengths matter.
     Cumulative,
 }
 
@@ -28,7 +39,9 @@ pub struct BmcConfig {
     /// Conflict budget per SAT call (`None` = unlimited).
     pub conflict_limit: Option<u64>,
     /// Wall-clock budget for the whole run (`None` = unlimited).  When the
-    /// budget is exhausted the check returns [`BmcResult::Unknown`].
+    /// budget is exhausted the check returns [`BmcResult::Unknown`]; the
+    /// budget also interrupts in-flight SAT calls (checked every few
+    /// conflicts), so a run overshoots it only by a short burst.
     pub time_limit: Option<Duration>,
     /// First depth to check (0 checks the initial state itself).
     pub start_bound: usize,
@@ -59,6 +72,10 @@ pub struct BmcStats {
     /// Deepest bound that was fully checked (or at which a counterexample was
     /// found).
     pub deepest_bound: usize,
+    /// Solver-reuse counters (term encodings cached/reused, learnt clauses
+    /// retained across depths).  All zero in [`BmcMode::PerDepthScratch`]
+    /// and [`BmcMode::Cumulative`], which build fresh solvers.
+    pub solver: SolverReuseStats,
 }
 
 /// Outcome of a BMC run.
@@ -103,7 +120,10 @@ pub struct Bmc {
 impl Bmc {
     /// Creates a checker with the given configuration.
     pub fn new(config: BmcConfig) -> Self {
-        Bmc { config, stats: BmcStats::default() }
+        Bmc {
+            config,
+            stats: BmcStats::default(),
+        }
     }
 
     /// Statistics of the most recent [`check`](Self::check) call.
@@ -122,11 +142,78 @@ impl Bmc {
     ) -> BmcResult {
         match self.config.mode {
             BmcMode::PerDepth => self.check_per_depth(tm, ts, max_bound),
+            BmcMode::PerDepthScratch => self.check_per_depth_scratch(tm, ts, max_bound),
             BmcMode::Cumulative => self.check_cumulative(tm, ts, max_bound),
         }
     }
 
+    /// Per-depth exploration on one persistent incremental solver: the
+    /// unrolling prefix is asserted exactly once (each depth adds only the
+    /// new frame's transition and constraints), the depth's bad state is a
+    /// retractable assumption, and all SAT-level learning carries over.
     fn check_per_depth(
+        &mut self,
+        tm: &mut TermManager,
+        ts: &TransitionSystem,
+        max_bound: usize,
+    ) -> BmcResult {
+        let start = Instant::now();
+        self.stats = BmcStats::default();
+        let mut unroller = Unroller::new(ts);
+
+        let mut solver = IncrementalSolver::new();
+        solver.set_conflict_limit(self.config.conflict_limit);
+        solver.set_deadline(self.config.time_limit.map(|limit| start + limit));
+        let init = unroller.init(tm);
+        solver.assert_term(tm, init);
+        let c0 = unroller.constraints_at(tm, 0);
+        solver.assert_term(tm, c0);
+        // Transitions asserted so far: frames 0..frames_asserted.
+        let mut frames_asserted = 0usize;
+
+        for bound in self.config.start_bound..=max_bound {
+            while frames_asserted < bound {
+                let k = frames_asserted;
+                let tr = unroller.transition(tm, k);
+                solver.assert_term(tm, tr);
+                let cs = unroller.constraints_at(tm, k + 1);
+                solver.assert_term(tm, cs);
+                frames_asserted += 1;
+            }
+            if let Some(limit) = self.config.time_limit {
+                if start.elapsed() > limit {
+                    self.stats.solver = solver.stats();
+                    self.stats.duration = start.elapsed();
+                    return BmcResult::Unknown { bound };
+                }
+            }
+            let bad = unroller.bad_at(tm, bound);
+            let result = solver.check_assuming(tm, &[bad]);
+            self.stats.queries += 1;
+            self.stats.conflicts = solver.stats().conflicts;
+            self.stats.solver = solver.stats();
+            self.stats.deepest_bound = bound;
+            match result {
+                SatResult::Sat => {
+                    let witness = extract_witness(tm, ts, &mut unroller, solver.model(tm), bound);
+                    self.stats.duration = start.elapsed();
+                    return BmcResult::Counterexample(witness);
+                }
+                SatResult::Unsat => {}
+                SatResult::Unknown => {
+                    self.stats.duration = start.elapsed();
+                    return BmcResult::Unknown { bound };
+                }
+            }
+        }
+        self.stats.duration = start.elapsed();
+        BmcResult::NoCounterexample { bound: max_bound }
+    }
+
+    /// Per-depth exploration with a fresh scratch solver per depth — the
+    /// pre-incremental code path, kept as the differential-testing and
+    /// benchmarking baseline for [`Self::check_per_depth`].
+    fn check_per_depth_scratch(
         &mut self,
         tm: &mut TermManager,
         ts: &TransitionSystem,
@@ -159,6 +246,7 @@ impl Bmc {
             let bad = unroller.bad_at(tm, bound);
             let mut solver = Solver::new();
             solver.set_conflict_limit(self.config.conflict_limit);
+            solver.set_deadline(self.config.time_limit.map(|limit| start + limit));
             for &p in path.iter().take(bound + 2) {
                 solver.assert_term(tm, p);
             }
@@ -169,8 +257,7 @@ impl Bmc {
             self.stats.deepest_bound = bound;
             match result {
                 SatResult::Sat => {
-                    let witness =
-                        extract_witness(tm, ts, &mut unroller, solver.model(tm), bound);
+                    let witness = extract_witness(tm, ts, &mut unroller, solver.model(tm), bound);
                     self.stats.duration = start.elapsed();
                     return BmcResult::Counterexample(witness);
                 }
@@ -197,6 +284,7 @@ impl Bmc {
 
         let mut solver = Solver::new();
         solver.set_conflict_limit(self.config.conflict_limit);
+        solver.set_deadline(self.config.time_limit.map(|limit| start + limit));
         let init = unroller.init(tm);
         solver.assert_term(tm, init);
         let c0 = unroller.constraints_at(tm, 0);
@@ -251,12 +339,18 @@ fn extract_witness(
     for k in 0..=bound {
         let mut frame = Frame::default();
         for sv in ts.state_vars() {
-            let name = tm.var_name(sv.current).expect("state vars are variables").to_string();
+            let name = tm
+                .var_name(sv.current)
+                .expect("state vars are variables")
+                .to_string();
             let at = unroller.var_at(tm, sv.current, k);
             frame.states.insert(name, model.eval(tm, at));
         }
         for &input in ts.inputs() {
-            let name = tm.var_name(input).expect("inputs are variables").to_string();
+            let name = tm
+                .var_name(input)
+                .expect("inputs are variables")
+                .to_string();
             let at = unroller.var_at(tm, input, k);
             frame.inputs.insert(name, model.eval(tm, at));
         }
@@ -373,6 +467,53 @@ mod tests {
     }
 
     #[test]
+    fn incremental_per_depth_matches_scratch_per_depth() {
+        // Same systems, both verdict polarities, depth by depth.
+        for (target, constrain) in [(5u64, true), (50, true), (200, false), (3, true)] {
+            let mut tm = TermManager::new();
+            let ts = counter_system(&mut tm, 8, target, constrain);
+            let mut incremental = Bmc::new(BmcConfig::default());
+            let inc_result = incremental.check(&mut tm, &ts, 8);
+            let mut tm2 = TermManager::new();
+            let ts2 = counter_system(&mut tm2, 8, target, constrain);
+            let mut scratch = Bmc::new(BmcConfig {
+                mode: BmcMode::PerDepthScratch,
+                ..BmcConfig::default()
+            });
+            let scr_result = scratch.check(&mut tm2, &ts2, 8);
+            match (&inc_result, &scr_result) {
+                (BmcResult::Counterexample(a), BmcResult::Counterexample(b)) => {
+                    assert_eq!(a.num_steps(), b.num_steps(), "target {target}");
+                }
+                (
+                    BmcResult::NoCounterexample { bound: a },
+                    BmcResult::NoCounterexample { bound: b },
+                ) => {
+                    assert_eq!(a, b);
+                }
+                other => panic!("verdicts diverge for target {target}: {other:?}"),
+            }
+            assert_eq!(incremental.stats().queries, scratch.stats().queries);
+        }
+    }
+
+    #[test]
+    fn incremental_per_depth_reuses_encodings_across_depths() {
+        let mut tm = TermManager::new();
+        let ts = counter_system(&mut tm, 8, 50, true); // unreachable in 10 steps
+        let mut bmc = Bmc::new(BmcConfig::default());
+        let result = bmc.check(&mut tm, &ts, 10);
+        assert!(matches!(result, BmcResult::NoCounterexample { .. }));
+        let reuse = bmc.stats().solver;
+        assert_eq!(reuse.checks, 11, "one check per depth 0..=10");
+        assert!(
+            reuse.terms_reused > 0,
+            "later depths must hit the encoding cache"
+        );
+        assert!(reuse.terms_cached > 0);
+    }
+
+    #[test]
     fn unknown_on_tiny_conflict_budget() {
         let mut tm = TermManager::new();
         // a harder target at 16 bits with constrained increments of exactly 3
@@ -393,7 +534,10 @@ mod tests {
         });
         let result = bmc.check(&mut tm, &ts, 6);
         assert!(
-            matches!(result, BmcResult::Unknown { .. } | BmcResult::Counterexample(_)),
+            matches!(
+                result,
+                BmcResult::Unknown { .. } | BmcResult::Counterexample(_)
+            ),
             "tiny budgets either give up or get lucky, got {result:?}"
         );
     }

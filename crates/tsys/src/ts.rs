@@ -53,7 +53,11 @@ impl TransitionSystem {
         if let Some(init) = init {
             assert_eq!(tm.sort(current), tm.sort(init), "init sort mismatch");
         }
-        let sv = StateVar { current, init, next };
+        let sv = StateVar {
+            current,
+            init,
+            next,
+        };
         self.state_vars.push(sv);
         sv
     }
@@ -64,7 +68,10 @@ impl TransitionSystem {
     ///
     /// Panics if `input` is not a variable term.
     pub fn add_input(&mut self, tm: &TermManager, input: TermId) {
-        assert!(tm.var_name(input).is_some(), "inputs must be variable terms");
+        assert!(
+            tm.var_name(input).is_some(),
+            "inputs must be variable terms"
+        );
         self.inputs.push(input);
     }
 
@@ -120,7 +127,10 @@ impl TransitionSystem {
     ) -> Vec<HashMap<TermId, u64>> {
         let mut state: HashMap<TermId, u64> = HashMap::new();
         for sv in &self.state_vars {
-            let v = sv.init.map(|t| concrete::eval(tm, t, &HashMap::new())).unwrap_or(0);
+            let v = sv
+                .init
+                .map(|t| concrete::eval(tm, t, &HashMap::new()))
+                .unwrap_or(0);
             state.insert(sv.current, v);
         }
         let mut trace = vec![state.clone()];

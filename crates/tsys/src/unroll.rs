@@ -26,7 +26,10 @@ pub struct Unroller<'a> {
 impl<'a> Unroller<'a> {
     /// Creates an unroller for `ts`.
     pub fn new(ts: &'a TransitionSystem) -> Self {
-        Unroller { ts, frame_maps: Vec::new() }
+        Unroller {
+            ts,
+            frame_maps: Vec::new(),
+        }
     }
 
     /// Ensures frame `k` variables exist and returns the substitution map of
@@ -36,12 +39,18 @@ impl<'a> Unroller<'a> {
             let frame = self.frame_maps.len();
             let mut map = HashMap::new();
             for sv in self.ts.state_vars() {
-                let name = tm.var_name(sv.current).expect("state vars are variables").to_string();
+                let name = tm
+                    .var_name(sv.current)
+                    .expect("state vars are variables")
+                    .to_string();
                 let fresh = tm.var(&format!("{name}@{frame}"), tm.sort(sv.current));
                 map.insert(sv.current, fresh);
             }
             for &input in self.ts.inputs() {
-                let name = tm.var_name(input).expect("inputs are variables").to_string();
+                let name = tm
+                    .var_name(input)
+                    .expect("inputs are variables")
+                    .to_string();
                 let fresh = tm.var(&format!("{name}@{frame}"), tm.sort(input));
                 map.insert(input, fresh);
             }

@@ -106,7 +106,11 @@ mod tests {
         assert!(!w.is_empty());
         assert_eq!(w.frame(0).state("count"), 3);
         assert_eq!(w.frame(0).input("inc"), 1);
-        assert_eq!(w.frame(1).state("count"), 0, "missing values default to zero");
+        assert_eq!(
+            w.frame(1).state("count"),
+            0,
+            "missing values default to zero"
+        );
         assert_eq!(w.last(), &Frame::default());
     }
 

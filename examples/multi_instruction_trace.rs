@@ -42,7 +42,10 @@ fn main() {
             "{method:9}: detected={:5}  runtime={:>9.3?}  counterexample length={}",
             detection.detected,
             detection.runtime,
-            detection.trace_len.map(|l| l.to_string()).unwrap_or_else(|| "-".into()),
+            detection
+                .trace_len
+                .map(|l| l.to_string())
+                .unwrap_or_else(|| "-".into()),
         );
         lengths.push(detection.trace_len);
     }

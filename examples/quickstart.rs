@@ -68,7 +68,10 @@ fn main() {
             "{method:9}  detected: {:5}  time: {:>8}  trace length: {}",
             detection.detected,
             detection.table_cell(),
-            detection.trace_len.map(|l| l.to_string()).unwrap_or_else(|| "-".into()),
+            detection
+                .trace_len
+                .map(|l| l.to_string())
+                .unwrap_or_else(|| "-".into()),
         );
     }
     println!("\nSQED reports '-' (single-instruction bugs are invisible to duplication),");

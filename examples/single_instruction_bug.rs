@@ -23,7 +23,9 @@ fn main() {
             eprintln!("unknown Table-1 mnemonic '{wanted}', falling back to xor");
             Mutation::table1().remove(2)
         });
-    let target = bug.target_opcode().expect("single-instruction bugs target an opcode");
+    let target = bug
+        .target_opcode()
+        .expect("single-instruction bugs target an opcode");
     println!("# Injected bug: {} — {}", bug.name, bug.description);
 
     // The experiment universe: the buggy opcode plus ADDI so the solver can
@@ -37,7 +39,9 @@ fn main() {
     let sqed = detector.check(Method::Sqed, Some(&bug));
     println!(
         "SQED      : detected={} (bound explored: {}) -> table cell: {}",
-        sqed.detected, sqed.bound_reached, sqed.table_cell()
+        sqed.detected,
+        sqed.bound_reached,
+        sqed.table_cell()
     );
 
     let sepe = detector.check(Method::SepeSqed, Some(&bug));
@@ -50,16 +54,41 @@ fn main() {
 
     if let Some(witness) = &sepe.witness {
         println!("\n# Counterexample (inputs per cycle)");
-        for (k, frame) in witness.frames().iter().enumerate().take(witness.num_steps()) {
+        for (k, frame) in witness
+            .frames()
+            .iter()
+            .enumerate()
+            .take(witness.num_steps())
+        {
             let pick = frame.input("pick_original") == 1;
             println!(
                 "cycle {k:2}: {}  op={:2} rd={:2} rs1={:2} rs2={:2} imm={:#x}",
                 if pick { "original  " } else { "equivalent" },
-                if pick { frame.input("orig_op") } else { frame.state("q0_op") },
-                if pick { frame.input("orig_rd") } else { frame.state("q0_rd") },
-                if pick { frame.input("orig_rs1") } else { frame.state("q0_rs1") },
-                if pick { frame.input("orig_rs2") } else { frame.state("q0_rs2") },
-                if pick { frame.input("orig_imm") } else { frame.state("q0_imm") },
+                if pick {
+                    frame.input("orig_op")
+                } else {
+                    frame.state("q0_op")
+                },
+                if pick {
+                    frame.input("orig_rd")
+                } else {
+                    frame.state("q0_rd")
+                },
+                if pick {
+                    frame.input("orig_rs1")
+                } else {
+                    frame.state("q0_rs1")
+                },
+                if pick {
+                    frame.input("orig_rs2")
+                } else {
+                    frame.state("q0_rs2")
+                },
+                if pick {
+                    frame.input("orig_imm")
+                } else {
+                    frame.state("q0_imm")
+                },
             );
         }
         let last = witness.last();

@@ -52,7 +52,10 @@ fn main() {
             iter_result.duration.as_secs_f64() / hpf_result.duration.as_secs_f64().max(1e-9),
         );
         if let Some(p) = hpf_result.best() {
-            println!("  first HPF program uses: {}", p.component_names.join(" + "));
+            println!(
+                "  first HPF program uses: {}",
+                p.component_names.join(" + ")
+            );
         }
     }
 }

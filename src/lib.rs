@@ -1,0 +1,10 @@
+//! Workspace façade: re-exports the SEPE-SQED reproduction crates so the
+//! top-level `tests/` and `examples/` can depend on a single package, and so
+//! downstream users get one import surface.
+
+pub use sepe_isa as isa;
+pub use sepe_processor as processor;
+pub use sepe_smt as smt;
+pub use sepe_sqed as sqed;
+pub use sepe_synth as synth;
+pub use sepe_tsys as tsys;

@@ -80,8 +80,14 @@ fn multiple_instruction_bug_is_found_by_both_methods() {
 fn clean_processor_is_consistent_under_both_methods() {
     let d = detector(&[Opcode::Add, Opcode::Sw, Opcode::Lw], 3);
     let (sqed, sepe) = d.compare(None);
-    assert!(!sqed.detected && !sqed.inconclusive, "no false positives for SQED");
-    assert!(!sepe.detected && !sepe.inconclusive, "no false positives for SEPE-SQED");
+    assert!(
+        !sqed.detected && !sqed.inconclusive,
+        "no false positives for SQED"
+    );
+    assert!(
+        !sepe.detected && !sepe.inconclusive,
+        "no false positives for SEPE-SQED"
+    );
 }
 
 #[test]
@@ -95,8 +101,14 @@ fn store_bug_is_caught_through_the_memory_halves() {
     let d = detector(&[Opcode::Sw, Opcode::Addi], 6);
     let sqed = d.check(Method::Sqed, Some(&bug));
     let sepe = d.check(Method::SepeSqed, Some(&bug));
-    assert!(!sqed.detected, "the duplicated store is corrupted identically");
-    assert!(sepe.detected, "the equivalent program computes the address differently");
+    assert!(
+        !sqed.detected,
+        "the duplicated store is corrupted identically"
+    );
+    assert!(
+        sepe.detected,
+        "the equivalent program computes the address differently"
+    );
 }
 
 #[test]
@@ -109,8 +121,12 @@ fn or_bug_is_missed_by_sqed_and_found_by_sepe() {
         .expect("OR bug exists");
     // Bit 4 of the corruption needs at least an 8-bit data path to exist.
     let d = Detector::new(DetectorConfig {
-        processor: ProcessorConfig { xlen: 8, mem_words: 4, ..ProcessorConfig::default() }
-            .with_opcodes(&[Opcode::Or]),
+        processor: ProcessorConfig {
+            xlen: 8,
+            mem_words: 4,
+            ..ProcessorConfig::default()
+        }
+        .with_opcodes(&[Opcode::Or]),
         max_bound: 4,
         ..DetectorConfig::default()
     });

@@ -30,7 +30,10 @@ fn synthesized_program_drives_bug_detection() {
     let mut hpf = HpfCegis::new(config, Library::minimal());
     let spec = Spec::for_opcode(Opcode::Sub, width);
     let result = hpf.synthesize(&spec);
-    let program = result.best().expect("HPF-CEGIS finds a SUB program").clone();
+    let program = result
+        .best()
+        .expect("HPF-CEGIS finds a SUB program")
+        .clone();
     assert!(program.len() >= 3);
 
     // 2. Install it in an equivalence database (replacing the curated entry).

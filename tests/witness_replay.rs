@@ -3,7 +3,7 @@
 
 use sepe_isa::{Instr, Opcode, Reg};
 use sepe_processor::datapath::opcode_from_index;
-use sepe_processor::{Mutation, MutantCore, ProcessorConfig};
+use sepe_processor::{MutantCore, Mutation, ProcessorConfig};
 use sepe_sqed::detect::{Detector, DetectorConfig, Method};
 use sepe_sqed::mapping::RegisterMapping;
 use sepe_tsys::Witness;
@@ -64,8 +64,12 @@ fn sepe_counterexample_replays_concretely() {
         .into_iter()
         .find(|b| b.target_opcode() == Some(Opcode::Add))
         .expect("ADD bug exists");
-    let config = ProcessorConfig { xlen: 4, mem_words: 4, ..ProcessorConfig::default() }
-        .with_opcodes(&[Opcode::Add, Opcode::Addi]);
+    let config = ProcessorConfig {
+        xlen: 4,
+        mem_words: 4,
+        ..ProcessorConfig::default()
+    }
+    .with_opcodes(&[Opcode::Add, Opcode::Addi]);
     let detector = Detector::new(DetectorConfig {
         processor: config.clone(),
         max_bound: 4,
@@ -105,8 +109,12 @@ fn sqed_counterexample_for_a_multi_instruction_bug_replays() {
         .into_iter()
         .find(|b| b.name == "multi-05-waw-collision")
         .expect("bug exists");
-    let config = ProcessorConfig { xlen: 4, mem_words: 4, ..ProcessorConfig::default() }
-        .with_opcodes(&[Opcode::Addi, Opcode::Xori]);
+    let config = ProcessorConfig {
+        xlen: 4,
+        mem_words: 4,
+        ..ProcessorConfig::default()
+    }
+    .with_opcodes(&[Opcode::Addi, Opcode::Xori]);
     let detector = Detector::new(DetectorConfig {
         processor: config.clone(),
         max_bound: 6,
