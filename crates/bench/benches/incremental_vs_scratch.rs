@@ -1,88 +1,76 @@
 //! Criterion bench: incremental vs scratch solving on a Table-1 detection
 //! at increasing BMC bounds.
 //!
-//! Both paths run the identical per-depth exploration of the same QED
-//! transition system; the only difference is the solver pipeline behind it:
+//! All paths run the same QED transition system (the shared
+//! [`sepe_bench::sweep`] protocol); the difference is the solver pipeline
+//! behind the exploration:
 //!
 //! * `incremental` — [`BmcMode::PerDepth`]: one persistent
 //!   `IncrementalSolver`, the unrolling asserted once, per-depth bad states
 //!   as retractable assumptions, learnt clauses carried across depths;
+//! * `cumulative` — [`BmcMode::CumulativeIncremental`]: the same persistent
+//!   solver, driven as growing `max_bound` calls on one `Bmc` (each call
+//!   asserts one new frame and checks only the not-yet-proven depths, with
+//!   the bad-state disjunct as a retractable assumption);
 //! * `scratch` — [`BmcMode::PerDepthScratch`]: a fresh solver per depth that
 //!   re-bit-blasts the whole prefix (O(k²) total encoding work).
 //!
 //! After the timed groups a summary table prints the measured speedup per
-//! bound together with the solver-reuse counters of the incremental run.
-
-use std::time::{Duration, Instant};
+//! bound together with the solver-reuse and learnt-database-reduction
+//! counters of the incremental runs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use sepe_isa::Opcode;
-use sepe_processor::{Mutation, ProcessorConfig};
-use sepe_sqed::detect::{Detector, DetectorConfig, Method};
+use sepe_bench::sweep;
 use sepe_tsys::BmcMode;
 
-fn detector(max_bound: usize, mode: BmcMode) -> Detector {
-    Detector::new(DetectorConfig {
-        processor: ProcessorConfig::tiny().with_opcodes(&[Opcode::Add]),
-        max_bound,
-        bmc_mode: mode,
-        ..DetectorConfig::default()
-    })
-}
-
-/// One full SQED sweep (the Table-1 bug is invisible to SQED, so every depth
-/// up to `max_bound` is explored — the worst case for scratch re-encoding
-/// and cold restarts).
-fn run_detection(max_bound: usize, mode: BmcMode, bug: &Mutation) -> Duration {
-    let d = detector(max_bound, mode);
-    let start = Instant::now();
-    let detection = d.check(Method::Sqed, Some(bug));
-    assert!(!detection.detected, "SQED must miss the Table-1 bug");
-    start.elapsed()
-}
-
 fn bench_incremental_vs_scratch(c: &mut Criterion) {
-    let bug = Mutation::table1()[0].clone(); // ADD off by one
+    let bug = sweep::bug(); // ADD off by one
     let mut group = c.benchmark_group("incremental_vs_scratch");
     // The deepest sweeps take tens of seconds on the scratch path; keep the
     // sample count small so the whole bench stays in the minutes.
     group.sample_size(2);
     for &bound in &[2usize, 4, 6] {
         group.bench_function(&format!("incremental_bound{bound}"), |b| {
-            b.iter(|| run_detection(bound, BmcMode::PerDepth, &bug))
+            b.iter(|| sweep::run(bound, BmcMode::PerDepth, &bug))
+        });
+        group.bench_function(&format!("cumulative_bound{bound}"), |b| {
+            b.iter(|| sweep::run_cumulative(bound, &bug))
         });
         group.bench_function(&format!("scratch_bound{bound}"), |b| {
-            b.iter(|| run_detection(bound, BmcMode::PerDepthScratch, &bug))
+            b.iter(|| sweep::run(bound, BmcMode::PerDepthScratch, &bug))
         });
     }
     group.finish();
 
-    // Direct measurement summary with the incremental run's reuse counters.
+    // Direct measurement summary with the incremental runs' reuse counters.
     println!("\n== incremental vs scratch: measured speedup");
     println!(
-        "{:>6} {:>14} {:>14} {:>9} {:>12} {:>12} {:>14}",
+        "{:>6} {:>12} {:>12} {:>12} {:>9} {:>9} {:>10} {:>10} {:>10}",
         "bound",
         "incr [ms]",
-        "scratch [ms]",
-        "speedup",
-        "terms-cache",
-        "cache-hits",
-        "learnt-retain"
+        "cumul [ms]",
+        "scratch[ms]",
+        "spd-incr",
+        "spd-cum",
+        "learnt-hw",
+        "deleted",
+        "retained"
     );
     for &bound in &[2usize, 4, 6] {
-        let incr = run_detection(bound, BmcMode::PerDepth, &bug);
-        let scratch = run_detection(bound, BmcMode::PerDepthScratch, &bug);
-        let d = detector(bound, BmcMode::PerDepth);
-        let reuse = d.check(Method::Sqed, Some(&bug)).solver;
+        let (incr, _) = sweep::run(bound, BmcMode::PerDepth, &bug);
+        let (cumul, reuse) = sweep::run_cumulative(bound, &bug);
+        let (scratch, _) = sweep::run(bound, BmcMode::PerDepthScratch, &bug);
         println!(
-            "{:>6} {:>14.2} {:>14.2} {:>8.2}x {:>12} {:>12} {:>14}",
+            "{:>6} {:>12.2} {:>12.2} {:>12.2} {:>8.2}x {:>8.2}x {:>10} {:>10} {:>10}",
             bound,
             incr.as_secs_f64() * 1e3,
+            cumul.as_secs_f64() * 1e3,
             scratch.as_secs_f64() * 1e3,
             scratch.as_secs_f64() / incr.as_secs_f64(),
-            reuse.terms_cached,
-            reuse.terms_reused,
+            scratch.as_secs_f64() / cumul.as_secs_f64(),
+            reuse.learnt_high_water,
+            reuse.learnt_deleted,
             reuse.learnt_retained,
         );
     }

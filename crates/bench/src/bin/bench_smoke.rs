@@ -1,0 +1,154 @@
+//! CI smoke benchmark: a tiny `incremental_vs_scratch` configuration with a
+//! machine-readable result and a regression gate.
+//!
+//! Runs the shared [`sepe_bench::sweep`] protocol (one Table-1 SQED sweep,
+//! tiny processor, ADD only — the bug is invisible to SQED, so every depth
+//! is explored) in three BMC modes:
+//!
+//! * `incremental` — [`BmcMode::PerDepth`] on the persistent solver,
+//! * `cumulative_incremental` — [`BmcMode::CumulativeIncremental`], driven
+//!   as growing `max_bound` calls on one `Bmc` (the cross-call reuse path),
+//! * `scratch` — [`BmcMode::PerDepthScratch`], the re-encoding baseline.
+//!
+//! The measurements (wall time, conflicts, learnt-clause high-water mark,
+//! encodings cached) are written as JSON, and when `--baseline <path>` is
+//! given the run **fails** (exit code 1) if any mode's wall time regressed
+//! more than [`REGRESSION_FACTOR`]× against the baseline's `wall_ms`.
+//!
+//! Usage:
+//!   bench_smoke [--bound N] [--out BENCH_smoke.json] [--baseline BENCH_baseline.json]
+
+use serde::Serialize;
+
+use sepe_bench::sweep;
+use sepe_smt::SolverReuseStats;
+use sepe_tsys::BmcMode;
+
+/// Wall-time regression tolerance against the checked-in baseline.
+const REGRESSION_FACTOR: f64 = 1.5;
+
+#[derive(Debug, Clone, Serialize)]
+struct ModeResult {
+    mode: String,
+    wall_ms: f64,
+    conflicts: u64,
+    learnt_high_water: u64,
+    learnt_deleted: u64,
+    learnt_retained: u64,
+    terms_cached: u64,
+    terms_reused: u64,
+}
+
+impl ModeResult {
+    fn new(mode: &str, wall: std::time::Duration, solver: SolverReuseStats) -> ModeResult {
+        ModeResult {
+            mode: mode.to_string(),
+            wall_ms: wall.as_secs_f64() * 1e3,
+            conflicts: solver.conflicts,
+            learnt_high_water: solver.learnt_high_water,
+            learnt_deleted: solver.learnt_deleted,
+            learnt_retained: solver.learnt_retained,
+            terms_cached: solver.terms_cached,
+            terms_reused: solver.terms_reused,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct SmokeReport {
+    bound: usize,
+    opcode: String,
+    modes: Vec<ModeResult>,
+}
+
+/// Pulls `"wall_ms": <number>` for a named mode out of a baseline JSON
+/// (hand-rolled scan: the offline serde shim renders but does not parse).
+fn baseline_wall_ms(json: &str, mode: &str) -> Option<f64> {
+    let marker = format!("\"{mode}\"");
+    let after_mode = &json[json.find(&marker)? + marker.len()..];
+    let after_key = &after_mode[after_mode.find("\"wall_ms\":")? + "\"wall_ms\":".len()..];
+    let number: String = after_key
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    number.parse().ok()
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Bound 6 is the first depth where the SQED consistency query is hard
+    // (bound 5 finishes in milliseconds): small enough for a CI smoke run
+    // (~1 min), big enough that learnt-database reduction actually fires.
+    let bound: usize = arg_value(&args, "--bound")
+        .map(|v| v.parse().expect("--bound takes a number"))
+        .unwrap_or(6);
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_smoke.json".to_string());
+    let baseline_path = arg_value(&args, "--baseline");
+
+    let bug = sweep::bug(); // ADD off by one
+    println!("bench-smoke: SQED sweep, tiny/ADD-only, bound {bound}");
+    let (incr_wall, incr_solver) = sweep::run(bound, BmcMode::PerDepth, &bug);
+    let (cumul_wall, cumul_solver) = sweep::run_cumulative(bound, &bug);
+    let (scratch_wall, scratch_solver) = sweep::run(bound, BmcMode::PerDepthScratch, &bug);
+    let report = SmokeReport {
+        bound,
+        opcode: "ADD".to_string(),
+        modes: vec![
+            ModeResult::new("incremental", incr_wall, incr_solver),
+            ModeResult::new("cumulative_incremental", cumul_wall, cumul_solver),
+            ModeResult::new("scratch", scratch_wall, scratch_solver),
+        ],
+    };
+    for m in &report.modes {
+        println!(
+            "  {:<24} {:>9.1} ms  {:>8} conflicts  learnt hw {:>6} (deleted {:>6}, retained {:>6})  cache {:>6}/{:>6}",
+            m.mode,
+            m.wall_ms,
+            m.conflicts,
+            m.learnt_high_water,
+            m.learnt_deleted,
+            m.learnt_retained,
+            m.terms_cached,
+            m.terms_reused,
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("serializable report");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write smoke report");
+    println!("wrote {out_path}");
+
+    if let Some(path) = baseline_path {
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let mut regressed = false;
+        for m in &report.modes {
+            match baseline_wall_ms(&baseline, &m.mode) {
+                Some(expected) => {
+                    let ratio = m.wall_ms / expected;
+                    let verdict = if ratio > REGRESSION_FACTOR {
+                        regressed = true;
+                        "REGRESSED"
+                    } else {
+                        "ok"
+                    };
+                    println!(
+                        "  {:<24} {:>9.1} ms vs baseline {:>9.1} ms ({ratio:.2}x) {verdict}",
+                        m.mode, m.wall_ms, expected
+                    );
+                }
+                None => println!("  {:<24} no baseline entry, skipping", m.mode),
+            }
+        }
+        if regressed {
+            eprintln!("bench-smoke: wall time regressed >{REGRESSION_FACTOR}x against {path}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -32,6 +32,12 @@ pub struct Fig4Row {
     pub sepe_terms_reused: u64,
     /// Learnt clauses retained across the sweep's SAT calls.
     pub sepe_learnt_retained: u64,
+    /// High-water mark of live learnt clauses during the SEPE sweep.
+    pub sepe_learnt_high_water: u64,
+    /// Learnt clauses deleted by database reduction during the SEPE sweep.
+    pub sepe_learnt_deleted: u64,
+    /// Per-depth SAT-conflict deltas of the SEPE-SQED sweep.
+    pub sepe_depth_conflicts: Vec<u64>,
 }
 
 impl Fig4Row {
@@ -127,6 +133,9 @@ pub fn run(profile: Profile) -> Vec<Fig4Row> {
                 sepe_len: sepe.trace_len,
                 sepe_terms_reused: sepe.solver.terms_reused,
                 sepe_learnt_retained: sepe.solver.learnt_retained,
+                sepe_learnt_high_water: sepe.solver.learnt_high_water,
+                sepe_learnt_deleted: sepe.solver.learnt_deleted,
+                sepe_depth_conflicts: sepe.depths.iter().map(|d| d.conflicts).collect(),
             }
         })
         .collect()
@@ -168,10 +177,26 @@ pub fn print(rows: &[Fig4Row]) {
     );
     let reused: u64 = rows.iter().map(|r| r.sepe_terms_reused).sum();
     let learnt: u64 = rows.iter().map(|r| r.sepe_learnt_retained).sum();
+    let high_water: u64 = rows
+        .iter()
+        .map(|r| r.sepe_learnt_high_water)
+        .max()
+        .unwrap_or(0);
+    let deleted: u64 = rows.iter().map(|r| r.sepe_learnt_deleted).sum();
     println!(
         "solver reuse (SEPE-SQED incremental per-depth sweeps): \
-         {reused} term encodings served from cache, {learnt} learnt clauses retained across depths"
+         {reused} term encodings served from cache, {learnt} learnt clauses retained across depths, \
+         {deleted} deleted by reduction (live high-water {high_water})"
     );
+    println!("\nper-depth SAT conflicts (SEPE-SQED, one column per depth):");
+    for row in rows {
+        let cols: Vec<String> = row
+            .sepe_depth_conflicts
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        println!("{:<28} {}", row.bug, cols.join(" "));
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +214,9 @@ mod tests {
             sepe_len: Some(8),
             sepe_terms_reused: 0,
             sepe_learnt_retained: 0,
+            sepe_learnt_high_water: 0,
+            sepe_learnt_deleted: 0,
+            sepe_depth_conflicts: Vec::new(),
         };
         assert_eq!(row.runtime_ratio(), Some(2.0));
         assert_eq!(row.length_ratio(), Some(0.75));

@@ -15,6 +15,7 @@
 
 pub mod fig3;
 pub mod fig4;
+pub mod sweep;
 pub mod table1;
 
 use std::time::Duration;

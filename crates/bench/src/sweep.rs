@@ -1,0 +1,88 @@
+//! The shared incremental-vs-scratch sweep protocol.
+//!
+//! One Table-1 SQED sweep on the tiny/ADD-only configuration: the injected
+//! bug is invisible to SQED, so every depth up to the bound is explored —
+//! the worst case for scratch re-encoding and cold restarts, and the
+//! workload both the `incremental_vs_scratch` Criterion bench and the
+//! `bench_smoke` CI gate measure.  Keeping the protocol here (one definition
+//! of the detector configuration, the growing-bound loop and the
+//! must-not-detect assertion) guarantees the bench and the gate measure the
+//! same thing.
+
+use std::time::{Duration, Instant};
+
+use sepe_isa::Opcode;
+use sepe_processor::{Mutation, ProcessorConfig};
+use sepe_smt::{SolverReuseStats, TermManager};
+use sepe_sqed::detect::{Detector, DetectorConfig, Method};
+use sepe_sqed::qed::{QedBuilder, Scheme};
+use sepe_tsys::{Bmc, BmcConfig, BmcMode};
+
+/// The injected bug of the sweep (ADD result off by one — undetectable by
+/// plain SQED).
+pub fn bug() -> Mutation {
+    Mutation::table1()[0].clone()
+}
+
+/// The sweep's detector: tiny processor, ADD-only universe.
+pub fn detector(max_bound: usize, mode: BmcMode) -> Detector {
+    Detector::new(DetectorConfig {
+        processor: ProcessorConfig::tiny().with_opcodes(&[Opcode::Add]),
+        max_bound,
+        bmc_mode: mode,
+        ..DetectorConfig::default()
+    })
+}
+
+/// One full sweep through the detector in the given mode.  Returns the wall
+/// time and the solver-reuse counters of the run.
+///
+/// # Panics
+///
+/// Panics if the detection unexpectedly reports the bug (SQED must miss it).
+pub fn run(max_bound: usize, mode: BmcMode, bug: &Mutation) -> (Duration, SolverReuseStats) {
+    let d = detector(max_bound, mode);
+    let start = Instant::now();
+    let detection = d.check(Method::Sqed, Some(bug));
+    let wall = start.elapsed();
+    assert!(!detection.detected, "SQED must miss the Table-1 bug");
+    let mut solver = detection.solver;
+    // The scratch modes build fresh solvers per query and report all-zero
+    // reuse stats; fold the model checker's conflict total in so every mode
+    // carries its conflict count in the same place.
+    solver.conflicts = detection.conflicts;
+    (wall, solver)
+}
+
+/// The cumulative-incremental sweep, driven as growing `max_bound` calls on
+/// one persistent [`Bmc`] — the cross-call solver-reuse path: each call
+/// asserts only the new transition frame and queries only the depths not
+/// proven by earlier calls.
+///
+/// # Panics
+///
+/// Panics if any call unexpectedly reports a counterexample.
+pub fn run_cumulative(max_bound: usize, bug: &Mutation) -> (Duration, SolverReuseStats) {
+    let d = detector(max_bound, BmcMode::CumulativeIncremental);
+    let mut tm = TermManager::new();
+    let builder = QedBuilder {
+        processor: d.config().processor.clone(),
+        original_opcodes: d.original_opcodes(Method::Sqed),
+        queue_depth: d.config().queue_depth,
+    };
+    let system = builder.build(&mut tm, &Scheme::Sqed, Some(bug));
+    let mut bmc = Bmc::new(BmcConfig {
+        start_bound: 1, // the initial state is consistent by construction
+        mode: BmcMode::CumulativeIncremental,
+        ..BmcConfig::default()
+    });
+    let start = Instant::now();
+    for bound in 1..=max_bound {
+        let result = bmc.check(&mut tm, &system.ts, bound);
+        assert!(
+            !result.is_counterexample(),
+            "SQED must miss the Table-1 bug"
+        );
+    }
+    (start.elapsed(), bmc.stats().solver)
+}

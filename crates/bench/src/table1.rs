@@ -34,6 +34,15 @@ pub struct Table1Row {
     pub sepe_terms_reused: u64,
     /// Learnt clauses retained across the sweep's SAT calls.
     pub sepe_learnt_retained: u64,
+    /// High-water mark of live learnt clauses during the sweep (with
+    /// database reduction on, this stays below what an unreduced solver
+    /// would retain: `sepe_learnt_deleted + sepe_learnt_retained`).
+    pub sepe_learnt_high_water: u64,
+    /// Learnt clauses deleted by database reduction during the sweep.
+    pub sepe_learnt_deleted: u64,
+    /// Per-depth SAT-conflict deltas of the SEPE-SQED sweep (what each
+    /// depth's query cost on top of the previous one).
+    pub sepe_depth_conflicts: Vec<u64>,
 }
 
 impl Table1Row {
@@ -133,6 +142,9 @@ pub fn run(profile: Profile) -> Vec<Table1Row> {
                 sqed_bound: sqed.bound_reached,
                 sepe_terms_reused: sepe.solver.terms_reused,
                 sepe_learnt_retained: sepe.solver.learnt_retained,
+                sepe_learnt_high_water: sepe.solver.learnt_high_water,
+                sepe_learnt_deleted: sepe.solver.learnt_deleted,
+                sepe_depth_conflicts: sepe.depths.iter().map(|d| d.conflicts).collect(),
             }
         })
         .collect()
@@ -163,10 +175,26 @@ pub fn print(rows: &[Table1Row]) {
     );
     let reused: u64 = rows.iter().map(|r| r.sepe_terms_reused).sum();
     let learnt: u64 = rows.iter().map(|r| r.sepe_learnt_retained).sum();
+    let high_water: u64 = rows
+        .iter()
+        .map(|r| r.sepe_learnt_high_water)
+        .max()
+        .unwrap_or(0);
+    let deleted: u64 = rows.iter().map(|r| r.sepe_learnt_deleted).sum();
     println!(
         "solver reuse (SEPE-SQED incremental per-depth sweeps): \
-         {reused} term encodings served from cache, {learnt} learnt clauses retained across depths"
+         {reused} term encodings served from cache, {learnt} learnt clauses retained across depths, \
+         {deleted} deleted by reduction (live high-water {high_water})"
     );
+    println!("\nper-depth SAT conflicts (SEPE-SQED, one column per depth):");
+    for row in rows {
+        let cols: Vec<String> = row
+            .sepe_depth_conflicts
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        println!("{:<24} {}", row.bug, cols.join(" "));
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +219,9 @@ mod tests {
             sqed_bound: 8,
             sepe_terms_reused: 0,
             sepe_learnt_retained: 0,
+            sepe_learnt_high_water: 0,
+            sepe_learnt_deleted: 0,
+            sepe_depth_conflicts: Vec::new(),
         };
         assert_eq!(row.sepe_cell(), "3410.93s");
         assert_eq!(row.sqed_cell(), "-");

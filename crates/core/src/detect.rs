@@ -95,6 +95,12 @@ pub struct Detection {
     /// Solver-reuse counters of the model-checking run (all zero for the
     /// scratch/cumulative modes, which build fresh solvers per query).
     pub solver: sepe_smt::SolverReuseStats,
+    /// Per-query solver-work deltas, one entry per SAT query in issue order
+    /// (one per depth in the per-depth BMC modes).  The cumulative counters
+    /// above hide how the work is distributed over the sweep; these deltas
+    /// are what the table1/fig4 binaries report so the effect of
+    /// learnt-database reduction is readable per depth.
+    pub depths: Vec<sepe_tsys::DepthStats>,
 }
 
 impl Detection {
@@ -190,6 +196,7 @@ impl Detector {
                 bound_reached: stats.deepest_bound,
                 conflicts: stats.conflicts,
                 solver: stats.solver,
+                depths: stats.depths.clone(),
             },
             BmcResult::NoCounterexample { bound } => Detection {
                 method,
@@ -202,6 +209,7 @@ impl Detector {
                 bound_reached: bound,
                 conflicts: stats.conflicts,
                 solver: stats.solver,
+                depths: stats.depths.clone(),
             },
             BmcResult::Unknown { bound } => Detection {
                 method,
@@ -214,6 +222,7 @@ impl Detector {
                 bound_reached: bound,
                 conflicts: stats.conflicts,
                 solver: stats.solver,
+                depths: stats.depths.clone(),
             },
         }
     }

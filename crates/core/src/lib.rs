@@ -14,7 +14,7 @@
 //!   O/E/T register split of Section 5, and the property
 //!   `QED-ready ⇒ ⋀_{i=0..12} regs[i] == regs[i+13]` is checked instead.
 //!
-//! Both methods are driven by [`Detector`](detect::Detector), which wires the
+//! Both methods are driven by [`detect::Detector`], which wires the
 //! symbolic processor model (`sepe-processor`), the QED module built here and
 //! the bounded model checker (`sepe-tsys`) together, and reports whether an
 //! injected bug was detected, in how much time, and with how long a

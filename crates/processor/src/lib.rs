@@ -5,15 +5,15 @@
 //! reproduction, so this crate provides the equivalent *verification
 //! substrate* (see `DESIGN.md` for the substitution argument):
 //!
-//! * [`SymbolicProcessor`](symbolic::SymbolicProcessor) — a word-level
+//! * [`symbolic::SymbolicProcessor`] — a word-level
 //!   transition-system model of the architectural datapath: register file,
 //!   small data memory, commit interface and an *instruction-history window*
 //!   that lets injected bugs depend on the recently committed instruction
 //!   sequence (the observable footprint of pipeline bugs such as broken
 //!   forwarding or ordering).
-//! * [`MutantCore`](concrete::MutantCore) — the concrete twin of the symbolic
+//! * [`concrete::MutantCore`] — the concrete twin of the symbolic
 //!   model, used for witness replay and differential tests.
-//! * [`Mutation`](mutation::Mutation) — the bug-injection catalog reproducing
+//! * [`mutation::Mutation`] — the bug-injection catalog reproducing
 //!   the paper's mutation testing: 13 single-instruction bugs (Table 1) and
 //!   20 multiple-instruction bugs (Figure 4).
 //!

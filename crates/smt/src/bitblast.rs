@@ -17,7 +17,7 @@ use crate::term::{Op, TermId, TermManager};
 /// queries (the incremental pipeline) only lowers the not-yet-seen subgraph
 /// of each new term; [`cache_hits`](Self::cache_hits) /
 /// [`cached_terms`](Self::cached_terms) quantify the reuse.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BitBlaster {
     cnf: Cnf,
     true_lit: Lit,

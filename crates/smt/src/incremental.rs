@@ -14,9 +14,9 @@
 //!   terms, lowered to assumption literals (the MiniSat `solve(assumps)`
 //!   model) — learnt clauses, VSIDS activity and saved phases carry over
 //!   from call to call;
-//! * on an assumption-caused UNSAT, [`unsat_core`]
-//!   (IncrementalSolver::unsat_core) names the subset of assumed terms that
-//!   participated in the final conflict.
+//! * on an assumption-caused UNSAT,
+//!   [`unsat_core`](IncrementalSolver::unsat_core) names the subset of
+//!   assumed terms that participated in the final conflict.
 //!
 //! The Tseitin encoding used by the blaster is biconditional (each gate
 //! literal is equivalent to its gate), so assuming the literal of a cached
@@ -58,6 +58,15 @@ pub struct SolverReuseStats {
     /// Learnt clauses retained at the end of the last check (available to
     /// the next one).
     pub learnt_retained: u64,
+    /// Learnt-database reduction passes run over the solver's lifetime.
+    pub reduce_passes: u64,
+    /// Learnt clauses deleted (and their arena slots compacted away) by
+    /// reduction over the solver's lifetime.
+    pub learnt_deleted: u64,
+    /// Most live learnt clauses ever resident at once — with reduction on,
+    /// this stays below `learnt_deleted + learnt_retained` (what an
+    /// unreduced solver would be holding).
+    pub learnt_high_water: u64,
     /// SAT conflicts over the solver's lifetime.
     pub conflicts: u64,
     /// SAT conflicts of the last check.
@@ -81,6 +90,9 @@ impl SolverReuseStats {
         self.cnf_clauses += other.cnf_clauses;
         self.clauses_last_check = other.clauses_last_check;
         self.learnt_retained += other.learnt_retained;
+        self.reduce_passes += other.reduce_passes;
+        self.learnt_deleted += other.learnt_deleted;
+        self.learnt_high_water = self.learnt_high_water.max(other.learnt_high_water);
         self.conflicts += other.conflicts;
         self.conflicts_last_check = other.conflicts_last_check;
         self.propagations += other.propagations;
@@ -90,7 +102,7 @@ impl SolverReuseStats {
 }
 
 /// An SMT solver that persists its encoding and search state across checks.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IncrementalSolver {
     blaster: BitBlaster,
     sat: SatSolver,
@@ -133,6 +145,15 @@ impl IncrementalSolver {
         self.sat.set_deadline(deadline);
     }
 
+    /// Overrides the learnt-database reduction schedule of the underlying
+    /// SAT solver: the next reduction fires `interval` conflicts from now
+    /// and the interval grows geometrically from there.  Small values force
+    /// frequent reductions (used by the differential tests); the default
+    /// schedule is tuned for long-lived solvers and needs no adjustment.
+    pub fn set_reduce_interval(&mut self, interval: u64) {
+        self.sat.set_reduce_interval(interval);
+    }
+
     /// Permanently asserts a boolean term.  Only the subgraph not already
     /// encoded by earlier assertions/checks is bit-blasted.
     pub fn assert_term(&mut self, tm: &TermManager, t: TermId) {
@@ -170,6 +191,10 @@ impl IncrementalSolver {
         self.stats.terms_reused = self.blaster.cache_hits();
         self.stats.clauses_last_check = new_clauses;
         self.stats.learnt_retained = self.sat.num_learnt() as u64;
+        let reduce = self.sat.reduce_stats();
+        self.stats.reduce_passes = reduce.reductions;
+        self.stats.learnt_deleted = reduce.clauses_deleted;
+        self.stats.learnt_high_water = reduce.learnt_high_water;
         self.stats.conflicts_last_check = self.sat.num_conflicts() - conflicts_before;
         self.stats.conflicts = self.sat.num_conflicts();
         self.stats.propagations = self.sat.num_propagations();

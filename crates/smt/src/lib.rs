@@ -11,14 +11,15 @@
 //!   handling and for differential testing of the bit-blaster,
 //! * [`BitBlaster`](bitblast::BitBlaster) — Tseitin conversion of term graphs
 //!   to CNF,
-//! * [`SatSolver`](sat::SatSolver) — a CDCL SAT solver (two-watched literals,
+//! * [`sat::SatSolver`] — a CDCL SAT solver (two-watched literals,
 //!   first-UIP learning, VSIDS, phase saving, Luby restarts, and MiniSat-style
 //!   incremental solving under assumptions with unsat cores),
 //! * [`Solver`] — the scratch SMT interface: assert, check, model, where
 //!   every check re-encodes the assertion set from zero,
 //! * [`IncrementalSolver`] — the incremental SMT interface: one persistent
-//!   bit-blaster and SAT solver, permanent [`assert_term`]
-//!   (incremental::IncrementalSolver::assert_term) plus retractable
+//!   bit-blaster and SAT solver, permanent
+//!   [`assert_term`](incremental::IncrementalSolver::assert_term) plus
+//!   retractable
 //!   [`check_assuming`](incremental::IncrementalSolver::check_assuming),
 //!   with term-encoding caching and learnt-clause retention across checks.
 //!
@@ -28,8 +29,14 @@
 //! counterexample per iteration.  The incremental pipeline exists for
 //! exactly that shape — each new query only pays for what it adds, and the
 //! SAT solver's learnt clauses, variable activities and saved phases carry
-//! over instead of restarting cold.  [`SolverReuseStats`] quantifies the
-//! reuse (encodings served from cache, learnt clauses retained).
+//! over instead of restarting cold.  So that exactly these long-lived
+//! solvers do not degrade, the SAT core periodically reduces its learnt
+//! database (geometric conflict schedule plus a live-count safety cap,
+//! coldest clauses first by LBD/activity) and *compacts* the clause arena —
+//! watcher lists and reason indices are remapped so deleted clauses return
+//! their memory.  [`SolverReuseStats`] quantifies the reuse (encodings
+//! served from cache, learnt clauses retained) and the reduction
+//! ([`ReduceStats`] fields: passes, deletions, live high-water mark).
 //!
 //! # Example: scratch solving
 //!
@@ -91,7 +98,7 @@ pub mod term;
 
 pub use cnf::{Clause, Cnf, Lit, Var};
 pub use incremental::{IncrementalSolver, SolverReuseStats};
-pub use sat::{SatSolver, SolveOutcome};
+pub use sat::{ReduceStats, SatSolver, SolveOutcome};
 pub use solver::{Model, SatResult, Solver};
 pub use sort::Sort;
 pub use term::{Op, Term, TermId, TermManager};

@@ -152,6 +152,119 @@ fn incremental_agrees_with_scratch_on_random_query_sequences() {
     assert!(checks >= 100, "need ≥100 differential checks, ran {checks}");
 }
 
+/// Randomized differential check with learnt-database reduction forced on:
+/// a reduction interval of a handful of conflicts makes `reduce_db` (and its
+/// arena compaction) fire many times within every query sequence, and the
+/// verdicts must still agree with scratch solving query for query.
+#[test]
+fn forced_reduction_agrees_with_scratch_on_random_query_sequences() {
+    let mut rng = StdRng::seed_from_u64(0x9ed_0cee);
+    let width = 6;
+    let mut reduced_total = 0u64;
+    for round in 0..20 {
+        let mut tm = TermManager::new();
+        let pool = random_bv_pool(&mut tm, &mut rng, width);
+        let mut incremental = IncrementalSolver::new();
+        // Reduce every 5 conflicts: even the small random instances here
+        // conflict often enough to trigger many reduction passes.
+        incremental.set_reduce_interval(5);
+        let mut permanent: Vec<TermId> = Vec::new();
+        let mut permanently_unsat = false;
+
+        for _step in 0..6 {
+            if rng.gen_bool(0.4) && !permanently_unsat {
+                let c = random_constraint(&mut tm, &mut rng, &pool, width);
+                incremental.assert_term(&tm, c);
+                permanent.push(c);
+            }
+            let num_assumed = rng.gen_range(0..3);
+            let assumed: Vec<TermId> = (0..num_assumed)
+                .map(|_| random_constraint(&mut tm, &mut rng, &pool, width))
+                .collect();
+
+            let got = incremental.check_assuming(&tm, &assumed);
+            let mut scratch = Solver::new();
+            for &p in permanent.iter().chain(&assumed) {
+                scratch.assert_term(&tm, p);
+            }
+            assert_eq!(
+                got,
+                scratch.check(&tm),
+                "round {round}: reduced incremental disagrees with scratch \
+                 (permanent: {permanent:?}, assumed: {assumed:?})"
+            );
+            match got {
+                SatResult::Sat => {
+                    let model = incremental.model(&tm);
+                    for &p in permanent.iter().chain(&assumed) {
+                        assert_eq!(
+                            model.eval(&tm, p),
+                            1,
+                            "round {round}: model violates a constraint after reduction"
+                        );
+                    }
+                }
+                SatResult::Unsat => {
+                    if assumed.is_empty() || incremental.unsat_core().is_empty() {
+                        permanently_unsat = true;
+                    }
+                }
+                SatResult::Unknown => unreachable!("no conflict limit is set"),
+            }
+        }
+        reduced_total += incremental.stats().reduce_passes;
+    }
+    assert!(
+        reduced_total > 0,
+        "a 5-conflict interval must trigger reductions somewhere in 20 rounds"
+    );
+}
+
+/// A wall-clock interrupt in the middle of a search that has already reduced
+/// (and compacted) its learnt database must leave the solver reusable: after
+/// clearing the deadline, the same solver finishes the query with the right
+/// verdict.
+#[test]
+fn deadline_interrupt_during_reduced_search_leaves_the_solver_reusable() {
+    use std::time::{Duration, Instant};
+
+    let mut tm = TermManager::new();
+    // A hard query: factor a prime (wrapping at 2^20 a factorization exists,
+    // but finding it takes a conflict-heavy search).
+    let x = tm.var("x", Sort::BitVec(20));
+    let y = tm.var("y", Sort::BitVec(20));
+    let p = tm.bv_mul(x, y);
+    let c = tm.bv_const(1_048_573, 20);
+    let goal = tm.eq(p, c);
+    let one = tm.one(20);
+    let gx = tm.bv_ugt(x, one);
+    let gy = tm.bv_ugt(y, one);
+
+    let mut inc = IncrementalSolver::new();
+    inc.assert_term(&tm, goal);
+    // Force frequent reductions, then interrupt the search almost instantly.
+    inc.set_reduce_interval(10);
+    inc.set_deadline(Some(Instant::now() + Duration::from_millis(50)));
+    let first = inc.check_assuming(&tm, &[gx, gy]);
+    assert!(
+        matches!(first, SatResult::Unknown | SatResult::Sat),
+        "a 50ms deadline either interrupts or gets lucky, got {first:?}"
+    );
+    // Clearing the deadline must let the same solver (reduced database,
+    // compacted arena, retained learnt clauses) finish the job.
+    inc.set_deadline(None);
+    assert_eq!(inc.check_assuming(&tm, &[gx, gy]), SatResult::Sat);
+    let m = inc.model(&tm);
+    assert_eq!((m.value(x) * m.value(y)) & 0xf_ffff, 1_048_573);
+    assert!(m.value(x) > 1 && m.value(y) > 1);
+    // The solver keeps answering correctly: x = 0 contradicts the permanent
+    // product constraint, and the core names the new assumption.
+    let zero = tm.zero(20);
+    let x0 = tm.eq(x, zero);
+    assert_eq!(inc.check_assuming(&tm, &[x0]), SatResult::Unsat);
+    assert_eq!(inc.unsat_core(), &[x0]);
+}
+
 #[test]
 fn incremental_depth_sweep_matches_scratch_with_growing_assertions() {
     // A second shape: monotonically growing assertion sets (the BMC pattern)

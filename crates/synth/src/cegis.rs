@@ -11,7 +11,7 @@ use std::cell::Cell;
 use std::time::Duration;
 
 use sepe_isa::{Opcode, OperandKind};
-use sepe_smt::{IncrementalSolver, SatResult, Solver, SolverReuseStats, Sort, TermId, TermManager};
+use sepe_smt::{IncrementalSolver, SatResult, SolverReuseStats, Sort, TermId, TermManager};
 
 use crate::component::{AttrResolution, Component};
 use crate::program::{EquivTemplate, ImmSlot, Slot, TemplateInstr};
@@ -119,11 +119,14 @@ impl CegisEngine {
     /// Attempts to synthesize a program equivalent to `spec` using exactly
     /// the components of `multiset`.
     ///
-    /// The synthesis side runs on one persistent [`IncrementalSolver`] for
-    /// the whole refinement loop: the well-formedness constraints are
-    /// asserted once, each counterexample adds its constraints
-    /// monotonically, and the SAT solver's learnt clauses/activity carry
-    /// over between rounds instead of restarting cold.
+    /// Both sides of the refinement loop run on persistent
+    /// [`IncrementalSolver`]s.  The synthesis side asserts the
+    /// well-formedness constraints once and each counterexample adds its
+    /// constraints monotonically.  The verification side encodes the spec
+    /// (symbolic inputs, input constraint, spec semantics) once and checks
+    /// each round's candidate by *assuming* the candidate/spec disequality —
+    /// retracted on return instead of rebuilding the verifier from scratch —
+    /// so successive candidates share subterm encodings and learnt clauses.
     pub fn synthesize_with_multiset(&self, spec: &Spec, multiset: &[&Component]) -> CegisOutcome {
         let width = self.config.width;
         let num_inputs = spec.num_inputs();
@@ -196,6 +199,25 @@ impl CegisEngine {
 
         // Examples whose constraints are already asserted.
         let mut encoded_examples = 0usize;
+
+        // ----------------------------------------------------------
+        // Persistent verification query state (one per multiset).
+        //
+        // Every round verifies a *different* candidate, so the candidate
+        // constraints cannot be asserted permanently — but the spec side
+        // (symbolic inputs, input constraint, the spec's own semantics) is
+        // identical across rounds.  Encoding it once on an incremental
+        // solver and assuming only the per-candidate disequality makes each
+        // round pay just for the candidate's own subgraph, with the
+        // disequality retracted when the check returns.
+        // ----------------------------------------------------------
+        let mut vtm = TermManager::new();
+        let mut verifier = IncrementalSolver::new();
+        verifier.set_conflict_limit(self.config.verify_conflict_limit);
+        let vinputs = spec.fresh_inputs(&mut vtm, "v");
+        let constraint = spec.input_constraint(&mut vtm, &vinputs);
+        verifier.assert_term(&vtm, constraint);
+        let spec_out = spec.result(&mut vtm, &vinputs);
 
         let outcome = 'refine: {
             for _round in 0..self.config.max_cegis_iterations {
@@ -284,20 +306,17 @@ impl CegisEngine {
 
                 // ----------------------------------------------------------
                 // Verification query: does the candidate match for all
-                // inputs?  Each round verifies a different candidate, so
-                // this query is not monotone and uses a scratch solver.
+                // inputs?  The candidate changes every round, so its
+                // disequality rides along as a retractable assumption over
+                // the shared spec encoding — UNSAT ("no distinguishing
+                // input exists") verifies the candidate, and the next
+                // round's candidate simply assumes a fresh disequality on
+                // the same solver, reusing every shared subterm encoding
+                // and all learnt clauses.
                 // ----------------------------------------------------------
-                let mut vtm = TermManager::new();
-                let mut verifier = Solver::new();
-                verifier.set_conflict_limit(self.config.verify_conflict_limit);
-                let vinputs = spec.fresh_inputs(&mut vtm, "v");
-                let constraint = spec.input_constraint(&mut vtm, &vinputs);
-                verifier.assert_term(&vtm, constraint);
-                let spec_out = spec.result(&mut vtm, &vinputs);
                 let prog_out = template_result_term(&mut vtm, &candidate, spec, &vinputs);
                 let differ = vtm.neq(spec_out, prog_out);
-                verifier.assert_term(&vtm, differ);
-                match verifier.check(&vtm) {
+                match verifier.check_assuming(&vtm, &[differ]) {
                     SatResult::Unsat => break 'refine CegisOutcome::Program(candidate),
                     SatResult::Unknown => break 'refine CegisOutcome::ResourceOut,
                     SatResult::Sat => {
@@ -316,6 +335,7 @@ impl CegisEngine {
 
         let mut accumulated = self.stats.get();
         accumulated.absorb(&solver.stats());
+        accumulated.absorb(&verifier.stats());
         self.stats.set(accumulated);
         outcome
     }

@@ -31,6 +31,20 @@ pub enum BmcMode {
     /// a different model may violate earlier; use [`BmcMode::PerDepth`] when
     /// minimal trace lengths matter.
     Cumulative,
+    /// [`BmcMode::Cumulative`] on one persistent [`IncrementalSolver`] owned
+    /// by the [`Bmc`] instance: each [`check`](Bmc::check) call asserts only
+    /// the transition frames not yet asserted by earlier calls and issues a
+    /// single query with the bad-state disjunct of the not-yet-proven depths
+    /// as a *retractable* assumption.  Calling `check` repeatedly with a
+    /// growing `max_bound` therefore extends one solver across the whole
+    /// sweep — depths proven unreachable are never re-checked, learnt
+    /// clauses carry over, and the periodic learnt-database reduction keeps
+    /// the long-lived solver's memory bounded.  Like `Cumulative`, the
+    /// witness is truncated to the earliest violating frame of the model but
+    /// is not guaranteed globally shortest.  Every `check` call must receive
+    /// the same `TermManager` and `TransitionSystem`; call
+    /// [`Bmc::reset`] to start over on a different system.
+    CumulativeIncremental,
 }
 
 /// Configuration of a BMC run.
@@ -60,8 +74,29 @@ impl Default for BmcConfig {
     }
 }
 
-/// Statistics of a BMC run.
+/// Per-query solver-work deltas: what one depth's query added and cost on
+/// top of the previous one.
+///
+/// The cumulative counters in [`BmcStats`]/[`SolverReuseStats`] only say
+/// what a whole sweep cost; the per-depth deltas are what make the effect of
+/// learnt-clause reduction readable off a bench run (per-depth conflicts
+/// stay flat instead of ballooning with the retained database).
 #[derive(Debug, Clone, Copy, Default)]
+pub struct DepthStats {
+    /// The bound this query checked.
+    pub bound: usize,
+    /// SAT conflicts of this query alone.
+    pub conflicts: u64,
+    /// CNF clauses newly encoded for this query.
+    pub clauses_added: u64,
+    /// Learnt clauses retained when this query returned.
+    pub learnt_retained: u64,
+    /// Wall-clock time of this query alone.
+    pub duration: Duration,
+}
+
+/// Statistics of a BMC run.
+#[derive(Debug, Clone, Default)]
 pub struct BmcStats {
     /// Number of SAT queries issued.
     pub queries: u64,
@@ -73,9 +108,14 @@ pub struct BmcStats {
     /// found).
     pub deepest_bound: usize,
     /// Solver-reuse counters (term encodings cached/reused, learnt clauses
-    /// retained across depths).  All zero in [`BmcMode::PerDepthScratch`]
-    /// and [`BmcMode::Cumulative`], which build fresh solvers.
+    /// retained across depths, learnt-database reduction work).  All zero in
+    /// [`BmcMode::PerDepthScratch`] and [`BmcMode::Cumulative`], which build
+    /// fresh solvers.
     pub solver: SolverReuseStats,
+    /// Per-query deltas, one entry per SAT query in issue order (one per
+    /// depth in the per-depth modes, a single entry in the cumulative
+    /// modes).
+    pub depths: Vec<DepthStats>,
 }
 
 /// Outcome of a BMC run.
@@ -110,11 +150,25 @@ impl BmcResult {
     }
 }
 
+/// Persistent solver state of [`BmcMode::CumulativeIncremental`], carried
+/// across [`Bmc::check`] calls.
+#[derive(Debug, Clone)]
+struct CumulativeState {
+    solver: IncrementalSolver,
+    /// Transition frames asserted so far (`0..frames_asserted`).
+    frames_asserted: usize,
+    /// Shallowest depth whose bad state has not been proven unreachable yet.
+    next_unproven: usize,
+}
+
 /// The bounded model checker.
 #[derive(Debug, Clone, Default)]
 pub struct Bmc {
     config: BmcConfig,
     stats: BmcStats,
+    /// Solver state persisted across `check` calls in
+    /// [`BmcMode::CumulativeIncremental`]; `None` in every other mode.
+    cumulative: Option<CumulativeState>,
 }
 
 impl Bmc {
@@ -123,12 +177,21 @@ impl Bmc {
         Bmc {
             config,
             stats: BmcStats::default(),
+            cumulative: None,
         }
     }
 
     /// Statistics of the most recent [`check`](Self::check) call.
     pub fn stats(&self) -> BmcStats {
-        self.stats
+        self.stats.clone()
+    }
+
+    /// Drops the persistent solver state of
+    /// [`BmcMode::CumulativeIncremental`], so the next
+    /// [`check`](Self::check) starts from scratch (required before reusing
+    /// the checker on a different transition system or term manager).
+    pub fn reset(&mut self) {
+        self.cumulative = None;
     }
 
     /// Checks whether any bad state of `ts` is reachable within `max_bound`
@@ -144,6 +207,7 @@ impl Bmc {
             BmcMode::PerDepth => self.check_per_depth(tm, ts, max_bound),
             BmcMode::PerDepthScratch => self.check_per_depth_scratch(tm, ts, max_bound),
             BmcMode::Cumulative => self.check_cumulative(tm, ts, max_bound),
+            BmcMode::CumulativeIncremental => self.check_cumulative_incremental(tm, ts, max_bound),
         }
     }
 
@@ -190,9 +254,17 @@ impl Bmc {
             let bad = unroller.bad_at(tm, bound);
             let result = solver.check_assuming(tm, &[bad]);
             self.stats.queries += 1;
-            self.stats.conflicts = solver.stats().conflicts;
-            self.stats.solver = solver.stats();
+            let sstats = solver.stats();
+            self.stats.conflicts = sstats.conflicts;
+            self.stats.solver = sstats;
             self.stats.deepest_bound = bound;
+            self.stats.depths.push(DepthStats {
+                bound,
+                conflicts: sstats.conflicts_last_check,
+                clauses_added: sstats.clauses_last_check,
+                learnt_retained: sstats.learnt_retained,
+                duration: sstats.duration_last_check,
+            });
             match result {
                 SatResult::Sat => {
                     let witness = extract_witness(tm, ts, &mut unroller, solver.model(tm), bound);
@@ -244,6 +316,7 @@ impl Bmc {
                 }
             }
             let bad = unroller.bad_at(tm, bound);
+            let query_start = Instant::now();
             let mut solver = Solver::new();
             solver.set_conflict_limit(self.config.conflict_limit);
             solver.set_deadline(self.config.time_limit.map(|limit| start + limit));
@@ -255,6 +328,13 @@ impl Bmc {
             self.stats.queries += 1;
             self.stats.conflicts += solver.stats().conflicts;
             self.stats.deepest_bound = bound;
+            self.stats.depths.push(DepthStats {
+                bound,
+                conflicts: solver.stats().conflicts,
+                clauses_added: 0, // a scratch solver re-encodes everything
+                learnt_retained: 0,
+                duration: query_start.elapsed(),
+            });
             match result {
                 SatResult::Sat => {
                     let witness = extract_witness(tm, ts, &mut unroller, solver.model(tm), bound);
@@ -307,6 +387,13 @@ impl Bmc {
         self.stats.queries = 1;
         self.stats.conflicts = solver.stats().conflicts;
         self.stats.deepest_bound = max_bound;
+        self.stats.depths.push(DepthStats {
+            bound: max_bound,
+            conflicts: solver.stats().conflicts,
+            clauses_added: 0,
+            learnt_retained: 0,
+            duration: start.elapsed(),
+        });
         let result = match outcome {
             SatResult::Sat => {
                 let model = solver.model(tm).clone();
@@ -321,6 +408,99 @@ impl Bmc {
                 BmcResult::Counterexample(witness)
             }
             SatResult::Unsat => BmcResult::NoCounterexample { bound: max_bound },
+            SatResult::Unknown => BmcResult::Unknown { bound: max_bound },
+        };
+        self.stats.duration = start.elapsed();
+        result
+    }
+
+    /// Cumulative exploration on the persistent solver owned by this `Bmc`:
+    /// only the transition frames beyond what earlier calls asserted are
+    /// encoded, the bad-state disjunct over the not-yet-proven depths rides
+    /// along as a retractable assumption, and a proven `max_bound` is
+    /// remembered so a later, deeper call checks only the new depths.
+    fn check_cumulative_incremental(
+        &mut self,
+        tm: &mut TermManager,
+        ts: &TransitionSystem,
+        max_bound: usize,
+    ) -> BmcResult {
+        let start = Instant::now();
+        self.stats = BmcStats::default();
+        let mut unroller = Unroller::new(ts);
+
+        if self.cumulative.is_none() {
+            let mut solver = IncrementalSolver::new();
+            let init = unroller.init(tm);
+            solver.assert_term(tm, init);
+            let c0 = unroller.constraints_at(tm, 0);
+            solver.assert_term(tm, c0);
+            self.cumulative = Some(CumulativeState {
+                solver,
+                frames_asserted: 0,
+                next_unproven: self.config.start_bound,
+            });
+        }
+        let state = self.cumulative.as_mut().expect("state initialized above");
+        let solver = &mut state.solver;
+        solver.set_conflict_limit(self.config.conflict_limit);
+        solver.set_deadline(self.config.time_limit.map(|limit| start + limit));
+
+        while state.frames_asserted < max_bound {
+            let k = state.frames_asserted;
+            let tr = unroller.transition(tm, k);
+            solver.assert_term(tm, tr);
+            let cs = unroller.constraints_at(tm, k + 1);
+            solver.assert_term(tm, cs);
+            state.frames_asserted += 1;
+        }
+        self.stats.deepest_bound = max_bound;
+        if state.next_unproven > max_bound {
+            // Every depth up to max_bound was proven unreachable by an
+            // earlier call on this solver.
+            self.stats.solver = solver.stats();
+            self.stats.duration = start.elapsed();
+            return BmcResult::NoCounterexample { bound: max_bound };
+        }
+
+        // One query: the disjunction of the unproven depths' bad states as a
+        // retractable assumption (a deeper follow-up call assumes a fresh
+        // disjunct, so nothing about the bads is asserted permanently).
+        let mut bads = Vec::new();
+        let mut any_bad = tm.fls();
+        for k in state.next_unproven..=max_bound {
+            let bad = unroller.bad_at(tm, k);
+            bads.push((k, bad));
+            any_bad = tm.or(any_bad, bad);
+        }
+        let outcome = solver.check_assuming(tm, &[any_bad]);
+        let sstats = solver.stats();
+        self.stats.queries = 1;
+        self.stats.conflicts = sstats.conflicts;
+        self.stats.solver = sstats;
+        self.stats.depths.push(DepthStats {
+            bound: max_bound,
+            conflicts: sstats.conflicts_last_check,
+            clauses_added: sstats.clauses_last_check,
+            learnt_retained: sstats.learnt_retained,
+            duration: sstats.duration_last_check,
+        });
+        let result = match outcome {
+            SatResult::Sat => {
+                let model = solver.model(tm).clone();
+                let violated = bads
+                    .iter()
+                    .find(|(_, bad)| model.eval(tm, *bad) == 1)
+                    .map(|(k, _)| *k)
+                    .unwrap_or(max_bound);
+                self.stats.deepest_bound = violated;
+                let witness = extract_witness(tm, ts, &mut unroller, &model, violated);
+                BmcResult::Counterexample(witness)
+            }
+            SatResult::Unsat => {
+                state.next_unproven = max_bound + 1;
+                BmcResult::NoCounterexample { bound: max_bound }
+            }
             SatResult::Unknown => BmcResult::Unknown { bound: max_bound },
         };
         self.stats.duration = start.elapsed();
@@ -511,6 +691,112 @@ mod tests {
             "later depths must hit the encoding cache"
         );
         assert!(reuse.terms_cached > 0);
+    }
+
+    #[test]
+    fn cumulative_incremental_matches_per_depth_across_growing_bounds() {
+        // One checker driven through growing max_bound calls; every verdict
+        // must match a fresh per-depth run over the same system.
+        let mut tm = TermManager::new();
+        let ts = counter_system(&mut tm, 8, 5, true);
+        let mut cumulative = Bmc::new(BmcConfig {
+            mode: BmcMode::CumulativeIncremental,
+            ..BmcConfig::default()
+        });
+        for bound in 0..8 {
+            let got = cumulative.check(&mut tm, &ts, bound);
+            let mut tm2 = TermManager::new();
+            let ts2 = counter_system(&mut tm2, 8, 5, true);
+            let mut per_depth = Bmc::new(BmcConfig::default());
+            let want = per_depth.check(&mut tm2, &ts2, bound);
+            match (&got, &want) {
+                (BmcResult::Counterexample(a), BmcResult::Counterexample(b)) => {
+                    // the counter is deterministic, so the earliest violating
+                    // frame of any model is the genuinely shortest trace
+                    assert_eq!(a.num_steps(), b.num_steps(), "bound {bound}");
+                }
+                (
+                    BmcResult::NoCounterexample { bound: a },
+                    BmcResult::NoCounterexample { bound: b },
+                ) => assert_eq!(a, b),
+                other => panic!("verdicts diverge at bound {bound}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cumulative_incremental_skips_proven_depths_and_reuses_the_solver() {
+        let mut tm = TermManager::new();
+        let ts = counter_system(&mut tm, 8, 50, true); // unreachable in 8 steps
+        let mut bmc = Bmc::new(BmcConfig {
+            mode: BmcMode::CumulativeIncremental,
+            ..BmcConfig::default()
+        });
+        match bmc.check(&mut tm, &ts, 6) {
+            BmcResult::NoCounterexample { bound } => assert_eq!(bound, 6),
+            other => panic!("expected no counterexample, got {other:?}"),
+        }
+        assert_eq!(bmc.stats().queries, 1);
+        let first_conflicts = bmc.stats().solver.conflicts;
+        // Re-checking an already-proven bound issues no SAT query at all.
+        match bmc.check(&mut tm, &ts, 6) {
+            BmcResult::NoCounterexample { bound } => assert_eq!(bound, 6),
+            other => panic!("expected no counterexample, got {other:?}"),
+        }
+        assert_eq!(bmc.stats().queries, 0);
+        assert_eq!(bmc.stats().solver.conflicts, first_conflicts);
+        // A deeper call extends the same solver: one query over the two new
+        // depths only, with the earlier encodings served from the cache.
+        match bmc.check(&mut tm, &ts, 8) {
+            BmcResult::NoCounterexample { bound } => assert_eq!(bound, 8),
+            other => panic!("expected no counterexample, got {other:?}"),
+        }
+        assert_eq!(bmc.stats().queries, 1);
+        assert!(bmc.stats().solver.terms_reused > 0);
+        // reset drops the persistent solver; the next call starts cold but
+        // still answers correctly.
+        bmc.reset();
+        match bmc.check(&mut tm, &ts, 4) {
+            BmcResult::NoCounterexample { bound } => assert_eq!(bound, 4),
+            other => panic!("expected no counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cumulative_incremental_finds_counterexamples_with_free_inputs() {
+        let mut tm = TermManager::new();
+        let ts = counter_system(&mut tm, 8, 200, false);
+        let mut bmc = Bmc::new(BmcConfig {
+            mode: BmcMode::CumulativeIncremental,
+            ..BmcConfig::default()
+        });
+        match bmc.check(&mut tm, &ts, 10) {
+            BmcResult::Counterexample(w) => {
+                assert_eq!(w.last().state("count"), 200);
+                assert!(w.num_steps() <= 10);
+            }
+            other => panic!("expected a counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_depth_stats_report_per_query_deltas() {
+        let mut tm = TermManager::new();
+        let ts = counter_system(&mut tm, 8, 50, true);
+        let mut bmc = Bmc::new(BmcConfig::default());
+        let result = bmc.check(&mut tm, &ts, 10);
+        assert!(matches!(result, BmcResult::NoCounterexample { .. }));
+        let stats = bmc.stats();
+        assert_eq!(stats.depths.len(), 11, "one delta entry per depth 0..=10");
+        assert_eq!(
+            stats.depths.iter().map(|d| d.bound).collect::<Vec<_>>(),
+            (0..=10).collect::<Vec<_>>()
+        );
+        let total: u64 = stats.depths.iter().map(|d| d.conflicts).sum();
+        assert_eq!(
+            total, stats.conflicts,
+            "per-depth conflict deltas must sum to the cumulative count"
+        );
     }
 
     #[test]
