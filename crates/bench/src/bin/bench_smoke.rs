@@ -3,17 +3,24 @@
 //!
 //! Runs the shared [`sepe_bench::sweep`] protocol (one Table-1 SQED sweep,
 //! tiny processor, ADD only — the bug is invisible to SQED, so every depth
-//! is explored) in three BMC modes:
+//! is explored) in four BMC modes:
 //!
-//! * `incremental` — [`BmcMode::PerDepth`] on the persistent solver,
+//! * `incremental` — [`BmcMode::PerDepth`] on the persistent solver with
+//!   word-level rewriting + cone-of-influence reduction on (the default
+//!   pipeline),
+//! * `incremental_norewrite` — the same mode with the word-level
+//!   preprocessing off: the rewrite-on-vs-off arm that isolates what the
+//!   simplification pipeline buys,
 //! * `cumulative_incremental` — [`BmcMode::CumulativeIncremental`], driven
 //!   as growing `max_bound` calls on one `Bmc` (the cross-call reuse path),
-//! * `scratch` — [`BmcMode::PerDepthScratch`], the re-encoding baseline.
+//! * `scratch` — [`BmcMode::PerDepthScratch`] with preprocessing off, the
+//!   PR-1-era re-encoding baseline.
 //!
 //! The measurements (wall time, conflicts, learnt-clause high-water mark,
-//! encodings cached) are written as JSON, and when `--baseline <path>` is
-//! given the run **fails** (exit code 1) if any mode's wall time regressed
-//! more than [`REGRESSION_FACTOR`]× against the baseline's `wall_ms`.
+//! encodings cached, `RewriteStats`) are written as JSON, and when
+//! `--baseline <path>` is given the run **fails** (exit code 1) if any
+//! mode's wall time regressed more than [`REGRESSION_FACTOR`]× against the
+//! baseline's `wall_ms`.
 //!
 //! Usage:
 //!   bench_smoke [--bound N] [--out BENCH_smoke.json] [--baseline BENCH_baseline.json]
@@ -37,6 +44,11 @@ struct ModeResult {
     learnt_retained: u64,
     terms_cached: u64,
     terms_reused: u64,
+    terms_rewritten: u64,
+    rewrite_rules: u64,
+    rewrite_pins: u64,
+    assertions_dropped: u64,
+    coi_dropped: u64,
 }
 
 impl ModeResult {
@@ -48,8 +60,13 @@ impl ModeResult {
             learnt_high_water: solver.learnt_high_water,
             learnt_deleted: solver.learnt_deleted,
             learnt_retained: solver.learnt_retained,
-            terms_cached: solver.terms_cached,
-            terms_reused: solver.terms_reused,
+            terms_cached: solver.encode.terms_cached,
+            terms_reused: solver.encode.terms_reused,
+            terms_rewritten: solver.encode.rewrite.terms_rewritten,
+            rewrite_rules: solver.encode.rewrite.rule_applications,
+            rewrite_pins: solver.encode.rewrite.pins,
+            assertions_dropped: solver.encode.rewrite.assertions_dropped,
+            coi_dropped: solver.encode.rewrite.coi_dropped_updates,
         }
     }
 }
@@ -84,8 +101,8 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Bound 6 is the first depth where the SQED consistency query is hard
-    // (bound 5 finishes in milliseconds): small enough for a CI smoke run
-    // (~1 min), big enough that learnt-database reduction actually fires.
+    // (bound 5 finishes in milliseconds): small enough for a CI smoke run,
+    // big enough that learnt-database reduction actually fires.
     let bound: usize = arg_value(&args, "--bound")
         .map(|v| v.parse().expect("--bound takes a number"))
         .unwrap_or(6);
@@ -94,29 +111,48 @@ fn main() {
 
     let bug = sweep::bug(); // ADD off by one
     println!("bench-smoke: SQED sweep, tiny/ADD-only, bound {bound}");
-    let (incr_wall, incr_solver) = sweep::run(bound, BmcMode::PerDepth, &bug);
+    let (incr_wall, incr_solver) = sweep::run_with(bound, BmcMode::PerDepth, &bug, true);
+    let (raw_wall, raw_solver) = sweep::run_with(bound, BmcMode::PerDepth, &bug, false);
     let (cumul_wall, cumul_solver) = sweep::run_cumulative(bound, &bug);
-    let (scratch_wall, scratch_solver) = sweep::run(bound, BmcMode::PerDepthScratch, &bug);
+    let (scratch_wall, scratch_solver) =
+        sweep::run_with(bound, BmcMode::PerDepthScratch, &bug, false);
     let report = SmokeReport {
         bound,
         opcode: "ADD".to_string(),
         modes: vec![
             ModeResult::new("incremental", incr_wall, incr_solver),
+            ModeResult::new("incremental_norewrite", raw_wall, raw_solver),
             ModeResult::new("cumulative_incremental", cumul_wall, cumul_solver),
             ModeResult::new("scratch", scratch_wall, scratch_solver),
         ],
     };
     for m in &report.modes {
         println!(
-            "  {:<24} {:>9.1} ms  {:>8} conflicts  learnt hw {:>6} (deleted {:>6}, retained {:>6})  cache {:>6}/{:>6}",
+            "  {:<24} {:>9.1} ms  {:>8} conflicts  learnt hw {:>6} (deleted {:>6}, retained {:>6})",
             m.mode,
             m.wall_ms,
             m.conflicts,
             m.learnt_high_water,
             m.learnt_deleted,
             m.learnt_retained,
-            m.terms_cached,
-            m.terms_reused,
+        );
+        println!(
+            "  {:<24} cache {:>6}/{:>6}  rewritten {:>6} (rules {:>6}, pins {:>6}, dropped {:>6}, coi-dropped {:>4})",
+            "", m.terms_cached, m.terms_reused, m.terms_rewritten, m.rewrite_rules, m.rewrite_pins,
+            m.assertions_dropped, m.coi_dropped,
+        );
+    }
+    if let (Some(on), Some(off)) = (
+        report.modes.first(),
+        report
+            .modes
+            .iter()
+            .find(|m| m.mode == "incremental_norewrite"),
+    ) {
+        println!(
+            "  rewrite-on vs rewrite-off: {:.2}x wall, {:.2}x conflicts",
+            off.wall_ms / on.wall_ms,
+            off.conflicts as f64 / (on.conflicts.max(1)) as f64,
         );
     }
 

@@ -35,6 +35,17 @@ pub struct Fig3Row {
     pub iterative_programs: usize,
     /// Term encodings reused by HPF-CEGIS's persistent synthesis solvers.
     pub hpf_terms_reused: u64,
+    /// Terms changed by the word-level rewriter across the HPF run's
+    /// synthesis/verification solvers.
+    pub hpf_terms_rewritten: u64,
+    /// Catalogue-rule applications by the rewriter.
+    pub hpf_rewrite_rules: u64,
+    /// Asserted equalities the rewriter turned into variable pins.
+    pub hpf_rewrite_pins: u64,
+    /// Asserted conjuncts the rewriter eliminated before encoding.
+    pub hpf_assertions_dropped: u64,
+    /// Distinct term encodings cached by the HPF run's solvers.
+    pub hpf_terms_cached: u64,
     /// Learnt clauses retained across HPF-CEGIS refinement rounds.
     pub hpf_learnt_retained: u64,
 }
@@ -108,7 +119,12 @@ pub fn run(profile: Profile) -> Vec<Fig3Row> {
                 iterative_multisets: iterative_result.multisets_tried,
                 hpf_programs: hpf_result.programs.len(),
                 iterative_programs: iterative_result.programs.len(),
-                hpf_terms_reused: hpf_result.solver.terms_reused,
+                hpf_terms_reused: hpf_result.solver.encode.terms_reused,
+                hpf_terms_rewritten: hpf_result.solver.encode.rewrite.terms_rewritten,
+                hpf_rewrite_rules: hpf_result.solver.encode.rewrite.rule_applications,
+                hpf_rewrite_pins: hpf_result.solver.encode.rewrite.pins,
+                hpf_assertions_dropped: hpf_result.solver.encode.rewrite.assertions_dropped,
+                hpf_terms_cached: hpf_result.solver.encode.terms_cached,
                 hpf_learnt_retained: hpf_result.solver.learnt_retained,
             }
         })
@@ -158,12 +174,18 @@ pub fn print(rows: &[Fig3Row]) {
         avg * 100.0,
         max * 100.0
     );
-    let reused: u64 = rows.iter().map(|r| r.hpf_terms_reused).sum();
+    let mut encode = sepe_smt::EncodeStats::default();
+    for r in rows {
+        encode.terms_cached += r.hpf_terms_cached;
+        encode.terms_reused += r.hpf_terms_reused;
+        encode.rewrite.terms_rewritten += r.hpf_terms_rewritten;
+        encode.rewrite.rule_applications += r.hpf_rewrite_rules;
+        encode.rewrite.pins += r.hpf_rewrite_pins;
+        encode.rewrite.assertions_dropped += r.hpf_assertions_dropped;
+    }
     let learnt: u64 = rows.iter().map(|r| r.hpf_learnt_retained).sum();
-    println!(
-        "solver reuse (HPF incremental CEGIS): {reused} term encodings served from cache, \
-         {learnt} learnt clauses retained across refinement rounds"
-    );
+    println!("encoding (HPF incremental CEGIS): {encode}");
+    println!("solver reuse: {learnt} learnt clauses retained across refinement rounds");
 }
 
 #[cfg(test)]
@@ -188,6 +210,11 @@ mod tests {
             hpf_programs: 1,
             iterative_programs: 1,
             hpf_terms_reused: 0,
+            hpf_terms_rewritten: 0,
+            hpf_rewrite_rules: 0,
+            hpf_rewrite_pins: 0,
+            hpf_assertions_dropped: 0,
+            hpf_terms_cached: 0,
             hpf_learnt_retained: 0,
         };
         assert!((row.reduction() - 0.5).abs() < 1e-9);

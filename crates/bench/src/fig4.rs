@@ -27,9 +27,22 @@ pub struct Fig4Row {
     pub sqed_len: Option<usize>,
     /// SEPE-SQED counterexample length.
     pub sepe_len: Option<usize>,
+    /// Distinct term encodings cached by the SEPE-SQED incremental solver
+    /// (see `sepe_smt::EncodeStats`).
+    pub sepe_terms_cached: u64,
     /// Term encodings reused across depths by the SEPE-SQED incremental
     /// per-depth sweep.
     pub sepe_terms_reused: u64,
+    /// Terms changed by the word-level rewriter ahead of bit-blasting.
+    pub sepe_terms_rewritten: u64,
+    /// Catalogue-rule applications by the rewriter.
+    pub sepe_rewrite_rules: u64,
+    /// Asserted equalities the rewriter turned into variable pins.
+    pub sepe_rewrite_pins: u64,
+    /// Asserted conjuncts the rewriter eliminated before encoding.
+    pub sepe_assertions_dropped: u64,
+    /// Next-state updates dropped by the BMC cone-of-influence pass.
+    pub sepe_coi_dropped: u64,
     /// Learnt clauses retained across the sweep's SAT calls.
     pub sepe_learnt_retained: u64,
     /// High-water mark of live learnt clauses during the SEPE sweep.
@@ -131,7 +144,13 @@ pub fn run(profile: Profile) -> Vec<Fig4Row> {
                 sepe_secs: sepe.detected.then_some(sepe.runtime.as_secs_f64()),
                 sqed_len: sqed.trace_len,
                 sepe_len: sepe.trace_len,
-                sepe_terms_reused: sepe.solver.terms_reused,
+                sepe_terms_cached: sepe.solver.encode.terms_cached,
+                sepe_terms_reused: sepe.solver.encode.terms_reused,
+                sepe_terms_rewritten: sepe.solver.encode.rewrite.terms_rewritten,
+                sepe_rewrite_rules: sepe.solver.encode.rewrite.rule_applications,
+                sepe_rewrite_pins: sepe.solver.encode.rewrite.pins,
+                sepe_assertions_dropped: sepe.solver.encode.rewrite.assertions_dropped,
+                sepe_coi_dropped: sepe.solver.encode.rewrite.coi_dropped_updates,
                 sepe_learnt_retained: sepe.solver.learnt_retained,
                 sepe_learnt_high_water: sepe.solver.learnt_high_water,
                 sepe_learnt_deleted: sepe.solver.learnt_deleted,
@@ -175,7 +194,16 @@ pub fn print(rows: &[Fig4Row]) {
          (paper: both detect all 20, SEPE-SQED is sometimes shorter).",
         rows.len()
     );
-    let reused: u64 = rows.iter().map(|r| r.sepe_terms_reused).sum();
+    let mut encode = sepe_smt::EncodeStats::default();
+    for r in rows {
+        encode.terms_cached += r.sepe_terms_cached;
+        encode.terms_reused += r.sepe_terms_reused;
+        encode.rewrite.terms_rewritten += r.sepe_terms_rewritten;
+        encode.rewrite.rule_applications += r.sepe_rewrite_rules;
+        encode.rewrite.pins += r.sepe_rewrite_pins;
+        encode.rewrite.assertions_dropped += r.sepe_assertions_dropped;
+        encode.rewrite.coi_dropped_updates += r.sepe_coi_dropped;
+    }
     let learnt: u64 = rows.iter().map(|r| r.sepe_learnt_retained).sum();
     let high_water: u64 = rows
         .iter()
@@ -183,9 +211,9 @@ pub fn print(rows: &[Fig4Row]) {
         .max()
         .unwrap_or(0);
     let deleted: u64 = rows.iter().map(|r| r.sepe_learnt_deleted).sum();
+    println!("encoding (SEPE-SQED incremental per-depth sweeps): {encode}");
     println!(
-        "solver reuse (SEPE-SQED incremental per-depth sweeps): \
-         {reused} term encodings served from cache, {learnt} learnt clauses retained across depths, \
+        "solver reuse: {learnt} learnt clauses retained across depths, \
          {deleted} deleted by reduction (live high-water {high_water})"
     );
     println!("\nper-depth SAT conflicts (SEPE-SQED, one column per depth):");
@@ -212,7 +240,13 @@ mod tests {
             sepe_secs: Some(1.0),
             sqed_len: Some(6),
             sepe_len: Some(8),
+            sepe_terms_cached: 0,
             sepe_terms_reused: 0,
+            sepe_terms_rewritten: 0,
+            sepe_rewrite_rules: 0,
+            sepe_rewrite_pins: 0,
+            sepe_assertions_dropped: 0,
+            sepe_coi_dropped: 0,
             sepe_learnt_retained: 0,
             sepe_learnt_high_water: 0,
             sepe_learnt_deleted: 0,

@@ -26,30 +26,49 @@ pub fn bug() -> Mutation {
 
 /// The sweep's detector: tiny processor, ADD-only universe.
 pub fn detector(max_bound: usize, mode: BmcMode) -> Detector {
+    detector_with(max_bound, mode, true)
+}
+
+/// [`detector`] with the word-level preprocessing (rewriting +
+/// cone-of-influence) explicitly on or off.
+pub fn detector_with(max_bound: usize, mode: BmcMode, simplify: bool) -> Detector {
     Detector::new(DetectorConfig {
         processor: ProcessorConfig::tiny().with_opcodes(&[Opcode::Add]),
         max_bound,
         bmc_mode: mode,
+        simplify,
         ..DetectorConfig::default()
     })
 }
 
-/// One full sweep through the detector in the given mode.  Returns the wall
-/// time and the solver-reuse counters of the run.
+/// One full sweep through the detector in the given mode (word-level
+/// preprocessing on).  Returns the wall time and the solver-reuse counters
+/// of the run.
 ///
 /// # Panics
 ///
 /// Panics if the detection unexpectedly reports the bug (SQED must miss it).
 pub fn run(max_bound: usize, mode: BmcMode, bug: &Mutation) -> (Duration, SolverReuseStats) {
-    let d = detector(max_bound, mode);
+    run_with(max_bound, mode, bug, true)
+}
+
+/// [`run`] with the word-level preprocessing explicitly on or off (the
+/// bench harness's rewrite-on-vs-off arm).
+pub fn run_with(
+    max_bound: usize,
+    mode: BmcMode,
+    bug: &Mutation,
+    simplify: bool,
+) -> (Duration, SolverReuseStats) {
+    let d = detector_with(max_bound, mode, simplify);
     let start = Instant::now();
     let detection = d.check(Method::Sqed, Some(bug));
     let wall = start.elapsed();
     assert!(!detection.detected, "SQED must miss the Table-1 bug");
     let mut solver = detection.solver;
-    // The scratch modes build fresh solvers per query and report all-zero
-    // reuse stats; fold the model checker's conflict total in so every mode
-    // carries its conflict count in the same place.
+    // The scratch modes build fresh solvers per query and report (almost)
+    // all-zero reuse stats; fold the model checker's conflict total in so
+    // every mode carries its conflict count in the same place.
     solver.conflicts = detection.conflicts;
     (wall, solver)
 }

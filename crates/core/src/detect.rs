@@ -54,6 +54,11 @@ pub struct DetectorConfig {
     /// are exposed for shortest-counterexample-first exploration and for the
     /// incremental-vs-scratch benchmarks.
     pub bmc_mode: BmcMode,
+    /// Word-level preprocessing (on by default): rewriting ahead of
+    /// bit-blasting plus the BMC cone-of-influence reduction.  Off is the
+    /// pre-rewrite baseline, kept for the bench harness's
+    /// rewrite-on-vs-off arm.
+    pub simplify: bool,
 }
 
 impl Default for DetectorConfig {
@@ -66,6 +71,7 @@ impl Default for DetectorConfig {
             queue_depth: None,
             equivalence: None,
             bmc_mode: BmcMode::Cumulative,
+            simplify: true,
         }
     }
 }
@@ -180,6 +186,8 @@ impl Detector {
             // counterexample exists); per-depth modes guarantee shortest
             // counterexamples and enable incremental solver reuse
             mode: self.config.bmc_mode,
+            simplify: self.config.simplify,
+            frame_rescore: None,
         });
         let result = bmc.check(&mut tm, &system.ts, self.config.max_bound);
         let stats = bmc.stats();

@@ -235,7 +235,7 @@ mod tests {
         let goal = tm.neq(sub, rd);
         let mut solver = Solver::new();
         solver.assert_term(&tm, goal);
-        assert_eq!(solver.check(&tm), SatResult::Unsat);
+        assert_eq!(solver.check(&mut tm), SatResult::Unsat);
     }
 
     #[test]

@@ -28,6 +28,7 @@ use std::time::{Duration, Instant};
 
 use crate::bitblast::BitBlaster;
 use crate::cnf::Lit;
+use crate::rewrite::{EncodeStats, Rewriter};
 use crate::sat::{SatSolver, SolveOutcome};
 use crate::solver::{Model, SatResult};
 use crate::term::{TermId, TermManager};
@@ -42,13 +43,9 @@ use crate::term::{TermId, TermManager};
 pub struct SolverReuseStats {
     /// Checks issued so far.
     pub checks: u64,
-    /// Distinct terms with a cached CNF encoding.
-    pub terms_cached: u64,
-    /// Encoding lookups answered from the cache.  Counts every cache hit —
-    /// shared subgraphs revisited *within* one query as well as terms
-    /// re-encountered *across* checks — so it upper-bounds (rather than
-    /// exactly measures) the re-blasting avoided by persistence.
-    pub terms_reused: u64,
+    /// The joint encoding picture: bit-blaster cache counters and the
+    /// word-level rewriting counters in one block.
+    pub encode: EncodeStats,
     /// CNF variables allocated so far.
     pub cnf_vars: u64,
     /// CNF clauses fed to the SAT solver so far (excluding learnt).
@@ -84,8 +81,7 @@ impl SolverReuseStats {
     /// over several solver lifetimes).
     pub fn absorb(&mut self, other: &SolverReuseStats) {
         self.checks += other.checks;
-        self.terms_cached += other.terms_cached;
-        self.terms_reused += other.terms_reused;
+        self.encode.absorb(&other.encode);
         self.cnf_vars += other.cnf_vars;
         self.cnf_clauses += other.cnf_clauses;
         self.clauses_last_check = other.clauses_last_check;
@@ -106,6 +102,8 @@ impl SolverReuseStats {
 pub struct IncrementalSolver {
     blaster: BitBlaster,
     sat: SatSolver,
+    rewriter: Rewriter,
+    simplify: bool,
     conflict_limit: Option<u64>,
     last_model: Option<Model>,
     last_core: Vec<TermId>,
@@ -124,11 +122,49 @@ impl IncrementalSolver {
         IncrementalSolver {
             blaster: BitBlaster::new(),
             sat: SatSolver::new(),
+            rewriter: Rewriter::new(),
+            simplify: true,
             conflict_limit: None,
             last_model: None,
             last_core: Vec::new(),
             stats: SolverReuseStats::default(),
         }
+    }
+
+    /// Turns the word-level simplification pass on or off (on by default).
+    ///
+    /// With simplification on, every permanent assertion is rewritten modulo
+    /// the equalities asserted before it (rule catalogue + variable pinning)
+    /// and assumptions are rewritten under the same — permanent only — pin
+    /// set, so the encoding cache stays coherent across checks.  Models read
+    /// back identically either way: variables whose defining equality was
+    /// eliminated are reconstructed after each satisfiable check.  Toggling
+    /// mid-life is safe in both directions: turning the pass off stops
+    /// *harvesting* new pins and applying rules to fresh assertions, but
+    /// variables already eliminated keep being substituted (their defining
+    /// equality no longer exists in the CNF, so dropping the substitution
+    /// would silently unconstrain them); turning it on after unsimplified
+    /// assertions is also safe — pins only ever eliminate variables the
+    /// bit-blaster has not seen.
+    pub fn set_simplify(&mut self, on: bool) {
+        self.simplify = on;
+    }
+
+    /// CNF variables allocated by the underlying bit-blaster so far (a
+    /// watermark for
+    /// [`rescale_activities_before`](Self::rescale_activities_before)).
+    pub fn num_cnf_vars(&self) -> u32 {
+        self.blaster.cnf().num_vars()
+    }
+
+    /// Decays the SAT branching (VSIDS) activity of every CNF variable
+    /// allocated before `watermark` by `factor` — the BMC drivers call this
+    /// when a new unrolling frame is asserted, so branching re-centres on
+    /// the newest frame's variables instead of letting stale depths dominate
+    /// (see `SatSolver::rescale_activities_before`).
+    pub fn rescale_activities_before(&mut self, watermark: u32, factor: f64) {
+        self.sat
+            .rescale_activities_before(crate::cnf::Var(watermark), factor);
     }
 
     /// Limits the SAT conflict budget of each subsequent check; `None` means
@@ -154,15 +190,38 @@ impl IncrementalSolver {
         self.sat.set_reduce_interval(interval);
     }
 
-    /// Permanently asserts a boolean term.  Only the subgraph not already
-    /// encoded by earlier assertions/checks is bit-blasted.
-    pub fn assert_term(&mut self, tm: &TermManager, t: TermId) {
+    /// Permanently asserts a boolean term.  With simplification on (the
+    /// default) the term is first rewritten modulo the already-asserted
+    /// equalities — definitions of not-yet-encoded variables are eliminated
+    /// entirely — and only then is the surviving subgraph bit-blasted (and
+    /// of that, only the part not already encoded by earlier work).
+    pub fn assert_term(&mut self, tm: &mut TermManager, t: TermId) {
         assert!(tm.sort(t).is_bool(), "assertions must be boolean terms");
-        self.blaster.assert_true(tm, t);
+        if !self.simplify {
+            // Simplification may have been on earlier: variables it
+            // eliminated have no defining equality in the CNF, so their
+            // occurrences must keep substituting even with the pass off —
+            // blasting such a variable raw would leave it unconstrained.
+            let t = if self.rewriter.num_pins() > 0 {
+                self.rewriter.rewrite(tm, t)
+            } else {
+                t
+            };
+            self.blaster.assert_true(tm, t);
+            return;
+        }
+        let to_assert = {
+            let blaster = &self.blaster;
+            self.rewriter
+                .assert_simplify(tm, &[t], &|v| blaster.var_encodings().contains_key(&v))
+        };
+        for c in to_assert {
+            self.blaster.assert_true(tm, c);
+        }
     }
 
     /// Decides satisfiability of the permanent assertions.
-    pub fn check(&mut self, tm: &TermManager) -> SatResult {
+    pub fn check(&mut self, tm: &mut TermManager) -> SatResult {
         self.check_assuming(tm, &[])
     }
 
@@ -172,12 +231,21 @@ impl IncrementalSolver {
     /// On [`SatResult::Unsat`], [`unsat_core`](Self::unsat_core) holds the
     /// subset of `assumptions` involved in the final conflict (empty when the
     /// permanent assertions are unsatisfiable on their own).
-    pub fn check_assuming(&mut self, tm: &TermManager, assumptions: &[TermId]) -> SatResult {
+    pub fn check_assuming(&mut self, tm: &mut TermManager, assumptions: &[TermId]) -> SatResult {
         let start = Instant::now();
         let mut assumption_lits: Vec<(Lit, TermId)> = Vec::with_capacity(assumptions.len());
         for &t in assumptions {
             assert!(tm.sort(t).is_bool(), "assumptions must be boolean terms");
-            let l = self.blaster.blast_bool(tm, t);
+            // Assumptions are retractable, so they are rewritten under the
+            // permanent pin set but never contribute pins of their own.
+            // Pins stay applied even with simplification off: an eliminated
+            // variable has no defining equality in the CNF to fall back on.
+            let r = if self.simplify || self.rewriter.num_pins() > 0 {
+                self.rewriter.rewrite(tm, t)
+            } else {
+                t
+            };
+            let l = self.blaster.blast_bool(tm, r);
             assumption_lits.push((l, t));
         }
         let new_clauses = self.sync_clauses();
@@ -187,8 +255,9 @@ impl IncrementalSolver {
         let outcome = self.sat.solve_under_assumptions(&lits);
 
         self.stats.checks += 1;
-        self.stats.terms_cached = self.blaster.cached_terms();
-        self.stats.terms_reused = self.blaster.cache_hits();
+        self.stats.encode.terms_cached = self.blaster.cached_terms();
+        self.stats.encode.terms_reused = self.blaster.cache_hits();
+        self.stats.encode.rewrite = self.rewriter.stats();
         self.stats.clauses_last_check = new_clauses;
         self.stats.learnt_retained = self.sat.num_learnt() as u64;
         let reduce = self.sat.reduce_stats();
@@ -204,7 +273,9 @@ impl IncrementalSolver {
         self.last_core.clear();
         match outcome {
             SolveOutcome::Sat => {
-                self.last_model = Some(Model::read_back(self.blaster.var_encodings(), &self.sat));
+                let mut model = Model::read_back(self.blaster.var_encodings(), &self.sat);
+                self.rewriter.complete_model(tm, model.assignment_mut());
+                self.last_model = Some(model);
                 SatResult::Sat
             }
             SolveOutcome::Unsat => {
@@ -284,17 +355,17 @@ mod tests {
         let mut frames = vec![tm.var("x@0", Sort::BitVec(width))];
         let zero = tm.zero(width);
         let init = tm.eq(frames[0], zero);
-        inc.assert_term(&tm, init);
+        inc.assert_term(&mut tm, init);
         let three = tm.bv_const(3, width);
         for k in 0..6 {
             let next = tm.var(&format!("x@{}", k + 1), Sort::BitVec(width));
             let one = tm.one(width);
             let step = tm.bv_add(frames[k], one);
             let tr = tm.eq(next, step);
-            inc.assert_term(&tm, tr);
+            inc.assert_term(&mut tm, tr);
             frames.push(next);
             let bad = tm.eq(next, three);
-            let got = inc.check_assuming(&tm, &[bad]);
+            let got = inc.check_assuming(&mut tm, &[bad]);
             // Scratch reference: assert everything from zero.
             let mut scratch = Solver::new();
             scratch.assert_term(&tm, init);
@@ -305,7 +376,7 @@ mod tests {
                 scratch.assert_term(&tm, eq);
             }
             scratch.assert_term(&tm, bad);
-            assert_eq!(got, scratch.check(&tm), "divergence at depth {k}");
+            assert_eq!(got, scratch.check(&mut tm), "divergence at depth {k}");
             if got == SatResult::Sat {
                 assert_eq!(inc.model(&tm).eval(&tm, bad), 1);
                 assert_eq!(k, 2, "counter reaches 3 exactly at depth 3");
@@ -314,7 +385,7 @@ mod tests {
         let stats = inc.stats();
         assert_eq!(stats.checks, 6);
         assert!(
-            stats.terms_reused > 0,
+            stats.encode.total_reuse() > 0,
             "depth k+1 must reuse depth k encodings"
         );
     }
@@ -328,10 +399,10 @@ mod tests {
         let is5 = tm.eq(x, five);
         let is6 = tm.eq(x, six);
         let mut inc = IncrementalSolver::new();
-        assert_eq!(inc.check_assuming(&tm, &[is5, is6]), SatResult::Unsat);
-        assert_eq!(inc.check_assuming(&tm, &[is5]), SatResult::Sat);
+        assert_eq!(inc.check_assuming(&mut tm, &[is5, is6]), SatResult::Unsat);
+        assert_eq!(inc.check_assuming(&mut tm, &[is5]), SatResult::Sat);
         assert_eq!(inc.model(&tm).value(x), 5);
-        assert_eq!(inc.check_assuming(&tm, &[is6]), SatResult::Sat);
+        assert_eq!(inc.check_assuming(&mut tm, &[is6]), SatResult::Sat);
         assert_eq!(inc.model(&tm).value(x), 6);
     }
 
@@ -347,7 +418,7 @@ mod tests {
         let y_is_1 = tm.eq(y, c1);
         let mut inc = IncrementalSolver::new();
         assert_eq!(
-            inc.check_assuming(&tm, &[x_is_1, y_is_1, x_is_2]),
+            inc.check_assuming(&mut tm, &[x_is_1, y_is_1, x_is_2]),
             SatResult::Unsat
         );
         let core = inc.unsat_core().to_vec();
@@ -357,7 +428,7 @@ mod tests {
         );
         assert!(!core.contains(&y_is_1), "y is irrelevant to the conflict");
         // Core is itself unsatisfiable.
-        assert_eq!(inc.check_assuming(&tm, &core), SatResult::Unsat);
+        assert_eq!(inc.check_assuming(&mut tm, &core), SatResult::Unsat);
     }
 
     #[test]
@@ -369,13 +440,39 @@ mod tests {
         let a = tm.eq(x, c1);
         let b = tm.eq(x, c2);
         let mut inc = IncrementalSolver::new();
-        inc.assert_term(&tm, a);
-        inc.assert_term(&tm, b);
+        inc.assert_term(&mut tm, a);
+        inc.assert_term(&mut tm, b);
         let t = tm.tru();
-        assert_eq!(inc.check_assuming(&tm, &[t]), SatResult::Unsat);
+        assert_eq!(inc.check_assuming(&mut tm, &[t]), SatResult::Unsat);
         assert!(inc.unsat_core().is_empty());
         // Permanent assertions stay contradictory forever.
-        assert_eq!(inc.check(&tm), SatResult::Unsat);
+        assert_eq!(inc.check(&mut tm), SatResult::Unsat);
+    }
+
+    #[test]
+    fn toggling_simplify_off_keeps_eliminated_variables_constrained() {
+        // v = 5 is pin-eliminated (never bit-blasted); turning the pass off
+        // afterwards must not let later assertions/assumptions see v as a
+        // fresh unconstrained variable.
+        let mut tm = TermManager::new();
+        let v = tm.var("v", Sort::BitVec(8));
+        let five = tm.bv_const(5, 8);
+        let six = tm.bv_const(6, 8);
+        let is5 = tm.eq(v, five);
+        let is6 = tm.eq(v, six);
+        let mut inc = IncrementalSolver::new();
+        inc.assert_term(&mut tm, is5);
+        inc.set_simplify(false);
+        assert_eq!(
+            inc.check_assuming(&mut tm, &[is6]),
+            SatResult::Unsat,
+            "assumption on an eliminated variable must still see its pin"
+        );
+        assert_eq!(inc.check(&mut tm), SatResult::Sat);
+        assert_eq!(inc.model(&tm).value(v), 5);
+        // ... and a permanent assertion after the toggle, too.
+        inc.assert_term(&mut tm, is6);
+        assert_eq!(inc.check(&mut tm), SatResult::Unsat);
     }
 
     #[test]
@@ -390,15 +487,15 @@ mod tests {
         let gx = tm.bv_ugt(x, one);
         let gy = tm.bv_ugt(y, one);
         let mut inc = IncrementalSolver::new();
-        inc.assert_term(&tm, goal);
+        inc.assert_term(&mut tm, goal);
         inc.set_conflict_limit(Some(3));
-        let r = inc.check_assuming(&tm, &[gx, gy]);
+        let r = inc.check_assuming(&mut tm, &[gx, gy]);
         assert!(matches!(r, SatResult::Unknown | SatResult::Sat));
         // Raising the budget on the same solver finishes the job, reusing
         // everything learnt so far (x*y wraps mod 2^20, so a factorization
         // of the prime exists via the modular inverse).
         inc.set_conflict_limit(None);
-        assert_eq!(inc.check_assuming(&tm, &[gx, gy]), SatResult::Sat);
+        assert_eq!(inc.check_assuming(&mut tm, &[gx, gy]), SatResult::Sat);
         let m = inc.model(&tm);
         assert_eq!((m.value(x) * m.value(y)) & 0xf_ffff, 1048573);
         assert!(m.value(x) > 1 && m.value(y) > 1);

@@ -7,6 +7,11 @@
 //!
 //! * [`TermManager`] — a hash-consed bit-vector/boolean term graph with a
 //!   light rewriting layer (constant folding, neutral elements, …),
+//! * [`Rewriter`] — word-level simplification *ahead of*
+//!   bit-blasting: a rule catalogue (ite/comparison collapsing,
+//!   extract/concat pushing, strength reduction) plus equality-driven
+//!   constant/variable propagation across an assertion set, on by default in
+//!   both solver front-ends (`set_simplify(false)` turns it off),
 //! * [`eval`](concrete::eval) — a concrete evaluator used for counterexample
 //!   handling and for differential testing of the bit-blaster,
 //! * [`BitBlaster`](bitblast::BitBlaster) — Tseitin conversion of term graphs
@@ -52,7 +57,7 @@
 //!
 //! let mut solver = Solver::new();
 //! solver.assert_term(&tm, goal);
-//! match solver.check(&tm) {
+//! match solver.check(&mut tm) {
 //!     SatResult::Sat => {
 //!         let m = solver.model(&tm);
 //!         assert_eq!((m.value(x) + m.value(y)) & 0xff, 42);
@@ -72,24 +77,25 @@
 //! let below = tm.bv_ult(x, ten);
 //!
 //! let mut solver = IncrementalSolver::new();
-//! solver.assert_term(&tm, below); // permanent: x < 10
+//! solver.assert_term(&mut tm, below); // permanent: x < 10
 //!
 //! // Retractable assumptions — each check reuses all prior encoding work.
 //! let three = tm.bv_const(3, 8);
 //! let twelve = tm.bv_const(12, 8);
 //! let is3 = tm.eq(x, three);
 //! let is12 = tm.eq(x, twelve);
-//! assert_eq!(solver.check_assuming(&tm, &[is3]), SatResult::Sat);
-//! assert_eq!(solver.check_assuming(&tm, &[is12]), SatResult::Unsat);
+//! assert_eq!(solver.check_assuming(&mut tm, &[is3]), SatResult::Sat);
+//! assert_eq!(solver.check_assuming(&mut tm, &[is12]), SatResult::Unsat);
 //! assert_eq!(solver.unsat_core(), &[is12]); // and x < 10 still holds:
-//! assert_eq!(solver.check_assuming(&tm, &[is3]), SatResult::Sat);
-//! assert!(solver.stats().terms_reused > 0);
+//! assert_eq!(solver.check_assuming(&mut tm, &[is3]), SatResult::Sat);
+//! assert!(solver.stats().encode.total_reuse() > 0);
 //! ```
 
 pub mod bitblast;
 pub mod cnf;
 pub mod concrete;
 pub mod incremental;
+pub mod rewrite;
 pub mod sat;
 pub mod solver;
 pub mod sort;
@@ -98,6 +104,7 @@ pub mod term;
 
 pub use cnf::{Clause, Cnf, Lit, Var};
 pub use incremental::{IncrementalSolver, SolverReuseStats};
+pub use rewrite::{EncodeStats, RewriteStats, Rewriter};
 pub use sat::{ReduceStats, SatSolver, SolveOutcome};
 pub use solver::{Model, SatResult, Solver};
 pub use sort::Sort;

@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 use crate::bitblast::BitBlaster;
 use crate::cnf::Lit;
 use crate::concrete::{eval, Assignment};
+use crate::rewrite::{RewriteStats, Rewriter};
 use crate::sat::{SatSolver, SolveOutcome};
 use crate::term::{TermId, TermManager};
 
@@ -40,6 +41,12 @@ impl Model {
     /// The raw variable assignment.
     pub fn assignment(&self) -> &Assignment {
         &self.values
+    }
+
+    /// Mutable access to the assignment, for the rewriter's model
+    /// completion (restoring the values of variables it eliminated).
+    pub(crate) fn assignment_mut(&mut self) -> &mut Assignment {
+        &mut self.values
     }
 
     /// Evaluates an arbitrary term under this model.
@@ -79,6 +86,9 @@ pub struct SolverStats {
     pub decisions: u64,
     /// SAT propagations.
     pub propagations: u64,
+    /// Word-level rewriting work of this check (all zero with
+    /// [`Solver::set_simplify`] off).
+    pub rewrite: RewriteStats,
     /// Wall-clock time of the check.
     pub duration: Duration,
 }
@@ -90,19 +100,43 @@ pub struct SolverStats {
 /// set from scratch (the CEGIS and BMC drivers in the other crates construct
 /// a fresh solver per query, mirroring how the paper's tooling invokes its
 /// backend solver).
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct Solver {
     assertions: Vec<TermId>,
     conflict_limit: Option<u64>,
     deadline: Option<Instant>,
     last_model: Option<Model>,
     stats: SolverStats,
+    simplify: bool,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Solver {
     /// Creates a solver with no assertions.
     pub fn new() -> Self {
-        Self::default()
+        Solver {
+            assertions: Vec::new(),
+            conflict_limit: None,
+            deadline: None,
+            last_model: None,
+            stats: SolverStats::default(),
+            simplify: true,
+        }
+    }
+
+    /// Turns the word-level simplification pass of [`check`](Self::check) on
+    /// or off (on by default).  With simplification on, the assertion set is
+    /// run through the [`Rewriter`] — rule-driven rewriting plus
+    /// equality-driven variable elimination — before bit-blasting; models
+    /// read back identically either way (eliminated variables are
+    /// reconstructed from their defining equalities).
+    pub fn set_simplify(&mut self, on: bool) {
+        self.simplify = on;
     }
 
     /// Adds an assertion (must be a boolean term).
@@ -140,10 +174,22 @@ impl Solver {
     }
 
     /// Decides satisfiability of the conjunction of all assertions.
-    pub fn check(&mut self, tm: &TermManager) -> SatResult {
+    ///
+    /// The `&mut TermManager` is needed because the simplification pass may
+    /// create rewritten terms; with [`set_simplify`](Self::set_simplify) off
+    /// the manager is not modified.
+    pub fn check(&mut self, tm: &mut TermManager) -> SatResult {
         let start = Instant::now();
+        // Word-level simplification: rewrite the assertion set modulo its
+        // own equalities before anything is encoded.  Nothing is pre-encoded
+        // in a scratch check, so every pinned variable can be eliminated.
+        let mut rewriter = self.simplify.then(Rewriter::new);
+        let to_assert: Vec<TermId> = match &mut rewriter {
+            Some(rw) => rw.assert_simplify(tm, &self.assertions, &|_| false),
+            None => self.assertions.clone(),
+        };
         let mut blaster = BitBlaster::new();
-        for &a in &self.assertions {
+        for &a in &to_assert {
             blaster.assert_true(tm, a);
         }
         let (cnf, var_encodings) = blaster.into_parts();
@@ -159,11 +205,16 @@ impl Solver {
             conflicts: sat.num_conflicts(),
             decisions: sat.num_decisions(),
             propagations: sat.num_propagations(),
+            rewrite: rewriter.as_ref().map(Rewriter::stats).unwrap_or_default(),
             duration: start.elapsed(),
         };
         match outcome {
             SolveOutcome::Sat => {
-                self.last_model = Some(Model::read_back(&var_encodings, &sat));
+                let mut model = Model::read_back(&var_encodings, &sat);
+                if let Some(rw) = &rewriter {
+                    rw.complete_model(tm, model.assignment_mut());
+                }
+                self.last_model = Some(model);
                 SatResult::Sat
             }
             SolveOutcome::Unsat => {
@@ -233,7 +284,7 @@ mod tests {
         let mut solver = Solver::new();
         solver.assert_term(&tm, goal);
         solver.assert_term(&tm, constraint);
-        assert_eq!(solver.check(&tm), SatResult::Sat);
+        assert_eq!(solver.check(&mut tm), SatResult::Sat);
         let m = solver.model(&tm);
         let xv = m.value(x);
         let yv = m.value(y);
@@ -253,7 +304,7 @@ mod tests {
         let mut solver = Solver::new();
         solver.assert_term(&tm, a);
         solver.assert_term(&tm, b);
-        assert_eq!(solver.check(&tm), SatResult::Unsat);
+        assert_eq!(solver.check(&mut tm), SatResult::Unsat);
         assert!(solver.try_model().is_none());
     }
 
@@ -281,7 +332,7 @@ mod tests {
         let goal = tm.eq(p, c);
         let mut solver = Solver::new();
         solver.assert_term(&tm, goal);
-        let _ = solver.check(&tm);
+        let _ = solver.check(&mut tm);
         assert!(solver.stats().cnf_vars > 0);
         assert!(solver.stats().cnf_clauses > 0);
     }
@@ -304,7 +355,7 @@ mod tests {
         solver.assert_term(&tm, gx);
         solver.assert_term(&tm, gy);
         solver.set_conflict_limit(Some(3));
-        let r = solver.check(&tm);
+        let r = solver.check(&mut tm);
         assert!(matches!(r, SatResult::Unknown | SatResult::Unsat));
     }
 

@@ -70,8 +70,20 @@ fn rebuild(
     cache: &HashMap<TermId, TermId>,
 ) -> TermId {
     let op = tm.term(t).op.clone();
-    let l = |id: TermId| lookup(id, map, cache);
-    match op {
+    rebuild_with(tm, t, &op, |id| lookup(id, map, cache))
+}
+
+/// Rebuilds one node through the [`TermManager`] constructors with every
+/// child replaced by `l(child)`.  Leaves rebuild to themselves.  Shared by
+/// the substitution pass above and the rewriter in [`crate::rewrite`], so
+/// both go through the same constructor-level simplifications.
+pub(crate) fn rebuild_with(
+    tm: &mut TermManager,
+    t: TermId,
+    op: &Op,
+    l: impl Fn(TermId) -> TermId,
+) -> TermId {
+    match *op {
         Op::BoolConst(_) | Op::BvConst { .. } | Op::Var { .. } => t,
         Op::Not(a) => {
             let a = l(a);

@@ -80,7 +80,7 @@ fn incremental_agrees_with_scratch_on_random_query_sequences() {
         for _step in 0..6 {
             if rng.gen_bool(0.4) && !permanently_unsat {
                 let c = random_constraint(&mut tm, &mut rng, &pool, width);
-                incremental.assert_term(&tm, c);
+                incremental.assert_term(&mut tm, c);
                 permanent.push(c);
             }
             let num_assumed = rng.gen_range(0..3);
@@ -88,7 +88,7 @@ fn incremental_agrees_with_scratch_on_random_query_sequences() {
                 .map(|_| random_constraint(&mut tm, &mut rng, &pool, width))
                 .collect();
 
-            let got = incremental.check_assuming(&tm, &assumed);
+            let got = incremental.check_assuming(&mut tm, &assumed);
             checks += 1;
 
             // Scratch reference over the identical conjunction.
@@ -99,7 +99,7 @@ fn incremental_agrees_with_scratch_on_random_query_sequences() {
             for &a in &assumed {
                 scratch.assert_term(&tm, a);
             }
-            let expected = scratch.check(&tm);
+            let expected = scratch.check(&mut tm);
             assert_eq!(
                 got, expected,
                 "round {round}: incremental disagrees with scratch \
@@ -137,7 +137,7 @@ fn incremental_agrees_with_scratch_on_random_query_sequences() {
                         core_check.assert_term(&tm, t);
                     }
                     assert_eq!(
-                        core_check.check(&tm),
+                        core_check.check(&mut tm),
                         SatResult::Unsat,
                         "round {round}: unsat core {core:?} is not unsatisfiable"
                     );
@@ -174,7 +174,7 @@ fn forced_reduction_agrees_with_scratch_on_random_query_sequences() {
         for _step in 0..6 {
             if rng.gen_bool(0.4) && !permanently_unsat {
                 let c = random_constraint(&mut tm, &mut rng, &pool, width);
-                incremental.assert_term(&tm, c);
+                incremental.assert_term(&mut tm, c);
                 permanent.push(c);
             }
             let num_assumed = rng.gen_range(0..3);
@@ -182,14 +182,14 @@ fn forced_reduction_agrees_with_scratch_on_random_query_sequences() {
                 .map(|_| random_constraint(&mut tm, &mut rng, &pool, width))
                 .collect();
 
-            let got = incremental.check_assuming(&tm, &assumed);
+            let got = incremental.check_assuming(&mut tm, &assumed);
             let mut scratch = Solver::new();
             for &p in permanent.iter().chain(&assumed) {
                 scratch.assert_term(&tm, p);
             }
             assert_eq!(
                 got,
-                scratch.check(&tm),
+                scratch.check(&mut tm),
                 "round {round}: reduced incremental disagrees with scratch \
                  (permanent: {permanent:?}, assumed: {assumed:?})"
             );
@@ -241,11 +241,11 @@ fn deadline_interrupt_during_reduced_search_leaves_the_solver_reusable() {
     let gy = tm.bv_ugt(y, one);
 
     let mut inc = IncrementalSolver::new();
-    inc.assert_term(&tm, goal);
+    inc.assert_term(&mut tm, goal);
     // Force frequent reductions, then interrupt the search almost instantly.
     inc.set_reduce_interval(10);
     inc.set_deadline(Some(Instant::now() + Duration::from_millis(50)));
-    let first = inc.check_assuming(&tm, &[gx, gy]);
+    let first = inc.check_assuming(&mut tm, &[gx, gy]);
     assert!(
         matches!(first, SatResult::Unknown | SatResult::Sat),
         "a 50ms deadline either interrupts or gets lucky, got {first:?}"
@@ -253,7 +253,7 @@ fn deadline_interrupt_during_reduced_search_leaves_the_solver_reusable() {
     // Clearing the deadline must let the same solver (reduced database,
     // compacted arena, retained learnt clauses) finish the job.
     inc.set_deadline(None);
-    assert_eq!(inc.check_assuming(&tm, &[gx, gy]), SatResult::Sat);
+    assert_eq!(inc.check_assuming(&mut tm, &[gx, gy]), SatResult::Sat);
     let m = inc.model(&tm);
     assert_eq!((m.value(x) * m.value(y)) & 0xf_ffff, 1_048_573);
     assert!(m.value(x) > 1 && m.value(y) > 1);
@@ -261,7 +261,7 @@ fn deadline_interrupt_during_reduced_search_leaves_the_solver_reusable() {
     // product constraint, and the core names the new assumption.
     let zero = tm.zero(20);
     let x0 = tm.eq(x, zero);
-    assert_eq!(inc.check_assuming(&tm, &[x0]), SatResult::Unsat);
+    assert_eq!(inc.check_assuming(&mut tm, &[x0]), SatResult::Unsat);
     assert_eq!(inc.unsat_core(), &[x0]);
 }
 
@@ -278,22 +278,22 @@ fn incremental_depth_sweep_matches_scratch_with_growing_assertions() {
         let mut permanent: Vec<TermId> = Vec::new();
         for _depth in 0..5 {
             let c = random_constraint(&mut tm, &mut rng, &pool, width);
-            incremental.assert_term(&tm, c);
+            incremental.assert_term(&mut tm, c);
             permanent.push(c);
             let bad = random_constraint(&mut tm, &mut rng, &pool, width);
 
-            let got = incremental.check_assuming(&tm, &[bad]);
+            let got = incremental.check_assuming(&mut tm, &[bad]);
             let mut scratch = Solver::new();
             for &p in &permanent {
                 scratch.assert_term(&tm, p);
             }
             scratch.assert_term(&tm, bad);
-            assert_eq!(got, scratch.check(&tm), "round {round} diverged");
+            assert_eq!(got, scratch.check(&mut tm), "round {round} diverged");
         }
         let stats = incremental.stats();
         assert_eq!(stats.checks, 5);
         assert!(
-            stats.terms_reused > 0,
+            stats.encode.total_reuse() > 0,
             "round {round}: growing assertion sets must reuse cached encodings"
         );
     }

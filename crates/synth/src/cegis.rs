@@ -45,6 +45,10 @@ pub struct SynthesisConfig {
     pub time_limit: Option<Duration>,
     /// Seed for the multiset shuffling used by the iterative driver.
     pub seed: u64,
+    /// Word-level simplification ahead of bit-blasting in both CEGIS
+    /// solvers (on by default; off is the pre-rewrite baseline used by the
+    /// differential tests).
+    pub simplify: bool,
 }
 
 impl Default for SynthesisConfig {
@@ -62,6 +66,7 @@ impl Default for SynthesisConfig {
             initial_weight: 1,
             time_limit: None,
             seed: 0x5e9e,
+            simplify: true,
         }
     }
 }
@@ -141,6 +146,7 @@ impl CegisEngine {
         // ----------------------------------------------------------
         let mut tm = TermManager::new();
         let mut solver = IncrementalSolver::new();
+        solver.set_simplify(self.config.simplify);
         solver.set_conflict_limit(self.config.synth_conflict_limit);
 
         let outputs: Vec<TermId> = (0..n)
@@ -168,19 +174,19 @@ impl CegisEngine {
         for j in 0..n {
             let ge = tm.bv_ule(lo, outputs[j]);
             let lt = tm.bv_ult(outputs[j], hi);
-            solver.assert_term(&tm, ge);
-            solver.assert_term(&tm, lt);
+            solver.assert_term(&mut tm, ge);
+            solver.assert_term(&mut tm, lt);
             for j2 in (j + 1)..n {
                 let ne = tm.neq(outputs[j], outputs[j2]);
-                solver.assert_term(&tm, ne);
+                solver.assert_term(&mut tm, ne);
             }
             for &l in &inputs_loc[j] {
                 let before = tm.bv_ult(l, outputs[j]);
-                solver.assert_term(&tm, before);
+                solver.assert_term(&mut tm, before);
             }
             if let Some(attr) = attrs[j] {
                 let c = multiset[j].attr_constraint(&mut tm, attr);
-                solver.assert_term(&tm, c);
+                solver.assert_term(&mut tm, c);
             }
             // The paper's "not identical to the original instruction"
             // constraint: a component with the same base operation must
@@ -193,7 +199,7 @@ impl CegisEngine {
                     all_direct = tm.and(all_direct, direct);
                 }
                 let forbidden = tm.not(all_direct);
-                solver.assert_term(&tm, forbidden);
+                solver.assert_term(&mut tm, forbidden);
             }
         }
 
@@ -213,10 +219,11 @@ impl CegisEngine {
         // ----------------------------------------------------------
         let mut vtm = TermManager::new();
         let mut verifier = IncrementalSolver::new();
+        verifier.set_simplify(self.config.simplify);
         verifier.set_conflict_limit(self.config.verify_conflict_limit);
         let vinputs = spec.fresh_inputs(&mut vtm, "v");
         let constraint = spec.input_constraint(&mut vtm, &vinputs);
-        verifier.assert_term(&vtm, constraint);
+        verifier.assert_term(&mut vtm, constraint);
         let spec_out = spec.result(&mut vtm, &vinputs);
 
         let outcome = 'refine: {
@@ -243,7 +250,7 @@ impl CegisEngine {
                     for j in 0..n {
                         let sem = multiset[j].semantics(&mut tm, &comp_inputs[j], attrs[j]);
                         let eq = tm.eq(comp_outputs[j], sem);
-                        solver.assert_term(&tm, eq);
+                        solver.assert_term(&mut tm, eq);
                         for (k, &l) in inputs_loc[j].iter().enumerate() {
                             // connection to the program inputs
                             for (i, &value) in input_consts.iter().enumerate() {
@@ -251,7 +258,7 @@ impl CegisEngine {
                                 let here = tm.eq(l, loc);
                                 let same = tm.eq(comp_inputs[j][k], value);
                                 let implied = tm.implies(here, same);
-                                solver.assert_term(&tm, implied);
+                                solver.assert_term(&mut tm, implied);
                             }
                             // connection to other components' outputs
                             for j2 in 0..n {
@@ -261,7 +268,7 @@ impl CegisEngine {
                                 let here = tm.eq(l, outputs[j2]);
                                 let same = tm.eq(comp_inputs[j][k], comp_outputs[j2]);
                                 let implied = tm.implies(here, same);
-                                solver.assert_term(&tm, implied);
+                                solver.assert_term(&mut tm, implied);
                             }
                         }
                     }
@@ -273,12 +280,12 @@ impl CegisEngine {
                         let here = tm.eq(outputs[j], last);
                         let same = tm.eq(comp_outputs[j], spec_value);
                         let implied = tm.implies(here, same);
-                        solver.assert_term(&tm, implied);
+                        solver.assert_term(&mut tm, implied);
                     }
                     encoded_examples += 1;
                 }
 
-                match solver.check(&tm) {
+                match solver.check(&mut tm) {
                     SatResult::Unsat => break 'refine CegisOutcome::NoProgram,
                     SatResult::Unknown => break 'refine CegisOutcome::ResourceOut,
                     SatResult::Sat => {}
@@ -316,7 +323,7 @@ impl CegisEngine {
                 // ----------------------------------------------------------
                 let prog_out = template_result_term(&mut vtm, &candidate, spec, &vinputs);
                 let differ = vtm.neq(spec_out, prog_out);
-                match verifier.check_assuming(&vtm, &[differ]) {
+                match verifier.check_assuming(&mut vtm, &[differ]) {
                     SatResult::Unsat => break 'refine CegisOutcome::Program(candidate),
                     SatResult::Unknown => break 'refine CegisOutcome::ResourceOut,
                     SatResult::Sat => {

@@ -2,9 +2,12 @@
 
 use std::time::{Duration, Instant};
 
-use sepe_smt::{IncrementalSolver, Model, SatResult, Solver, SolverReuseStats, TermManager};
+use sepe_smt::concrete::{self, Assignment};
+use sepe_smt::{
+    IncrementalSolver, Model, SatResult, Solver, SolverReuseStats, TermId, TermManager,
+};
 
-use crate::ts::TransitionSystem;
+use crate::ts::{CoiInfo, TransitionSystem};
 use crate::unroll::Unroller;
 use crate::witness::{Frame, Witness};
 
@@ -61,6 +64,22 @@ pub struct BmcConfig {
     pub start_bound: usize,
     /// Depth-exploration strategy.
     pub mode: BmcMode,
+    /// Word-level preprocessing (on by default): the solvers run the
+    /// `sepe_smt` rewriting pass ahead of bit-blasting, and the unrolling
+    /// drops next-state updates outside the cone of influence of the
+    /// bad-state properties before frames are asserted
+    /// ([`TransitionSystem::cone_of_influence`]).  Witnesses are identical
+    /// either way — dropped state variables are reconstructed by forward
+    /// evaluation.  [`BmcMode::PerDepthScratch`] honors the flag for the
+    /// rewriting pass but never applies the cone-of-influence reduction, so
+    /// it stays a faithful differential baseline for the unrolling itself.
+    pub simplify: bool,
+    /// When set, decays the persistent SAT branching activity of every
+    /// pre-existing CNF variable by this factor (in `(0, 1]`) each time
+    /// [`BmcMode::CumulativeIncremental`] extends the unrolling by new
+    /// frames, re-centring VSIDS on the newest frame's variables.  `None`
+    /// (default) leaves activities untouched.
+    pub frame_rescore: Option<f64>,
 }
 
 impl Default for BmcConfig {
@@ -70,6 +89,8 @@ impl Default for BmcConfig {
             time_limit: None,
             start_bound: 0,
             mode: BmcMode::PerDepth,
+            simplify: true,
+            frame_rescore: None,
         }
     }
 }
@@ -107,10 +128,11 @@ pub struct BmcStats {
     /// Deepest bound that was fully checked (or at which a counterexample was
     /// found).
     pub deepest_bound: usize,
-    /// Solver-reuse counters (term encodings cached/reused, learnt clauses
-    /// retained across depths, learnt-database reduction work).  All zero in
+    /// Solver-reuse counters (term encodings cached/reused, word-level
+    /// rewriting and cone-of-influence work, learnt clauses retained across
+    /// depths, learnt-database reduction work).  In
     /// [`BmcMode::PerDepthScratch`] and [`BmcMode::Cumulative`], which build
-    /// fresh solvers.
+    /// fresh solvers, only the rewrite/cone counters are populated.
     pub solver: SolverReuseStats,
     /// Per-query deltas, one entry per SAT query in issue order (one per
     /// depth in the per-depth modes, a single entry in the cumulative
@@ -159,6 +181,8 @@ struct CumulativeState {
     frames_asserted: usize,
     /// Shallowest depth whose bad state has not been proven unreachable yet.
     next_unproven: usize,
+    /// Next-state updates dropped by the cone-of-influence pass so far.
+    coi_dropped: u64,
 }
 
 /// The bounded model checker.
@@ -224,8 +248,11 @@ impl Bmc {
         let start = Instant::now();
         self.stats = BmcStats::default();
         let mut unroller = Unroller::new(ts);
+        let coi = self.config.simplify.then(|| ts.cone_of_influence(tm));
+        let mut coi_dropped = 0u64;
 
         let mut solver = IncrementalSolver::new();
+        solver.set_simplify(self.config.simplify);
         solver.set_conflict_limit(self.config.conflict_limit);
         solver.set_deadline(self.config.time_limit.map(|limit| start + limit));
         let init = unroller.init(tm);
@@ -238,7 +265,7 @@ impl Bmc {
         for bound in self.config.start_bound..=max_bound {
             while frames_asserted < bound {
                 let k = frames_asserted;
-                let tr = unroller.transition(tm, k);
+                let tr = frame_transition(tm, &mut unroller, k, coi.as_ref(), &mut coi_dropped);
                 solver.assert_term(tm, tr);
                 let cs = unroller.constraints_at(tm, k + 1);
                 solver.assert_term(tm, cs);
@@ -247,6 +274,7 @@ impl Bmc {
             if let Some(limit) = self.config.time_limit {
                 if start.elapsed() > limit {
                     self.stats.solver = solver.stats();
+                    self.stats.solver.encode.rewrite.coi_dropped_updates = coi_dropped;
                     self.stats.duration = start.elapsed();
                     return BmcResult::Unknown { bound };
                 }
@@ -254,7 +282,8 @@ impl Bmc {
             let bad = unroller.bad_at(tm, bound);
             let result = solver.check_assuming(tm, &[bad]);
             self.stats.queries += 1;
-            let sstats = solver.stats();
+            let mut sstats = solver.stats();
+            sstats.encode.rewrite.coi_dropped_updates = coi_dropped;
             self.stats.conflicts = sstats.conflicts;
             self.stats.solver = sstats;
             self.stats.deepest_bound = bound;
@@ -267,7 +296,9 @@ impl Bmc {
             });
             match result {
                 SatResult::Sat => {
-                    let witness = extract_witness(tm, ts, &mut unroller, solver.model(tm), bound);
+                    let model = solver.model(tm).clone();
+                    let witness =
+                        extract_witness(tm, ts, &mut unroller, &model, bound, coi.as_ref());
                     self.stats.duration = start.elapsed();
                     return BmcResult::Counterexample(witness);
                 }
@@ -318,6 +349,7 @@ impl Bmc {
             let bad = unroller.bad_at(tm, bound);
             let query_start = Instant::now();
             let mut solver = Solver::new();
+            solver.set_simplify(self.config.simplify);
             solver.set_conflict_limit(self.config.conflict_limit);
             solver.set_deadline(self.config.time_limit.map(|limit| start + limit));
             for &p in path.iter().take(bound + 2) {
@@ -337,7 +369,8 @@ impl Bmc {
             });
             match result {
                 SatResult::Sat => {
-                    let witness = extract_witness(tm, ts, &mut unroller, solver.model(tm), bound);
+                    let model = solver.model(tm).clone();
+                    let witness = extract_witness(tm, ts, &mut unroller, &model, bound, None);
                     self.stats.duration = start.elapsed();
                     return BmcResult::Counterexample(witness);
                 }
@@ -361,8 +394,11 @@ impl Bmc {
         let start = Instant::now();
         self.stats = BmcStats::default();
         let mut unroller = Unroller::new(ts);
+        let coi = self.config.simplify.then(|| ts.cone_of_influence(tm));
+        let mut coi_dropped = 0u64;
 
         let mut solver = Solver::new();
+        solver.set_simplify(self.config.simplify);
         solver.set_conflict_limit(self.config.conflict_limit);
         solver.set_deadline(self.config.time_limit.map(|limit| start + limit));
         let init = unroller.init(tm);
@@ -371,7 +407,7 @@ impl Bmc {
         solver.assert_term(tm, c0);
         let mut bads = Vec::new();
         for k in 0..max_bound {
-            let tr = unroller.transition(tm, k);
+            let tr = frame_transition(tm, &mut unroller, k, coi.as_ref(), &mut coi_dropped);
             solver.assert_term(tm, tr);
             let cs = unroller.constraints_at(tm, k + 1);
             solver.assert_term(tm, cs);
@@ -387,6 +423,8 @@ impl Bmc {
         self.stats.queries = 1;
         self.stats.conflicts = solver.stats().conflicts;
         self.stats.deepest_bound = max_bound;
+        self.stats.solver.encode.rewrite = solver.stats().rewrite;
+        self.stats.solver.encode.rewrite.coi_dropped_updates = coi_dropped;
         self.stats.depths.push(DepthStats {
             bound: max_bound,
             conflicts: solver.stats().conflicts,
@@ -404,7 +442,8 @@ impl Bmc {
                     .map(|(k, _)| *k)
                     .unwrap_or(max_bound);
                 self.stats.deepest_bound = violated;
-                let witness = extract_witness(tm, ts, &mut unroller, &model, violated);
+                let witness =
+                    extract_witness(tm, ts, &mut unroller, &model, violated, coi.as_ref());
                 BmcResult::Counterexample(witness)
             }
             SatResult::Unsat => BmcResult::NoCounterexample { bound: max_bound },
@@ -428,9 +467,11 @@ impl Bmc {
         let start = Instant::now();
         self.stats = BmcStats::default();
         let mut unroller = Unroller::new(ts);
+        let coi = self.config.simplify.then(|| ts.cone_of_influence(tm));
 
         if self.cumulative.is_none() {
             let mut solver = IncrementalSolver::new();
+            solver.set_simplify(self.config.simplify);
             let init = unroller.init(tm);
             solver.assert_term(tm, init);
             let c0 = unroller.constraints_at(tm, 0);
@@ -439,6 +480,7 @@ impl Bmc {
                 solver,
                 frames_asserted: 0,
                 next_unproven: self.config.start_bound,
+                coi_dropped: 0,
             });
         }
         let state = self.cumulative.as_mut().expect("state initialized above");
@@ -446,19 +488,29 @@ impl Bmc {
         solver.set_conflict_limit(self.config.conflict_limit);
         solver.set_deadline(self.config.time_limit.map(|limit| start + limit));
 
+        let var_watermark = solver.num_cnf_vars();
+        let frames_before = state.frames_asserted;
         while state.frames_asserted < max_bound {
             let k = state.frames_asserted;
-            let tr = unroller.transition(tm, k);
+            let tr = frame_transition(tm, &mut unroller, k, coi.as_ref(), &mut state.coi_dropped);
             solver.assert_term(tm, tr);
             let cs = unroller.constraints_at(tm, k + 1);
             solver.assert_term(tm, cs);
             state.frames_asserted += 1;
+        }
+        if let Some(factor) = self.config.frame_rescore {
+            // The unrolling grew: decay the branching activity accumulated
+            // on the old frames so VSIDS re-centres on the new ones.
+            if state.frames_asserted > frames_before && var_watermark > 0 {
+                solver.rescale_activities_before(var_watermark, factor);
+            }
         }
         self.stats.deepest_bound = max_bound;
         if state.next_unproven > max_bound {
             // Every depth up to max_bound was proven unreachable by an
             // earlier call on this solver.
             self.stats.solver = solver.stats();
+            self.stats.solver.encode.rewrite.coi_dropped_updates = state.coi_dropped;
             self.stats.duration = start.elapsed();
             return BmcResult::NoCounterexample { bound: max_bound };
         }
@@ -474,7 +526,8 @@ impl Bmc {
             any_bad = tm.or(any_bad, bad);
         }
         let outcome = solver.check_assuming(tm, &[any_bad]);
-        let sstats = solver.stats();
+        let mut sstats = solver.stats();
+        sstats.encode.rewrite.coi_dropped_updates = state.coi_dropped;
         self.stats.queries = 1;
         self.stats.conflicts = sstats.conflicts;
         self.stats.solver = sstats;
@@ -494,7 +547,8 @@ impl Bmc {
                     .map(|(k, _)| *k)
                     .unwrap_or(max_bound);
                 self.stats.deepest_bound = violated;
-                let witness = extract_witness(tm, ts, &mut unroller, &model, violated);
+                let witness =
+                    extract_witness(tm, ts, &mut unroller, &model, violated, coi.as_ref());
                 BmcResult::Counterexample(witness)
             }
             SatResult::Unsat => {
@@ -508,13 +562,57 @@ impl Bmc {
     }
 }
 
+/// The frame-`k` transition under an optional cone-of-influence
+/// restriction, adding the per-frame dropped-update count to `coi_dropped`
+/// (one definition of the dispatch for all BMC modes).
+fn frame_transition(
+    tm: &mut TermManager,
+    unroller: &mut Unroller<'_>,
+    k: usize,
+    coi: Option<&CoiInfo>,
+    coi_dropped: &mut u64,
+) -> TermId {
+    match coi {
+        Some(coi) => {
+            *coi_dropped += coi.dropped as u64;
+            unroller.transition_within(tm, k, coi)
+        }
+        None => unroller.transition(tm, k),
+    }
+}
+
+/// Reads the counterexample trace out of a model.
+///
+/// When a cone-of-influence reduction was active, the dropped state
+/// variables have no encoded frame copies beyond frame 0 — their values are
+/// reconstructed by evaluating their next-state functions forward over the
+/// (progressively extended) assignment, so the witness is complete and
+/// consistent with a concrete replay either way.
 fn extract_witness(
     tm: &mut TermManager,
     ts: &TransitionSystem,
     unroller: &mut Unroller<'_>,
     model: &Model,
     bound: usize,
+    coi: Option<&CoiInfo>,
 ) -> Witness {
+    let mut env: Assignment = model.assignment().clone();
+    if let Some(coi) = coi {
+        let dropped: Vec<_> = ts
+            .state_vars()
+            .iter()
+            .copied()
+            .filter(|sv| !coi.keeps(sv.current))
+            .collect();
+        for k in 1..=bound {
+            for sv in &dropped {
+                let next_at = unroller.term_at(tm, sv.next, k - 1);
+                let value = concrete::eval(tm, next_at, &env);
+                let var_at = unroller.var_at(tm, sv.current, k);
+                env.insert(var_at, value);
+            }
+        }
+    }
     let mut frames = Vec::with_capacity(bound + 1);
     for k in 0..=bound {
         let mut frame = Frame::default();
@@ -524,7 +622,7 @@ fn extract_witness(
                 .expect("state vars are variables")
                 .to_string();
             let at = unroller.var_at(tm, sv.current, k);
-            frame.states.insert(name, model.eval(tm, at));
+            frame.states.insert(name, concrete::eval(tm, at, &env));
         }
         for &input in ts.inputs() {
             let name = tm
@@ -532,7 +630,7 @@ fn extract_witness(
                 .expect("inputs are variables")
                 .to_string();
             let at = unroller.var_at(tm, input, k);
-            frame.inputs.insert(name, model.eval(tm, at));
+            frame.inputs.insert(name, concrete::eval(tm, at, &env));
         }
         frames.push(frame);
     }
@@ -687,10 +785,13 @@ mod tests {
         let reuse = bmc.stats().solver;
         assert_eq!(reuse.checks, 11, "one check per depth 0..=10");
         assert!(
-            reuse.terms_reused > 0,
-            "later depths must hit the encoding cache"
+            reuse.encode.total_reuse() > 0,
+            "later depths must reuse encodings or rewrites"
         );
-        assert!(reuse.terms_cached > 0);
+        assert!(
+            reuse.encode.rewrite.pins > 0,
+            "frame equalities must become pins"
+        );
     }
 
     #[test]
@@ -752,7 +853,7 @@ mod tests {
             other => panic!("expected no counterexample, got {other:?}"),
         }
         assert_eq!(bmc.stats().queries, 1);
-        assert!(bmc.stats().solver.terms_reused > 0);
+        assert!(bmc.stats().solver.encode.total_reuse() > 0);
         // reset drops the persistent solver; the next call starts cold but
         // still answers correctly.
         bmc.reset();
@@ -797,6 +898,138 @@ mod tests {
             total, stats.conflicts,
             "per-depth conflict deltas must sum to the cumulative count"
         );
+    }
+
+    /// Counter system plus a "shadow" accumulator state variable that the
+    /// bad state never observes (it is outside the cone of influence) and a
+    /// second dead variable feeding only the shadow.
+    fn counter_with_shadow(tm: &mut TermManager, target: u64) -> TransitionSystem {
+        let mut ts = counter_system(tm, 8, target, true);
+        let c = tm.find_var("count").expect("state exists");
+        let shadow = tm.var("shadow", Sort::BitVec(8));
+        let dead = tm.var("dead", Sort::BitVec(8));
+        let sum = tm.bv_add(shadow, c);
+        let next_shadow = tm.bv_add(sum, dead);
+        let zero = tm.zero(8);
+        ts.add_state_var(tm, shadow, Some(zero), next_shadow);
+        let one = tm.one(8);
+        let next_dead = tm.bv_add(dead, one);
+        ts.add_state_var(tm, dead, Some(zero), next_dead);
+        ts
+    }
+
+    #[test]
+    fn coi_reduction_matches_the_full_unrolling() {
+        // Both verdict polarities, simplify+COI on vs the scratch baseline
+        // with everything off.
+        for target in [4u64, 50] {
+            let mut tm = TermManager::new();
+            let ts = counter_with_shadow(&mut tm, target);
+            let mut reduced = Bmc::new(BmcConfig::default());
+            let got = reduced.check(&mut tm, &ts, 6);
+            assert!(
+                reduced.stats().solver.encode.rewrite.coi_dropped_updates > 0,
+                "shadow/dead updates must be dropped"
+            );
+            let mut tm2 = TermManager::new();
+            let ts2 = counter_with_shadow(&mut tm2, target);
+            let mut full = Bmc::new(BmcConfig {
+                mode: BmcMode::PerDepthScratch,
+                simplify: false,
+                ..BmcConfig::default()
+            });
+            let want = full.check(&mut tm2, &ts2, 6);
+            match (&got, &want) {
+                (BmcResult::Counterexample(a), BmcResult::Counterexample(b)) => {
+                    assert_eq!(a.num_steps(), b.num_steps(), "target {target}");
+                }
+                (
+                    BmcResult::NoCounterexample { bound: a },
+                    BmcResult::NoCounterexample { bound: b },
+                ) => assert_eq!(a, b),
+                other => panic!("verdicts diverge for target {target}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn coi_dropped_variables_still_read_back_in_witnesses() {
+        let mut tm = TermManager::new();
+        let ts = counter_with_shadow(&mut tm, 3);
+        let mut bmc = Bmc::new(BmcConfig::default());
+        let witness = match bmc.check(&mut tm, &ts, 6) {
+            BmcResult::Counterexample(w) => w,
+            other => panic!("expected a counterexample, got {other:?}"),
+        };
+        assert_eq!(witness.num_steps(), 3);
+        // count: 0,1,2,3; dead: 0,1,2,3; shadow accumulates count+dead:
+        // 0, 0+0+0=0, 0+1+1=2, 2+2+2=6 — reconstructed, not solver-assigned.
+        let shadows: Vec<u64> = witness.frames().iter().map(|f| f.state("shadow")).collect();
+        assert_eq!(shadows, vec![0, 0, 2, 6]);
+        let deads: Vec<u64> = witness.frames().iter().map(|f| f.state("dead")).collect();
+        assert_eq!(deads, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn simplify_off_is_a_faithful_baseline() {
+        for (target, constrain) in [(5u64, true), (50, true), (200, false)] {
+            let mut tm = TermManager::new();
+            let ts = counter_system(&mut tm, 8, target, constrain);
+            let mut on = Bmc::new(BmcConfig::default());
+            let got = on.check(&mut tm, &ts, 8);
+            let mut tm2 = TermManager::new();
+            let ts2 = counter_system(&mut tm2, 8, target, constrain);
+            let mut off = Bmc::new(BmcConfig {
+                simplify: false,
+                ..BmcConfig::default()
+            });
+            let want = off.check(&mut tm2, &ts2, 8);
+            match (&got, &want) {
+                (BmcResult::Counterexample(a), BmcResult::Counterexample(b)) => {
+                    assert_eq!(a.num_steps(), b.num_steps(), "target {target}");
+                }
+                (
+                    BmcResult::NoCounterexample { bound: a },
+                    BmcResult::NoCounterexample { bound: b },
+                ) => assert_eq!(a, b),
+                other => panic!("verdicts diverge for target {target}: {other:?}"),
+            }
+            assert!(
+                off.stats().solver.encode.rewrite.pins == 0,
+                "simplify off must not pin"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_rescoring_keeps_cumulative_incremental_verdicts() {
+        // One checker with VSIDS frame rescoring, one without, driven
+        // through the same growing bounds: every verdict must match.
+        let mut tm = TermManager::new();
+        let ts = counter_system(&mut tm, 8, 5, true);
+        let mut rescored = Bmc::new(BmcConfig {
+            mode: BmcMode::CumulativeIncremental,
+            frame_rescore: Some(0.2),
+            ..BmcConfig::default()
+        });
+        let mut plain = Bmc::new(BmcConfig {
+            mode: BmcMode::CumulativeIncremental,
+            ..BmcConfig::default()
+        });
+        for bound in 0..8 {
+            let got = rescored.check(&mut tm, &ts, bound);
+            let want = plain.check(&mut tm, &ts, bound);
+            match (&got, &want) {
+                (BmcResult::Counterexample(a), BmcResult::Counterexample(b)) => {
+                    assert_eq!(a.num_steps(), b.num_steps(), "bound {bound}");
+                }
+                (
+                    BmcResult::NoCounterexample { bound: a },
+                    BmcResult::NoCounterexample { bound: b },
+                ) => assert_eq!(a, b),
+                other => panic!("verdicts diverge at bound {bound}: {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -40,6 +40,6 @@ pub mod unroll;
 pub mod witness;
 
 pub use bmc::{Bmc, BmcConfig, BmcMode, BmcResult, BmcStats, DepthStats};
-pub use ts::{StateVar, TransitionSystem};
+pub use ts::{CoiInfo, StateVar, TransitionSystem};
 pub use unroll::Unroller;
 pub use witness::{Frame, Witness};

@@ -1,6 +1,6 @@
 //! The transition-system IR.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use sepe_smt::{concrete, TermId, TermManager};
 
@@ -15,6 +15,24 @@ pub struct StateVar {
     pub init: Option<TermId>,
     /// Next-state function (a term over current-state variables and inputs).
     pub next: TermId,
+}
+
+/// Result of [`TransitionSystem::cone_of_influence`]: which current-state
+/// variables the bounded model checker must keep, and how many it may drop.
+#[derive(Debug, Clone)]
+pub struct CoiInfo {
+    /// Current-state variables whose next-state updates must be asserted.
+    pub keep: HashSet<TermId>,
+    /// Number of state variables outside the cone (their per-frame updates
+    /// can be dropped before encoding).
+    pub dropped: usize,
+}
+
+impl CoiInfo {
+    /// Whether a state variable's update must be asserted.
+    pub fn keeps(&self, current: TermId) -> bool {
+        self.keep.contains(&current)
+    }
 }
 
 /// A word-level transition system (the BTOR2-like IR of the reproduction).
@@ -113,6 +131,52 @@ impl TransitionSystem {
             .find(|sv| tm.var_name(sv.current) == Some(name))
     }
 
+    /// Computes the static cone of influence of the bad-state properties.
+    ///
+    /// A state variable is *kept* when it can reach a bad-state property or
+    /// an invariant constraint through the next-state dependency graph
+    /// (constraints must be roots: a constraint over a variable whose update
+    /// was dropped could otherwise be satisfied by values the real update
+    /// forbids, creating spurious counterexamples).  The next-state update
+    /// of every other variable is a pure definition — the variable occurs in
+    /// no bad state, no constraint and no kept update — so dropping it from
+    /// the BMC unrolling preserves satisfiability frame for frame.  Initial
+    /// values stay asserted for all variables (frame 0 is shared), and the
+    /// model checker reconstructs dropped variables' trace values by
+    /// forward evaluation when it extracts a witness.
+    pub fn cone_of_influence(&self, tm: &TermManager) -> CoiInfo {
+        let state_set: HashSet<TermId> = self.state_vars.iter().map(|sv| sv.current).collect();
+        let mut keep: HashSet<TermId> = HashSet::new();
+        let mut worklist: Vec<TermId> = Vec::new();
+        let mut roots: Vec<TermId> = Vec::new();
+        roots.extend(self.bad.iter().copied());
+        roots.extend(self.constraints.iter().copied());
+        for v in tm.collect_vars(&roots) {
+            if state_set.contains(&v) && keep.insert(v) {
+                worklist.push(v);
+            }
+        }
+        let next_of: HashMap<TermId, TermId> = self
+            .state_vars
+            .iter()
+            .map(|sv| (sv.current, sv.next))
+            .collect();
+        while let Some(v) = worklist.pop() {
+            let next = next_of[&v];
+            for dep in tm.collect_vars(&[next]) {
+                if state_set.contains(&dep) && keep.insert(dep) {
+                    worklist.push(dep);
+                }
+            }
+        }
+        let dropped = self
+            .state_vars
+            .iter()
+            .filter(|sv| !keep.contains(&sv.current))
+            .count();
+        CoiInfo { keep, dropped }
+    }
+
     /// Concretely simulates the system for `inputs_per_frame.len()` steps.
     ///
     /// Returns, for each frame, the value of every state variable *before*
@@ -189,6 +253,37 @@ mod tests {
         let trace = ts.simulate(&tm, &frames);
         let values: Vec<u64> = trace.iter().map(|s| s[&c]).collect();
         assert_eq!(values, vec![5, 6, 8, 11]);
+    }
+
+    #[test]
+    fn cone_of_influence_keeps_bad_constraint_and_transitive_deps() {
+        let mut tm = TermManager::new();
+        let a = tm.var("a", Sort::BitVec(4)); // in bad
+        let b = tm.var("b", Sort::BitVec(4)); // feeds a
+        let c = tm.var("c", Sort::BitVec(4)); // in a constraint
+        let d = tm.var("d", Sort::BitVec(4)); // dead
+        let e = tm.var("e", Sort::BitVec(4)); // feeds only d
+        let mut ts = TransitionSystem::new();
+        let next_a = tm.bv_add(a, b);
+        ts.add_state_var(&tm, a, None, next_a);
+        ts.add_state_var(&tm, b, None, b);
+        ts.add_state_var(&tm, c, None, c);
+        let next_d = tm.bv_add(d, e);
+        ts.add_state_var(&tm, d, None, next_d);
+        ts.add_state_var(&tm, e, None, e);
+        let three = tm.bv_const(3, 4);
+        let bad = tm.eq(a, three);
+        ts.add_bad(bad);
+        let zero = tm.zero(4);
+        let constraint = tm.neq(c, zero);
+        ts.add_constraint(constraint);
+        let coi = ts.cone_of_influence(&tm);
+        assert!(coi.keeps(a), "bad-state variable is kept");
+        assert!(coi.keeps(b), "transitive dependency of a kept update");
+        assert!(coi.keeps(c), "constraint variables are roots");
+        assert!(!coi.keeps(d), "unobserved variable is dropped");
+        assert!(!coi.keeps(e), "variable feeding only dropped updates");
+        assert_eq!(coi.dropped, 2);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use sepe_smt::{subst, TermId, TermManager};
 
-use crate::ts::TransitionSystem;
+use crate::ts::{CoiInfo, TransitionSystem};
 
 /// Unrolls a [`TransitionSystem`] into per-frame copies of its variables.
 ///
@@ -88,9 +88,30 @@ impl<'a> Unroller<'a> {
 
     /// The transition relation between frame `k` and frame `k + 1`.
     pub fn transition(&mut self, tm: &mut TermManager, k: usize) -> TermId {
+        self.transition_filtered(tm, k, None)
+    }
+
+    /// The transition relation between frame `k` and frame `k + 1`,
+    /// restricted to the state variables inside the cone of influence: the
+    /// next-state updates of variables outside `coi` are dropped before
+    /// anything is encoded (see
+    /// [`TransitionSystem::cone_of_influence`]).
+    pub fn transition_within(&mut self, tm: &mut TermManager, k: usize, coi: &CoiInfo) -> TermId {
+        self.transition_filtered(tm, k, Some(coi))
+    }
+
+    fn transition_filtered(
+        &mut self,
+        tm: &mut TermManager,
+        k: usize,
+        coi: Option<&CoiInfo>,
+    ) -> TermId {
         let mut conj = tm.tru();
         let state_vars: Vec<_> = self.ts.state_vars().to_vec();
         for sv in state_vars {
+            if coi.is_some_and(|coi| !coi.keeps(sv.current)) {
+                continue;
+            }
             let lhs = self.var_at(tm, sv.current, k + 1);
             let rhs = self.term_at(tm, sv.next, k);
             let eq = tm.eq(lhs, rhs);
@@ -167,6 +188,6 @@ mod tests {
         }
         // after two increments from 0 the counter must be 2, so asking for a
         // different value is unsatisfiable
-        assert_eq!(solver.check(&tm), SatResult::Unsat);
+        assert_eq!(solver.check(&mut tm), SatResult::Unsat);
     }
 }
