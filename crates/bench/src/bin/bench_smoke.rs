@@ -3,24 +3,29 @@
 //!
 //! Runs the shared [`sepe_bench::sweep`] protocol (one Table-1 SQED sweep,
 //! tiny processor, ADD only — the bug is invisible to SQED, so every depth
-//! is explored) in four BMC modes:
+//! is explored) in five BMC modes:
 //!
 //! * `incremental` — [`BmcMode::PerDepth`] on the persistent solver with
-//!   word-level rewriting + cone-of-influence reduction on (the default
-//!   pipeline),
-//! * `incremental_norewrite` — the same mode with the word-level
+//!   word-level rewriting + cone-of-influence reduction and the gate-level
+//!   AIG layer on (the default pipeline),
+//! * `aig_off` — the same mode with the AIG reductions off (no structural
+//!   hashing, no local rewriting, biconditional Tseitin): the arm that
+//!   isolates what the gate-level layer buys,
+//! * `incremental_norewrite` — the default pipeline with the word-level
 //!   preprocessing off: the rewrite-on-vs-off arm that isolates what the
 //!   simplification pipeline buys,
 //! * `cumulative_incremental` — [`BmcMode::CumulativeIncremental`], driven
 //!   as growing `max_bound` calls on one `Bmc` (the cross-call reuse path),
-//! * `scratch` — [`BmcMode::PerDepthScratch`] with preprocessing off, the
-//!   PR-1-era re-encoding baseline.
+//! * `scratch` — [`BmcMode::PerDepthScratch`] with all preprocessing off,
+//!   the PR-1-era re-encoding baseline.
 //!
 //! The measurements (wall time, conflicts, learnt-clause high-water mark,
-//! encodings cached, `RewriteStats`) are written as JSON, and when
-//! `--baseline <path>` is given the run **fails** (exit code 1) if any
-//! mode's wall time regressed more than [`REGRESSION_FACTOR`]× against the
-//! baseline's `wall_ms`.
+//! encodings cached, `RewriteStats`, AIG counters, CNF sizes) are written as
+//! JSON, and when `--baseline <path>` is given the run **fails** with exit
+//! code 1 if any mode's wall time regressed more than [`REGRESSION_FACTOR`]×
+//! or its CNF clause count more than [`CLAUSE_REGRESSION_FACTOR`]× against
+//! the baseline (the clause count is deterministic on identical code, so
+//! its tight gate catches encoding regressions without runner-speed noise).
 //!
 //! Usage:
 //!   bench_smoke [--bound N] [--out BENCH_smoke.json] [--baseline BENCH_baseline.json]
@@ -31,8 +36,15 @@ use sepe_bench::sweep;
 use sepe_smt::SolverReuseStats;
 use sepe_tsys::BmcMode;
 
-/// Wall-time regression tolerance against the checked-in baseline.
+/// Wall-time regression tolerance against the checked-in baseline (loose:
+/// runner hardware varies).
 const REGRESSION_FACTOR: f64 = 1.5;
+
+/// CNF clause-count regression tolerance (tight: the count is deterministic
+/// on identical code, so anything beyond float-formatting slack is a real
+/// encoding regression — intentional encoding changes refresh the baseline,
+/// as its `note` describes).
+const CLAUSE_REGRESSION_FACTOR: f64 = 1.05;
 
 #[derive(Debug, Clone, Serialize)]
 struct ModeResult {
@@ -49,6 +61,12 @@ struct ModeResult {
     rewrite_pins: u64,
     assertions_dropped: u64,
     coi_dropped: u64,
+    aig_nodes: u64,
+    aig_strash_hits: u64,
+    aig_consts_folded: u64,
+    aig_rewrites: u64,
+    cnf_vars: u64,
+    cnf_clauses: u64,
 }
 
 impl ModeResult {
@@ -67,6 +85,12 @@ impl ModeResult {
             rewrite_pins: solver.encode.rewrite.pins,
             assertions_dropped: solver.encode.rewrite.assertions_dropped,
             coi_dropped: solver.encode.rewrite.coi_dropped_updates,
+            aig_nodes: solver.encode.aig.nodes,
+            aig_strash_hits: solver.encode.aig.strash_hits,
+            aig_consts_folded: solver.encode.aig.consts_folded,
+            aig_rewrites: solver.encode.aig.rewrites,
+            cnf_vars: solver.cnf_vars,
+            cnf_clauses: solver.cnf_clauses,
         }
     }
 }
@@ -78,12 +102,17 @@ struct SmokeReport {
     modes: Vec<ModeResult>,
 }
 
-/// Pulls `"wall_ms": <number>` for a named mode out of a baseline JSON
+/// Pulls `"<field>": <number>` for a named mode out of a baseline JSON
 /// (hand-rolled scan: the offline serde shim renders but does not parse).
-fn baseline_wall_ms(json: &str, mode: &str) -> Option<f64> {
+/// The scan is bounded to the named mode's entry — it stops at the next
+/// `"mode"` key — so a missing field reports as missing instead of
+/// silently reading the next mode's value.
+fn baseline_field(json: &str, mode: &str, field: &str) -> Option<f64> {
     let marker = format!("\"{mode}\"");
     let after_mode = &json[json.find(&marker)? + marker.len()..];
-    let after_key = &after_mode[after_mode.find("\"wall_ms\":")? + "\"wall_ms\":".len()..];
+    let entry = &after_mode[..after_mode.find("\"mode\"").unwrap_or(after_mode.len())];
+    let key = format!("\"{field}\":");
+    let after_key = &entry[entry.find(&key)? + key.len()..];
     let number: String = after_key
         .trim_start()
         .chars()
@@ -111,16 +140,18 @@ fn main() {
 
     let bug = sweep::bug(); // ADD off by one
     println!("bench-smoke: SQED sweep, tiny/ADD-only, bound {bound}");
-    let (incr_wall, incr_solver) = sweep::run_with(bound, BmcMode::PerDepth, &bug, true);
-    let (raw_wall, raw_solver) = sweep::run_with(bound, BmcMode::PerDepth, &bug, false);
+    let (incr_wall, incr_solver) = sweep::run_with(bound, BmcMode::PerDepth, &bug, true, true);
+    let (noaig_wall, noaig_solver) = sweep::run_with(bound, BmcMode::PerDepth, &bug, true, false);
+    let (raw_wall, raw_solver) = sweep::run_with(bound, BmcMode::PerDepth, &bug, false, true);
     let (cumul_wall, cumul_solver) = sweep::run_cumulative(bound, &bug);
     let (scratch_wall, scratch_solver) =
-        sweep::run_with(bound, BmcMode::PerDepthScratch, &bug, false);
+        sweep::run_with(bound, BmcMode::PerDepthScratch, &bug, false, false);
     let report = SmokeReport {
         bound,
         opcode: "ADD".to_string(),
         modes: vec![
             ModeResult::new("incremental", incr_wall, incr_solver),
+            ModeResult::new("aig_off", noaig_wall, noaig_solver),
             ModeResult::new("incremental_norewrite", raw_wall, raw_solver),
             ModeResult::new("cumulative_incremental", cumul_wall, cumul_solver),
             ModeResult::new("scratch", scratch_wall, scratch_solver),
@@ -141,18 +172,26 @@ fn main() {
             "", m.terms_cached, m.terms_reused, m.terms_rewritten, m.rewrite_rules, m.rewrite_pins,
             m.assertions_dropped, m.coi_dropped,
         );
+        println!(
+            "  {:<24} aig {:>7} nodes (strash {:>7}, folded {:>7}, rw {:>5})  cnf {:>7} vars / {:>8} clauses",
+            "", m.aig_nodes, m.aig_strash_hits, m.aig_consts_folded, m.aig_rewrites, m.cnf_vars,
+            m.cnf_clauses,
+        );
     }
-    if let (Some(on), Some(off)) = (
-        report.modes.first(),
-        report
-            .modes
-            .iter()
-            .find(|m| m.mode == "incremental_norewrite"),
-    ) {
+    let find = |mode: &str| report.modes.iter().find(|m| m.mode == mode);
+    if let (Some(on), Some(off)) = (find("incremental"), find("incremental_norewrite")) {
         println!(
             "  rewrite-on vs rewrite-off: {:.2}x wall, {:.2}x conflicts",
             off.wall_ms / on.wall_ms,
             off.conflicts as f64 / (on.conflicts.max(1)) as f64,
+        );
+    }
+    if let (Some(on), Some(off)) = (find("incremental"), find("aig_off")) {
+        println!(
+            "  aig-on vs aig-off: {:.2}x wall, {:.2}x CNF clauses, {:.2}x CNF vars",
+            off.wall_ms / on.wall_ms,
+            off.cnf_clauses as f64 / (on.cnf_clauses.max(1)) as f64,
+            off.cnf_vars as f64 / (on.cnf_vars.max(1)) as f64,
         );
     }
 
@@ -165,7 +204,7 @@ fn main() {
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
         let mut regressed = false;
         for m in &report.modes {
-            match baseline_wall_ms(&baseline, &m.mode) {
+            match baseline_field(&baseline, &m.mode, "wall_ms") {
                 Some(expected) => {
                     let ratio = m.wall_ms / expected;
                     let verdict = if ratio > REGRESSION_FACTOR {
@@ -179,11 +218,33 @@ fn main() {
                         m.mode, m.wall_ms, expected
                     );
                 }
-                None => println!("  {:<24} no baseline entry, skipping", m.mode),
+                None => println!("  {:<24} no baseline wall_ms entry, skipping", m.mode),
+            }
+            // The clause gate is the noise-free half: counts are
+            // deterministic on identical code, so exceeding the tight
+            // factor means the encoding itself regressed, not the runner.
+            match baseline_field(&baseline, &m.mode, "cnf_clauses") {
+                Some(expected) if expected > 0.0 => {
+                    let ratio = m.cnf_clauses as f64 / expected;
+                    let verdict = if ratio > CLAUSE_REGRESSION_FACTOR {
+                        regressed = true;
+                        "REGRESSED"
+                    } else {
+                        "ok"
+                    };
+                    println!(
+                        "  {:<24} {:>9} clauses vs baseline {:>9.0} ({ratio:.2}x) {verdict}",
+                        m.mode, m.cnf_clauses, expected
+                    );
+                }
+                _ => println!("  {:<24} no baseline cnf_clauses entry, skipping", m.mode),
             }
         }
         if regressed {
-            eprintln!("bench-smoke: wall time regressed >{REGRESSION_FACTOR}x against {path}");
+            eprintln!(
+                "bench-smoke: wall time (>{REGRESSION_FACTOR}x) or CNF clause count \
+                 (>{CLAUSE_REGRESSION_FACTOR}x) regressed against {path}"
+            );
             std::process::exit(1);
         }
     }

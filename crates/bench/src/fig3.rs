@@ -46,6 +46,18 @@ pub struct Fig3Row {
     pub hpf_assertions_dropped: u64,
     /// Distinct term encodings cached by the HPF run's solvers.
     pub hpf_terms_cached: u64,
+    /// AIG nodes created below the word level (strash misses).
+    pub hpf_aig_nodes: u64,
+    /// AIG requests answered by the structural-hashing table.
+    pub hpf_aig_strash_hits: u64,
+    /// AIG requests folded by constant propagation / one-level rules.
+    pub hpf_aig_consts_folded: u64,
+    /// Two-level local rewrites at AIG node creation.
+    pub hpf_aig_rewrites: u64,
+    /// CNF variables emitted by the polarity-aware Tseitin pass.
+    pub hpf_cnf_vars: u64,
+    /// CNF clauses emitted by the polarity-aware Tseitin pass.
+    pub hpf_cnf_clauses: u64,
     /// Learnt clauses retained across HPF-CEGIS refinement rounds.
     pub hpf_learnt_retained: u64,
 }
@@ -125,6 +137,12 @@ pub fn run(profile: Profile) -> Vec<Fig3Row> {
                 hpf_rewrite_pins: hpf_result.solver.encode.rewrite.pins,
                 hpf_assertions_dropped: hpf_result.solver.encode.rewrite.assertions_dropped,
                 hpf_terms_cached: hpf_result.solver.encode.terms_cached,
+                hpf_aig_nodes: hpf_result.solver.encode.aig.nodes,
+                hpf_aig_strash_hits: hpf_result.solver.encode.aig.strash_hits,
+                hpf_aig_consts_folded: hpf_result.solver.encode.aig.consts_folded,
+                hpf_aig_rewrites: hpf_result.solver.encode.aig.rewrites,
+                hpf_cnf_vars: hpf_result.solver.encode.aig.cnf_vars,
+                hpf_cnf_clauses: hpf_result.solver.encode.aig.cnf_clauses,
                 hpf_learnt_retained: hpf_result.solver.learnt_retained,
             }
         })
@@ -182,6 +200,12 @@ pub fn print(rows: &[Fig3Row]) {
         encode.rewrite.rule_applications += r.hpf_rewrite_rules;
         encode.rewrite.pins += r.hpf_rewrite_pins;
         encode.rewrite.assertions_dropped += r.hpf_assertions_dropped;
+        encode.aig.nodes += r.hpf_aig_nodes;
+        encode.aig.strash_hits += r.hpf_aig_strash_hits;
+        encode.aig.consts_folded += r.hpf_aig_consts_folded;
+        encode.aig.rewrites += r.hpf_aig_rewrites;
+        encode.aig.cnf_vars += r.hpf_cnf_vars;
+        encode.aig.cnf_clauses += r.hpf_cnf_clauses;
     }
     let learnt: u64 = rows.iter().map(|r| r.hpf_learnt_retained).sum();
     println!("encoding (HPF incremental CEGIS): {encode}");
@@ -215,6 +239,12 @@ mod tests {
             hpf_rewrite_pins: 0,
             hpf_assertions_dropped: 0,
             hpf_terms_cached: 0,
+            hpf_aig_nodes: 0,
+            hpf_aig_strash_hits: 0,
+            hpf_aig_consts_folded: 0,
+            hpf_aig_rewrites: 0,
+            hpf_cnf_vars: 0,
+            hpf_cnf_clauses: 0,
             hpf_learnt_retained: 0,
         };
         assert!((row.reduction() - 0.5).abs() < 1e-9);

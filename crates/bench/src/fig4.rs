@@ -43,6 +43,18 @@ pub struct Fig4Row {
     pub sepe_assertions_dropped: u64,
     /// Next-state updates dropped by the BMC cone-of-influence pass.
     pub sepe_coi_dropped: u64,
+    /// AIG nodes created below the word level (strash misses).
+    pub sepe_aig_nodes: u64,
+    /// AIG requests answered by the structural-hashing table.
+    pub sepe_aig_strash_hits: u64,
+    /// AIG requests folded by constant propagation / one-level rules.
+    pub sepe_aig_consts_folded: u64,
+    /// Two-level local rewrites at AIG node creation.
+    pub sepe_aig_rewrites: u64,
+    /// CNF variables emitted by the polarity-aware Tseitin pass.
+    pub sepe_cnf_vars: u64,
+    /// CNF clauses emitted by the polarity-aware Tseitin pass.
+    pub sepe_cnf_clauses: u64,
     /// Learnt clauses retained across the sweep's SAT calls.
     pub sepe_learnt_retained: u64,
     /// High-water mark of live learnt clauses during the SEPE sweep.
@@ -151,6 +163,12 @@ pub fn run(profile: Profile) -> Vec<Fig4Row> {
                 sepe_rewrite_pins: sepe.solver.encode.rewrite.pins,
                 sepe_assertions_dropped: sepe.solver.encode.rewrite.assertions_dropped,
                 sepe_coi_dropped: sepe.solver.encode.rewrite.coi_dropped_updates,
+                sepe_aig_nodes: sepe.solver.encode.aig.nodes,
+                sepe_aig_strash_hits: sepe.solver.encode.aig.strash_hits,
+                sepe_aig_consts_folded: sepe.solver.encode.aig.consts_folded,
+                sepe_aig_rewrites: sepe.solver.encode.aig.rewrites,
+                sepe_cnf_vars: sepe.solver.encode.aig.cnf_vars,
+                sepe_cnf_clauses: sepe.solver.encode.aig.cnf_clauses,
                 sepe_learnt_retained: sepe.solver.learnt_retained,
                 sepe_learnt_high_water: sepe.solver.learnt_high_water,
                 sepe_learnt_deleted: sepe.solver.learnt_deleted,
@@ -203,6 +221,12 @@ pub fn print(rows: &[Fig4Row]) {
         encode.rewrite.pins += r.sepe_rewrite_pins;
         encode.rewrite.assertions_dropped += r.sepe_assertions_dropped;
         encode.rewrite.coi_dropped_updates += r.sepe_coi_dropped;
+        encode.aig.nodes += r.sepe_aig_nodes;
+        encode.aig.strash_hits += r.sepe_aig_strash_hits;
+        encode.aig.consts_folded += r.sepe_aig_consts_folded;
+        encode.aig.rewrites += r.sepe_aig_rewrites;
+        encode.aig.cnf_vars += r.sepe_cnf_vars;
+        encode.aig.cnf_clauses += r.sepe_cnf_clauses;
     }
     let learnt: u64 = rows.iter().map(|r| r.sepe_learnt_retained).sum();
     let high_water: u64 = rows
@@ -247,6 +271,12 @@ mod tests {
             sepe_rewrite_pins: 0,
             sepe_assertions_dropped: 0,
             sepe_coi_dropped: 0,
+            sepe_aig_nodes: 0,
+            sepe_aig_strash_hits: 0,
+            sepe_aig_consts_folded: 0,
+            sepe_aig_rewrites: 0,
+            sepe_cnf_vars: 0,
+            sepe_cnf_clauses: 0,
             sepe_learnt_retained: 0,
             sepe_learnt_high_water: 0,
             sepe_learnt_deleted: 0,

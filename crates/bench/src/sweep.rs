@@ -26,17 +26,20 @@ pub fn bug() -> Mutation {
 
 /// The sweep's detector: tiny processor, ADD-only universe.
 pub fn detector(max_bound: usize, mode: BmcMode) -> Detector {
-    detector_with(max_bound, mode, true)
+    detector_with(max_bound, mode, true, true)
 }
 
 /// [`detector`] with the word-level preprocessing (rewriting +
-/// cone-of-influence) explicitly on or off.
-pub fn detector_with(max_bound: usize, mode: BmcMode, simplify: bool) -> Detector {
+/// cone-of-influence) and the gate-level AIG reductions (structural
+/// hashing, local rewriting, polarity-aware Tseitin) each explicitly on or
+/// off.
+pub fn detector_with(max_bound: usize, mode: BmcMode, simplify: bool, aig: bool) -> Detector {
     Detector::new(DetectorConfig {
         processor: ProcessorConfig::tiny().with_opcodes(&[Opcode::Add]),
         max_bound,
         bmc_mode: mode,
         simplify,
+        aig,
         ..DetectorConfig::default()
     })
 }
@@ -49,18 +52,20 @@ pub fn detector_with(max_bound: usize, mode: BmcMode, simplify: bool) -> Detecto
 ///
 /// Panics if the detection unexpectedly reports the bug (SQED must miss it).
 pub fn run(max_bound: usize, mode: BmcMode, bug: &Mutation) -> (Duration, SolverReuseStats) {
-    run_with(max_bound, mode, bug, true)
+    run_with(max_bound, mode, bug, true, true)
 }
 
-/// [`run`] with the word-level preprocessing explicitly on or off (the
-/// bench harness's rewrite-on-vs-off arm).
+/// [`run`] with the word-level preprocessing and the gate-level AIG
+/// reductions each explicitly on or off (the bench harness's
+/// rewrite-on-vs-off and aig-on-vs-off arms).
 pub fn run_with(
     max_bound: usize,
     mode: BmcMode,
     bug: &Mutation,
     simplify: bool,
+    aig: bool,
 ) -> (Duration, SolverReuseStats) {
-    let d = detector_with(max_bound, mode, simplify);
+    let d = detector_with(max_bound, mode, simplify, aig);
     let start = Instant::now();
     let detection = d.check(Method::Sqed, Some(bug));
     let wall = start.elapsed();

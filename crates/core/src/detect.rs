@@ -59,6 +59,10 @@ pub struct DetectorConfig {
     /// pre-rewrite baseline, kept for the bench harness's
     /// rewrite-on-vs-off arm.
     pub simplify: bool,
+    /// Gate-level AIG reductions below the word level (on by default):
+    /// structural hashing, local rewriting, polarity-aware Tseitin.  Off is
+    /// the direct-blasting baseline of the bench harness's `aig_off` arm.
+    pub aig: bool,
 }
 
 impl Default for DetectorConfig {
@@ -72,6 +76,7 @@ impl Default for DetectorConfig {
             equivalence: None,
             bmc_mode: BmcMode::Cumulative,
             simplify: true,
+            aig: true,
         }
     }
 }
@@ -187,6 +192,7 @@ impl Detector {
             // counterexamples and enable incremental solver reuse
             mode: self.config.bmc_mode,
             simplify: self.config.simplify,
+            aig: self.config.aig,
             frame_rescore: None,
         });
         let result = bmc.check(&mut tm, &system.ts, self.config.max_bound);

@@ -1,28 +1,43 @@
-//! Tseitin bit-blasting of bit-vector term graphs into CNF.
+//! Bit-blasting of bit-vector term graphs through a structurally hashed
+//! and-inverter graph into CNF.
 //!
-//! Every boolean term maps to one CNF literal; every bit-vector term maps to
-//! a vector of literals (LSB first).  Word-level operators are lowered to the
-//! usual gate-level circuits: ripple-carry adders, shift-and-add multipliers,
-//! restoring dividers, logarithmic barrel shifters and borrow-based
-//! comparators.
+//! Every boolean term maps to one AIG literal; every bit-vector term maps to
+//! a vector of AIG literals (LSB first).  Word-level operators are lowered to
+//! the usual gate-level circuits — ripple-carry adders, shift-and-add
+//! multipliers, restoring dividers, logarithmic barrel shifters and
+//! borrow-based comparators — but the gates are [`Aig`] node builders, not
+//! clauses: construction-time constant propagation, the one- and two-level
+//! rewrite catalogue and the structural-hashing table run first, so
+//! structurally identical logic across BMC frames and mutated datapaths is
+//! built once.  CNF only materialises when a literal is asserted or assumed,
+//! through the polarity-aware Tseitin pass ([`AigCnf`]): shared nodes get
+//! one definition, and each polarity pays only the implications it needs.
 
 use std::collections::HashMap;
 
+use crate::aig::{Aig, AigCnf, AigLit, AigStats};
 use crate::cnf::{Cnf, Lit};
 use crate::term::{Op, TermId, TermManager};
 
-/// Bit-blaster: converts terms to CNF over a shared [`Cnf`] instance.
+/// Bit-blaster: converts terms to AIG literals and emits CNF on demand over
+/// a shared [`Cnf`] instance.
 ///
 /// Encodings are cached per term, so a blaster that lives across several
 /// queries (the incremental pipeline) only lowers the not-yet-seen subgraph
 /// of each new term; [`cache_hits`](Self::cache_hits) /
-/// [`cached_terms`](Self::cached_terms) quantify the reuse.
+/// [`cached_terms`](Self::cached_terms) quantify the term-level reuse and
+/// [`aig_stats`](Self::aig_stats) the gate-level reuse below it.  The
+/// AIG-node→CNF-variable mapping is append-only across emissions, so SAT
+/// solver state built on earlier clauses stays valid (the incremental
+/// contract).
 #[derive(Debug, Clone)]
 pub struct BitBlaster {
+    aig: Aig,
+    emit: AigCnf,
     cnf: Cnf,
     true_lit: Lit,
-    bool_cache: HashMap<TermId, Lit>,
-    bits_cache: HashMap<TermId, Vec<Lit>>,
+    bool_cache: HashMap<TermId, AigLit>,
+    bits_cache: HashMap<TermId, Vec<AigLit>>,
     var_bits: HashMap<TermId, Vec<Lit>>,
     cache_hits: u64,
 }
@@ -38,9 +53,12 @@ impl BitBlaster {
     /// variable.
     pub fn new() -> Self {
         let mut cnf = Cnf::new();
-        let t = Lit::pos(cnf.fresh_var());
+        let tv = cnf.fresh_var();
+        let t = Lit::pos(tv);
         cnf.add_clause([t]);
         BitBlaster {
+            aig: Aig::new(),
+            emit: AigCnf::new(tv),
             cnf,
             true_lit: t,
             bool_cache: HashMap::new(),
@@ -48,6 +66,24 @@ impl BitBlaster {
             var_bits: HashMap::new(),
             cache_hits: 0,
         }
+    }
+
+    /// Turns the gate-level reductions on or off (on by default).  Off means
+    /// no structural hashing, no local rewriting and biconditional instead
+    /// of polarity-aware Tseitin — the faithful stand-in for the pre-AIG
+    /// direct blasting, kept for the `aig_off` differential and bench arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if anything was already encoded: the two modes must not be
+    /// mixed within one blaster lifetime.
+    pub fn set_aig(&mut self, on: bool) {
+        assert!(
+            self.aig.num_nodes() == 1 && self.var_bits.is_empty(),
+            "set_aig must be called before anything is encoded"
+        );
+        self.aig.set_reduce(on);
+        self.emit.set_polarity_aware(on);
     }
 
     /// Mutable access to the CNF under construction (for draining clauses).
@@ -65,6 +101,15 @@ impl BitBlaster {
     /// re-encountered by later queries of a persistent blaster.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits
+    }
+
+    /// The gate-level counters: AIG nodes created, strash hits, constants
+    /// folded, local rewrites, and the CNF variables/clauses the Tseitin
+    /// pass has emitted so far.
+    pub fn aig_stats(&self) -> AigStats {
+        let mut stats = self.aig.stats();
+        stats.absorb(&self.emit.stats());
+        stats
     }
 
     /// The literal that is always true.
@@ -98,95 +143,47 @@ impl BitBlaster {
         &self.var_bits
     }
 
-    /// Asserts that a boolean term holds.
+    /// Asserts that a boolean term holds: lowers it to an AIG literal, emits
+    /// the clauses its positive occurrence needs, and adds the unit clause.
     pub fn assert_true(&mut self, tm: &TermManager, t: TermId) {
-        let l = self.blast_bool(tm, t);
+        let root = self.blast_bool(tm, t);
+        let l = self.emit.require(&self.aig, &mut self.cnf, root);
         self.cnf.add_clause([l]);
     }
 
+    /// The CNF literal of a boolean term, with the clauses emitted that make
+    /// assuming (or asserting) it mean exactly "the term holds" — the entry
+    /// point for retractable assumptions in the incremental pipeline.
+    pub fn assume_lit(&mut self, tm: &TermManager, t: TermId) -> Lit {
+        let root = self.blast_bool(tm, t);
+        self.emit.require(&self.aig, &mut self.cnf, root)
+    }
+
     // ------------------------------------------------------------------
-    // Gates
+    // Gates (thin wrappers over the AIG node builders)
     // ------------------------------------------------------------------
 
-    fn lit_const(&self, l: Lit) -> Option<bool> {
-        if l == self.true_lit {
-            Some(true)
-        } else if l == !self.true_lit {
-            Some(false)
-        } else {
-            None
-        }
+    fn const_lit(&self, b: bool) -> AigLit {
+        self.aig.const_lit(b)
     }
 
-    fn const_lit(&self, b: bool) -> Lit {
-        if b {
-            self.true_lit
-        } else {
-            !self.true_lit
-        }
+    fn and_gate(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        self.aig.and(a, b)
     }
 
-    fn and_gate(&mut self, a: Lit, b: Lit) -> Lit {
-        match (self.lit_const(a), self.lit_const(b)) {
-            (Some(false), _) | (_, Some(false)) => self.const_lit(false),
-            (Some(true), _) => b,
-            (_, Some(true)) => a,
-            _ if a == b => a,
-            _ if a == !b => self.const_lit(false),
-            _ => {
-                let o = Lit::pos(self.cnf.fresh_var());
-                self.cnf.add_clause([!o, a]);
-                self.cnf.add_clause([!o, b]);
-                self.cnf.add_clause([o, !a, !b]);
-                o
-            }
-        }
+    fn or_gate(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        self.aig.or(a, b)
     }
 
-    fn or_gate(&mut self, a: Lit, b: Lit) -> Lit {
-        !self.and_gate(!a, !b)
+    fn xor_gate(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        self.aig.xor(a, b)
     }
 
-    fn xor_gate(&mut self, a: Lit, b: Lit) -> Lit {
-        match (self.lit_const(a), self.lit_const(b)) {
-            (Some(false), _) => b,
-            (_, Some(false)) => a,
-            (Some(true), _) => !b,
-            (_, Some(true)) => !a,
-            _ if a == b => self.const_lit(false),
-            _ if a == !b => self.const_lit(true),
-            _ => {
-                let o = Lit::pos(self.cnf.fresh_var());
-                self.cnf.add_clause([!o, a, b]);
-                self.cnf.add_clause([!o, !a, !b]);
-                self.cnf.add_clause([o, !a, b]);
-                self.cnf.add_clause([o, a, !b]);
-                o
-            }
-        }
+    fn mux_gate(&mut self, c: AigLit, t: AigLit, e: AigLit) -> AigLit {
+        self.aig.mux(c, t, e)
     }
 
-    fn mux_gate(&mut self, c: Lit, t: Lit, e: Lit) -> Lit {
-        match self.lit_const(c) {
-            Some(true) => return t,
-            Some(false) => return e,
-            None => {}
-        }
-        if t == e {
-            return t;
-        }
-        let o = Lit::pos(self.cnf.fresh_var());
-        self.cnf.add_clause([!c, !t, o]);
-        self.cnf.add_clause([!c, t, !o]);
-        self.cnf.add_clause([c, !e, o]);
-        self.cnf.add_clause([c, e, !o]);
-        // Redundant but propagation-friendly clauses.
-        self.cnf.add_clause([!t, !e, o]);
-        self.cnf.add_clause([t, e, !o]);
-        o
-    }
-
-    fn full_adder(&mut self, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
+    fn full_adder(&mut self, a: AigLit, b: AigLit, cin: AigLit) -> (AigLit, AigLit) {
         let axb = self.xor_gate(a, b);
         let sum = self.xor_gate(axb, cin);
         let c1 = self.and_gate(a, b);
@@ -195,7 +192,7 @@ impl BitBlaster {
         (sum, cout)
     }
 
-    fn adder(&mut self, a: &[Lit], b: &[Lit], mut carry: Lit) -> (Vec<Lit>, Lit) {
+    fn adder(&mut self, a: &[AigLit], b: &[AigLit], mut carry: AigLit) -> (Vec<AigLit>, AigLit) {
         debug_assert_eq!(a.len(), b.len());
         let mut out = Vec::with_capacity(a.len());
         for i in 0..a.len() {
@@ -206,25 +203,25 @@ impl BitBlaster {
         (out, carry)
     }
 
-    fn negate_bits(&mut self, a: &[Lit]) -> Vec<Lit> {
-        let inverted: Vec<Lit> = a.iter().map(|&l| !l).collect();
+    fn negate_bits(&mut self, a: &[AigLit]) -> Vec<AigLit> {
+        let inverted: Vec<AigLit> = a.iter().map(|&l| !l).collect();
         let zeros = vec![self.const_lit(false); a.len()];
         let (out, _) = self.adder(&inverted, &zeros, self.const_lit(true));
         out
     }
 
     /// Carry out of `a + ~b + 1`; equals 1 iff `a >= b` (unsigned).
-    fn uge_carry(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
-        let inverted: Vec<Lit> = b.iter().map(|&l| !l).collect();
+    fn uge_carry(&mut self, a: &[AigLit], b: &[AigLit]) -> AigLit {
+        let inverted: Vec<AigLit> = b.iter().map(|&l| !l).collect();
         let (_, carry) = self.adder(a, &inverted, self.const_lit(true));
         carry
     }
 
-    fn ult_gate(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+    fn ult_gate(&mut self, a: &[AigLit], b: &[AigLit]) -> AigLit {
         !self.uge_carry(a, b)
     }
 
-    fn eq_gate(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+    fn eq_gate(&mut self, a: &[AigLit], b: &[AigLit]) -> AigLit {
         let mut acc = self.const_lit(true);
         for i in 0..a.len() {
             let x = self.xor_gate(a[i], b[i]);
@@ -233,12 +230,18 @@ impl BitBlaster {
         acc
     }
 
-    fn mux_bits(&mut self, c: Lit, t: &[Lit], e: &[Lit]) -> Vec<Lit> {
+    fn mux_bits(&mut self, c: AigLit, t: &[AigLit], e: &[AigLit]) -> Vec<AigLit> {
         debug_assert_eq!(t.len(), e.len());
         (0..t.len()).map(|i| self.mux_gate(c, t[i], e[i])).collect()
     }
 
-    fn shifter(&mut self, a: &[Lit], amount: &[Lit], arithmetic: bool, left: bool) -> Vec<Lit> {
+    fn shifter(
+        &mut self,
+        a: &[AigLit],
+        amount: &[AigLit],
+        arithmetic: bool,
+        left: bool,
+    ) -> Vec<AigLit> {
         let w = a.len();
         let fill = if arithmetic {
             a[w - 1]
@@ -281,13 +284,13 @@ impl BitBlaster {
         self.mux_bits(overflow, &fill_vec, &cur)
     }
 
-    fn constant_bits(&mut self, value: u64, width: u32) -> Vec<Lit> {
+    fn constant_bits(&mut self, value: u64, width: u32) -> Vec<AigLit> {
         (0..width)
             .map(|i| self.const_lit((value >> i) & 1 == 1))
             .collect()
     }
 
-    fn multiplier(&mut self, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+    fn multiplier(&mut self, a: &[AigLit], b: &[AigLit]) -> Vec<AigLit> {
         let w = a.len();
         let mut acc = vec![self.const_lit(false); w];
         for i in 0..w {
@@ -303,7 +306,7 @@ impl BitBlaster {
     }
 
     /// Restoring division; returns (quotient, remainder).
-    fn divider(&mut self, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
+    fn divider(&mut self, a: &[AigLit], b: &[AigLit]) -> (Vec<AigLit>, Vec<AigLit>) {
         let w = a.len();
         let f = self.const_lit(false);
         let mut remainder = vec![f; w];
@@ -329,12 +332,31 @@ impl BitBlaster {
         (quotient, remainder)
     }
 
+    /// Allocates the AIG inputs and CNF variables of a fresh variable term's
+    /// bits.  CNF variables are materialised eagerly so model read-back
+    /// literals exist even for variables no emitted clause mentions.
+    fn fresh_var_bits(&mut self, t: TermId, width: u32) -> Vec<AigLit> {
+        let mut aig_bits = Vec::with_capacity(width as usize);
+        let mut cnf_bits = Vec::with_capacity(width as usize);
+        for _ in 0..width {
+            let input = self.aig.input();
+            let v = self.cnf.fresh_var();
+            self.emit.register_input(input, v);
+            aig_bits.push(input);
+            cnf_bits.push(Lit::pos(v));
+        }
+        self.var_bits.insert(t, cnf_bits);
+        aig_bits
+    }
+
     // ------------------------------------------------------------------
     // Term translation
     // ------------------------------------------------------------------
 
-    /// Translates a boolean term into a single literal.
-    pub fn blast_bool(&mut self, tm: &TermManager, t: TermId) -> Lit {
+    /// Translates a boolean term into a single AIG literal (no clauses are
+    /// emitted — see [`assert_true`](Self::assert_true) /
+    /// [`assume_lit`](Self::assume_lit)).
+    pub fn blast_bool(&mut self, tm: &TermManager, t: TermId) -> AigLit {
         if let Some(&l) = self.bool_cache.get(&t) {
             self.cache_hits += 1;
             return l;
@@ -342,11 +364,7 @@ impl BitBlaster {
         debug_assert!(tm.sort(t).is_bool(), "blast_bool on a bit-vector term");
         let l = match tm.term(t).op.clone() {
             Op::BoolConst(b) => self.const_lit(b),
-            Op::Var { .. } => {
-                let v = Lit::pos(self.cnf.fresh_var());
-                self.var_bits.insert(t, vec![v]);
-                v
-            }
+            Op::Var { .. } => self.fresh_var_bits(t, 1)[0],
             Op::Not(a) => {
                 let a = self.blast_bool(tm, a);
                 !a
@@ -408,7 +426,7 @@ impl BitBlaster {
         l
     }
 
-    fn slt_gate(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+    fn slt_gate(&mut self, a: &[AigLit], b: &[AigLit]) -> AigLit {
         let w = a.len();
         let sa = a[w - 1];
         let sb = b[w - 1];
@@ -417,20 +435,16 @@ impl BitBlaster {
         self.mux_gate(signs_differ, sa, ult)
     }
 
-    /// Translates a bit-vector term into its literal vector (LSB first).
-    pub fn blast_bits(&mut self, tm: &TermManager, t: TermId) -> Vec<Lit> {
+    /// Translates a bit-vector term into its AIG literal vector (LSB first).
+    pub fn blast_bits(&mut self, tm: &TermManager, t: TermId) -> Vec<AigLit> {
         if let Some(bits) = self.bits_cache.get(&t) {
             self.cache_hits += 1;
             return bits.clone();
         }
         let width = tm.width(t);
-        let bits: Vec<Lit> = match tm.term(t).op.clone() {
+        let bits: Vec<AigLit> = match tm.term(t).op.clone() {
             Op::BvConst { value, .. } => self.constant_bits(value, width),
-            Op::Var { .. } => {
-                let bits: Vec<Lit> = (0..width).map(|_| Lit::pos(self.cnf.fresh_var())).collect();
-                self.var_bits.insert(t, bits.clone());
-                bits
-            }
+            Op::Var { .. } => self.fresh_var_bits(t, width),
             Op::BvNot(a) => {
                 let a = self.blast_bits(tm, a);
                 a.iter().map(|&l| !l).collect()
@@ -464,7 +478,7 @@ impl BitBlaster {
             }
             Op::BvSub(a, b) => {
                 let (a, b) = (self.blast_bits(tm, a), self.blast_bits(tm, b));
-                let inverted: Vec<Lit> = b.iter().map(|&l| !l).collect();
+                let inverted: Vec<AigLit> = b.iter().map(|&l| !l).collect();
                 let (out, _) = self.adder(&a, &inverted, self.const_lit(true));
                 out
             }
@@ -538,10 +552,17 @@ mod tests {
     /// disequality and expecting UNSAT.
     fn prove_equal(tm: &mut TermManager, lhs: TermId, rhs: TermId) {
         let goal = tm.neq(lhs, rhs);
-        let mut bb = BitBlaster::new();
-        bb.assert_true(tm, goal);
-        let mut sat = SatSolver::from_cnf(bb.into_cnf());
-        assert_eq!(sat.solve(), SolveOutcome::Unsat, "terms are not equivalent");
+        for aig in [true, false] {
+            let mut bb = BitBlaster::new();
+            bb.set_aig(aig);
+            bb.assert_true(tm, goal);
+            let mut sat = SatSolver::from_cnf(bb.into_cnf());
+            assert_eq!(
+                sat.solve(),
+                SolveOutcome::Unsat,
+                "terms are not equivalent (aig={aig})"
+            );
+        }
     }
 
     fn find_model(tm: &TermManager, goal: TermId) -> Option<Assignment> {
@@ -687,6 +708,83 @@ mod tests {
         let goal = tm.and(neg, big);
         let env = find_model(&tm, goal).expect("negative bytes exist");
         assert!(env[&x] >= 128);
+    }
+
+    #[test]
+    fn strash_shares_identical_logic_and_shrinks_the_cnf() {
+        // `x == y` and `(x ^ y) == 0` are distinct terms (the term cache
+        // cannot merge them) with identical gate structure: the equality
+        // comparator is a conjunction over per-bit xnors, and so is the
+        // zero-test of the xor.  Structural hashing makes the second
+        // assertion reach the nodes of the first, so it adds no nodes and
+        // no clauses; direct blasting rebuilds and re-encodes everything.
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(8));
+        let y = tm.var("y", Sort::BitVec(8));
+        let e1 = tm.eq(x, y);
+        let xo = tm.bv_xor(x, y);
+        let z = tm.zero(8);
+        let e2 = tm.eq(xo, z);
+        assert_ne!(e1, e2, "distinct at the term level");
+        let mut on = BitBlaster::new();
+        on.assert_true(&tm, e1);
+        let nodes_before = on.aig_stats().nodes;
+        let clauses_before = on.cnf().num_clauses();
+        on.assert_true(&tm, e2);
+        assert_eq!(
+            on.aig_stats().nodes,
+            nodes_before,
+            "strash must share the whole comparator"
+        );
+        assert_eq!(on.cnf().num_clauses(), clauses_before + 1, "one unit only");
+        assert!(on.aig_stats().strash_hits > 0);
+        let mut off = BitBlaster::new();
+        off.set_aig(false);
+        off.assert_true(&tm, e1);
+        let nodes_before_off = off.aig_stats().nodes;
+        off.assert_true(&tm, e2);
+        assert!(
+            off.aig_stats().nodes > nodes_before_off,
+            "direct blasting rebuilds the comparator"
+        );
+        assert!(
+            on.cnf().num_clauses() < off.cnf().num_clauses(),
+            "shared definitions must shrink the CNF: {} vs {}",
+            on.cnf().num_clauses(),
+            off.cnf().num_clauses()
+        );
+    }
+
+    #[test]
+    fn assume_lit_polarities_compose_across_calls() {
+        // The same term assumed positively and (via a not-term) negatively:
+        // the second call only tops up the missing polarity clauses, and
+        // both behave like the term / its negation.
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(4));
+        let c3 = tm.bv_const(3, 4);
+        let is3 = tm.eq(x, c3);
+        let not3 = tm.not(is3);
+        let mut bb = BitBlaster::new();
+        let l_pos = bb.assume_lit(&tm, is3);
+        let l_neg = bb.assume_lit(&tm, not3);
+        assert_eq!(l_neg, !l_pos);
+        let bits = bb.var_encodings()[&x].clone();
+        let mut sat = SatSolver::from_cnf(bb.into_cnf());
+        assert_eq!(sat.solve_under_assumptions(&[l_pos]), SolveOutcome::Sat);
+        let val = |sat: &SatSolver| -> u64 {
+            bits.iter()
+                .enumerate()
+                .map(|(i, &l)| u64::from(sat.value_of(l.var()) == l.is_positive()) << i)
+                .sum()
+        };
+        assert_eq!(val(&sat), 3);
+        assert_eq!(sat.solve_under_assumptions(&[l_neg]), SolveOutcome::Sat);
+        assert_ne!(val(&sat), 3);
+        assert_eq!(
+            sat.solve_under_assumptions(&[l_pos, l_neg]),
+            SolveOutcome::Unsat
+        );
     }
 
     #[test]

@@ -18,11 +18,16 @@
 //!   [`unsat_core`](IncrementalSolver::unsat_core) names the subset of
 //!   assumed terms that participated in the final conflict.
 //!
-//! The Tseitin encoding used by the blaster is biconditional (each gate
-//! literal is equivalent to its gate), so assuming the literal of a cached
-//! boolean term is exactly "this term holds" — no auxiliary activation
-//! variables are needed, and the same term can be re-assumed for free in any
-//! later call.
+//! The blaster lowers terms to a structurally hashed and-inverter graph and
+//! emits CNF through a polarity-aware Tseitin pass whose node→variable
+//! mapping is append-only: clauses are only ever added, so learnt clauses,
+//! VSIDS state and the clause-database reduction machinery stay valid across
+//! checks.  Assuming the literal [`check_assuming`] obtains for a term is
+//! exactly "this term holds" (the emission call tops up whatever polarity
+//! implications that occurrence needs) — no auxiliary activation variables,
+//! and re-assuming the same term in a later call is free.
+//!
+//! [`check_assuming`]: IncrementalSolver::check_assuming
 
 use std::time::{Duration, Instant};
 
@@ -129,6 +134,15 @@ impl IncrementalSolver {
             last_core: Vec::new(),
             stats: SolverReuseStats::default(),
         }
+    }
+
+    /// Turns the gate-level AIG reductions of the underlying bit-blaster on
+    /// or off (on by default): structural hashing, local rewriting and
+    /// polarity-aware Tseitin.  Off is the direct-blasting baseline of the
+    /// `aig_off` differential/bench arms.  Must be called before anything is
+    /// asserted or checked (the blaster panics otherwise).
+    pub fn set_aig(&mut self, on: bool) {
+        self.blaster.set_aig(on);
     }
 
     /// Turns the word-level simplification pass on or off (on by default).
@@ -245,7 +259,7 @@ impl IncrementalSolver {
             } else {
                 t
             };
-            let l = self.blaster.blast_bool(tm, r);
+            let l = self.blaster.assume_lit(tm, r);
             assumption_lits.push((l, t));
         }
         let new_clauses = self.sync_clauses();
@@ -258,6 +272,7 @@ impl IncrementalSolver {
         self.stats.encode.terms_cached = self.blaster.cached_terms();
         self.stats.encode.terms_reused = self.blaster.cache_hits();
         self.stats.encode.rewrite = self.rewriter.stats();
+        self.stats.encode.aig = self.blaster.aig_stats();
         self.stats.clauses_last_check = new_clauses;
         self.stats.learnt_retained = self.sat.num_learnt() as u64;
         let reduce = self.sat.reduce_stats();

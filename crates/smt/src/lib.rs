@@ -14,8 +14,15 @@
 //!   both solver front-ends (`set_simplify(false)` turns it off),
 //! * [`eval`](concrete::eval) — a concrete evaluator used for counterexample
 //!   handling and for differential testing of the bit-blaster,
-//! * [`BitBlaster`](bitblast::BitBlaster) — Tseitin conversion of term graphs
-//!   to CNF,
+//! * [`BitBlaster`](bitblast::BitBlaster) — gate-level lowering of term
+//!   graphs into a structurally hashed and-inverter graph ([`Aig`]): node
+//!   creation runs constant propagation and a one-/two-level rewrite
+//!   catalogue, and the strash table shares identical logic across frames
+//!   and datapaths before any clause exists,
+//! * [`AigCnf`] — the polarity-aware Tseitin pass from the graph to CNF:
+//!   one definition per shared node, only the implications each polarity
+//!   needs, and an append-only node→variable mapping so incremental SAT
+//!   state survives later emissions,
 //! * [`sat::SatSolver`] — a CDCL SAT solver (two-watched literals,
 //!   first-UIP learning, VSIDS, phase saving, Luby restarts, and MiniSat-style
 //!   incremental solving under assumptions with unsat cores),
@@ -91,6 +98,7 @@
 //! assert!(solver.stats().encode.total_reuse() > 0);
 //! ```
 
+pub mod aig;
 pub mod bitblast;
 pub mod cnf;
 pub mod concrete;
@@ -102,6 +110,7 @@ pub mod sort;
 pub mod subst;
 pub mod term;
 
+pub use aig::{Aig, AigCnf, AigLit, AigNode, AigStats, GateKind};
 pub use cnf::{Clause, Cnf, Lit, Var};
 pub use incremental::{IncrementalSolver, SolverReuseStats};
 pub use rewrite::{EncodeStats, RewriteStats, Rewriter};

@@ -97,6 +97,10 @@ pub struct EncodeStats {
     pub terms_reused: u64,
     /// Word-level rewriting counters.
     pub rewrite: RewriteStats,
+    /// Gate-level AIG counters: nodes created, strash hits, constants
+    /// folded, local rewrites, CNF variables/clauses emitted by the
+    /// polarity-aware Tseitin pass.
+    pub aig: crate::aig::AigStats,
 }
 
 impl EncodeStats {
@@ -105,6 +109,7 @@ impl EncodeStats {
         self.terms_cached += other.terms_cached;
         self.terms_reused += other.terms_reused;
         self.rewrite.absorb(&other.rewrite);
+        self.aig.absorb(&other.aig);
     }
 
     /// Total encoding work avoided: blaster cache hits plus rewrite cache
@@ -118,7 +123,8 @@ impl fmt::Display for EncodeStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "cache {}/{}  rewritten {} (rules {}, pins {}, dropped {}, coi-dropped {})",
+            "cache {}/{}  rewritten {} (rules {}, pins {}, dropped {}, coi-dropped {})  \
+             aig {} (strash {}, folded {}, rw {})  cnf {}/{}",
             self.terms_cached,
             self.terms_reused,
             self.rewrite.terms_rewritten,
@@ -126,6 +132,12 @@ impl fmt::Display for EncodeStats {
             self.rewrite.pins,
             self.rewrite.assertions_dropped,
             self.rewrite.coi_dropped_updates,
+            self.aig.nodes,
+            self.aig.strash_hits,
+            self.aig.consts_folded,
+            self.aig.rewrites,
+            self.aig.cnf_vars,
+            self.aig.cnf_clauses,
         )
     }
 }

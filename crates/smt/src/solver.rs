@@ -89,6 +89,9 @@ pub struct SolverStats {
     /// Word-level rewriting work of this check (all zero with
     /// [`Solver::set_simplify`] off).
     pub rewrite: RewriteStats,
+    /// Gate-level AIG work of this check: nodes created, strash hits,
+    /// constants folded, local rewrites, CNF vars/clauses emitted.
+    pub aig: crate::aig::AigStats,
     /// Wall-clock time of the check.
     pub duration: Duration,
 }
@@ -108,6 +111,7 @@ pub struct Solver {
     last_model: Option<Model>,
     stats: SolverStats,
     simplify: bool,
+    aig: bool,
 }
 
 impl Default for Solver {
@@ -126,7 +130,16 @@ impl Solver {
             last_model: None,
             stats: SolverStats::default(),
             simplify: true,
+            aig: true,
         }
+    }
+
+    /// Turns the gate-level AIG reductions of the per-check bit-blaster on
+    /// or off (on by default): structural hashing, local rewriting and
+    /// polarity-aware Tseitin.  Off is the direct-blasting baseline of the
+    /// `aig_off` differential/bench arms.
+    pub fn set_aig(&mut self, on: bool) {
+        self.aig = on;
     }
 
     /// Turns the word-level simplification pass of [`check`](Self::check) on
@@ -189,9 +202,11 @@ impl Solver {
             None => self.assertions.clone(),
         };
         let mut blaster = BitBlaster::new();
+        blaster.set_aig(self.aig);
         for &a in &to_assert {
             blaster.assert_true(tm, a);
         }
+        let aig_stats = blaster.aig_stats();
         let (cnf, var_encodings) = blaster.into_parts();
         let cnf_vars = u64::from(cnf.num_vars());
         let cnf_clauses = cnf.num_clauses() as u64;
@@ -206,6 +221,7 @@ impl Solver {
             decisions: sat.num_decisions(),
             propagations: sat.num_propagations(),
             rewrite: rewriter.as_ref().map(Rewriter::stats).unwrap_or_default(),
+            aig: aig_stats,
             duration: start.elapsed(),
         };
         match outcome {

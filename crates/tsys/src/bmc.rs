@@ -74,6 +74,13 @@ pub struct BmcConfig {
     /// rewriting pass but never applies the cone-of-influence reduction, so
     /// it stays a faithful differential baseline for the unrolling itself.
     pub simplify: bool,
+    /// Gate-level AIG reductions in the solvers (on by default): structural
+    /// hashing, local rewriting and polarity-aware Tseitin below the word
+    /// level.  Off is the direct-blasting baseline of the `aig_off`
+    /// differential/bench arms.  Orthogonal to
+    /// [`simplify`](BmcConfig::simplify), which governs the word-level pass
+    /// and the cone-of-influence reduction.
+    pub aig: bool,
     /// When set, decays the persistent SAT branching activity of every
     /// pre-existing CNF variable by this factor (in `(0, 1]`) each time
     /// [`BmcMode::CumulativeIncremental`] extends the unrolling by new
@@ -90,6 +97,7 @@ impl Default for BmcConfig {
             start_bound: 0,
             mode: BmcMode::PerDepth,
             simplify: true,
+            aig: true,
             frame_rescore: None,
         }
     }
@@ -177,11 +185,13 @@ impl BmcResult {
 #[derive(Debug, Clone)]
 struct CumulativeState {
     solver: IncrementalSolver,
-    /// Transition frames asserted so far (`0..frames_asserted`).
-    frames_asserted: usize,
+    /// Per asserted frame, the remaining depth its next-state updates are
+    /// topped up to (`levels.len()` frames asserted so far).
+    levels: Vec<usize>,
     /// Shallowest depth whose bad state has not been proven unreachable yet.
     next_unproven: usize,
-    /// Next-state updates dropped by the cone-of-influence pass so far.
+    /// Next-state updates dropped by the cone-of-influence pass at the
+    /// current frame levels.
     coi_dropped: u64,
 }
 
@@ -249,9 +259,9 @@ impl Bmc {
         self.stats = BmcStats::default();
         let mut unroller = Unroller::new(ts);
         let coi = self.config.simplify.then(|| ts.cone_of_influence(tm));
-        let mut coi_dropped = 0u64;
 
         let mut solver = IncrementalSolver::new();
+        solver.set_aig(self.config.aig);
         solver.set_simplify(self.config.simplify);
         solver.set_conflict_limit(self.config.conflict_limit);
         solver.set_deadline(self.config.time_limit.map(|limit| start + limit));
@@ -259,18 +269,14 @@ impl Bmc {
         solver.assert_term(tm, init);
         let c0 = unroller.constraints_at(tm, 0);
         solver.assert_term(tm, c0);
-        // Transitions asserted so far: frames 0..frames_asserted.
-        let mut frames_asserted = 0usize;
+        // Per asserted frame, the remaining depth it is topped up to.
+        let mut levels: Vec<usize> = Vec::new();
 
         for bound in self.config.start_bound..=max_bound {
-            while frames_asserted < bound {
-                let k = frames_asserted;
-                let tr = frame_transition(tm, &mut unroller, k, coi.as_ref(), &mut coi_dropped);
-                solver.assert_term(tm, tr);
-                let cs = unroller.constraints_at(tm, k + 1);
-                solver.assert_term(tm, cs);
-                frames_asserted += 1;
+            for t in extend_unrolling(tm, &mut unroller, coi.as_ref(), &mut levels, bound) {
+                solver.assert_term(tm, t);
             }
+            let coi_dropped = coi_dropped_total(coi.as_ref(), &levels);
             if let Some(limit) = self.config.time_limit {
                 if start.elapsed() > limit {
                     self.stats.solver = solver.stats();
@@ -349,6 +355,7 @@ impl Bmc {
             let bad = unroller.bad_at(tm, bound);
             let query_start = Instant::now();
             let mut solver = Solver::new();
+            solver.set_aig(self.config.aig);
             solver.set_simplify(self.config.simplify);
             solver.set_conflict_limit(self.config.conflict_limit);
             solver.set_deadline(self.config.time_limit.map(|limit| start + limit));
@@ -359,6 +366,16 @@ impl Bmc {
             let result = solver.check(tm);
             self.stats.queries += 1;
             self.stats.conflicts += solver.stats().conflicts;
+            // A scratch solver re-encodes the whole prefix per depth; sum
+            // the emissions so the sweep's total encoding cost is readable.
+            self.stats
+                .solver
+                .encode
+                .rewrite
+                .absorb(&solver.stats().rewrite);
+            self.stats.solver.encode.aig.absorb(&solver.stats().aig);
+            self.stats.solver.cnf_vars += solver.stats().cnf_vars;
+            self.stats.solver.cnf_clauses += solver.stats().cnf_clauses;
             self.stats.deepest_bound = bound;
             self.stats.depths.push(DepthStats {
                 bound,
@@ -395,9 +412,9 @@ impl Bmc {
         self.stats = BmcStats::default();
         let mut unroller = Unroller::new(ts);
         let coi = self.config.simplify.then(|| ts.cone_of_influence(tm));
-        let mut coi_dropped = 0u64;
 
         let mut solver = Solver::new();
+        solver.set_aig(self.config.aig);
         solver.set_simplify(self.config.simplify);
         solver.set_conflict_limit(self.config.conflict_limit);
         solver.set_deadline(self.config.time_limit.map(|limit| start + limit));
@@ -406,12 +423,11 @@ impl Bmc {
         let c0 = unroller.constraints_at(tm, 0);
         solver.assert_term(tm, c0);
         let mut bads = Vec::new();
-        for k in 0..max_bound {
-            let tr = frame_transition(tm, &mut unroller, k, coi.as_ref(), &mut coi_dropped);
-            solver.assert_term(tm, tr);
-            let cs = unroller.constraints_at(tm, k + 1);
-            solver.assert_term(tm, cs);
+        let mut levels: Vec<usize> = Vec::new();
+        for t in extend_unrolling(tm, &mut unroller, coi.as_ref(), &mut levels, max_bound) {
+            solver.assert_term(tm, t);
         }
+        let coi_dropped = coi_dropped_total(coi.as_ref(), &levels);
         let mut any_bad = tm.fls();
         for k in self.config.start_bound..=max_bound {
             let bad = unroller.bad_at(tm, k);
@@ -425,6 +441,9 @@ impl Bmc {
         self.stats.deepest_bound = max_bound;
         self.stats.solver.encode.rewrite = solver.stats().rewrite;
         self.stats.solver.encode.rewrite.coi_dropped_updates = coi_dropped;
+        self.stats.solver.encode.aig = solver.stats().aig;
+        self.stats.solver.cnf_vars = solver.stats().cnf_vars;
+        self.stats.solver.cnf_clauses = solver.stats().cnf_clauses;
         self.stats.depths.push(DepthStats {
             bound: max_bound,
             conflicts: solver.stats().conflicts,
@@ -471,6 +490,7 @@ impl Bmc {
 
         if self.cumulative.is_none() {
             let mut solver = IncrementalSolver::new();
+            solver.set_aig(self.config.aig);
             solver.set_simplify(self.config.simplify);
             let init = unroller.init(tm);
             solver.assert_term(tm, init);
@@ -478,7 +498,7 @@ impl Bmc {
             solver.assert_term(tm, c0);
             self.cumulative = Some(CumulativeState {
                 solver,
-                frames_asserted: 0,
+                levels: Vec::new(),
                 next_unproven: self.config.start_bound,
                 coi_dropped: 0,
             });
@@ -489,19 +509,21 @@ impl Bmc {
         solver.set_deadline(self.config.time_limit.map(|limit| start + limit));
 
         let var_watermark = solver.num_cnf_vars();
-        let frames_before = state.frames_asserted;
-        while state.frames_asserted < max_bound {
-            let k = state.frames_asserted;
-            let tr = frame_transition(tm, &mut unroller, k, coi.as_ref(), &mut state.coi_dropped);
-            solver.assert_term(tm, tr);
-            let cs = unroller.constraints_at(tm, k + 1);
-            solver.assert_term(tm, cs);
-            state.frames_asserted += 1;
+        let frames_before = state.levels.len();
+        for t in extend_unrolling(
+            tm,
+            &mut unroller,
+            coi.as_ref(),
+            &mut state.levels,
+            max_bound,
+        ) {
+            solver.assert_term(tm, t);
         }
+        state.coi_dropped = coi_dropped_total(coi.as_ref(), &state.levels);
         if let Some(factor) = self.config.frame_rescore {
             // The unrolling grew: decay the branching activity accumulated
             // on the old frames so VSIDS re-centres on the new ones.
-            if state.frames_asserted > frames_before && var_watermark > 0 {
+            if state.levels.len() > frames_before && var_watermark > 0 {
                 solver.rescale_activities_before(var_watermark, factor);
             }
         }
@@ -562,32 +584,73 @@ impl Bmc {
     }
 }
 
-/// The frame-`k` transition under an optional cone-of-influence
-/// restriction, adding the per-frame dropped-update count to `coi_dropped`
-/// (one definition of the dispatch for all BMC modes).
-fn frame_transition(
+/// Extends the asserted unrolling so that frames `0..bound` cover the
+/// per-depth cone of influence at that bound: the update into frame `k + 1`
+/// is needed only for variables within `bound - k - 1` remaining transition
+/// steps of a bad state or constraint ([`CoiInfo::keeps_within`]).  New
+/// frames contribute their depth-restricted transition plus the next
+/// frame's constraints; frames asserted by an earlier, shallower bound
+/// contribute only the refinement delta for the levels they gained
+/// ([`Unroller::transition_refinement`]), so an incremental solver never
+/// re-asserts what it already has.  `levels[k]` tracks the remaining depth
+/// frame `k` is topped up to.  Without a cone (`coi == None`, preprocessing
+/// off) frames are asserted whole, once.  Returns the terms to assert, in
+/// order — one definition of the frame dispatch for all BMC modes.
+fn extend_unrolling(
     tm: &mut TermManager,
     unroller: &mut Unroller<'_>,
-    k: usize,
     coi: Option<&CoiInfo>,
-    coi_dropped: &mut u64,
-) -> TermId {
-    match coi {
-        Some(coi) => {
-            *coi_dropped += coi.dropped as u64;
-            unroller.transition_within(tm, k, coi)
+    levels: &mut Vec<usize>,
+    bound: usize,
+) -> Vec<TermId> {
+    let mut out = Vec::new();
+    for k in 0..bound {
+        // The per-frame cone saturates at the largest finite distance:
+        // capping here makes old frames' levels converge, so deep sweeps
+        // skip them instead of re-filtering every variable per bound.
+        let required = match coi {
+            Some(coi) => (bound - k - 1).min(coi.max_dist()),
+            None => 0, // whole frames are asserted once, never refined
+        };
+        if k >= levels.len() {
+            let tr = match coi {
+                Some(coi) => unroller.transition_within(tm, k, coi, required),
+                None => unroller.transition(tm, k),
+            };
+            out.push(tr);
+            out.push(unroller.constraints_at(tm, k + 1));
+            levels.push(required);
+        } else if levels[k] < required {
+            if let Some(coi) = coi {
+                out.push(unroller.transition_refinement(tm, k, coi, levels[k], required));
+            }
+            levels[k] = required;
         }
-        None => unroller.transition(tm, k),
+    }
+    out
+}
+
+/// Total next-state updates dropped across the asserted frames at their
+/// current refinement levels.
+fn coi_dropped_total(coi: Option<&CoiInfo>, levels: &[usize]) -> u64 {
+    match coi {
+        Some(coi) => levels.iter().map(|&r| coi.dropped_within(r) as u64).sum(),
+        None => 0,
     }
 }
 
 /// Reads the counterexample trace out of a model.
 ///
-/// When a cone-of-influence reduction was active, the dropped state
-/// variables have no encoded frame copies beyond frame 0 — their values are
-/// reconstructed by evaluating their next-state functions forward over the
-/// (progressively extended) assignment, so the witness is complete and
-/// consistent with a concrete replay either way.
+/// When a cone-of-influence reduction was active, dropped state variables
+/// have no encoded frame copies — statically dropped ones beyond frame 0,
+/// per-depth dropped ones in the frames whose remaining depth was below
+/// their cone distance.  Their values are reconstructed by evaluating their
+/// next-state functions forward over the (progressively extended)
+/// assignment, so the witness is complete and consistent with a concrete
+/// replay either way.  Variables the solver did encode (e.g. because the
+/// persistent cumulative solver was topped up past this counterexample's
+/// bound) re-evaluate to their model values — the asserted frame equality
+/// forces agreement — so the overwrite is harmless.
 fn extract_witness(
     tm: &mut TermManager,
     ts: &TransitionSystem,
@@ -598,14 +661,13 @@ fn extract_witness(
 ) -> Witness {
     let mut env: Assignment = model.assignment().clone();
     if let Some(coi) = coi {
-        let dropped: Vec<_> = ts
-            .state_vars()
-            .iter()
-            .copied()
-            .filter(|sv| !coi.keeps(sv.current))
-            .collect();
+        let state_vars: Vec<_> = ts.state_vars().to_vec();
         for k in 1..=bound {
-            for sv in &dropped {
+            let remaining = bound - k;
+            for sv in &state_vars {
+                if coi.keeps_within(sv.current, remaining) {
+                    continue;
+                }
                 let next_at = unroller.term_at(tm, sv.next, k - 1);
                 let value = concrete::eval(tm, next_at, &env);
                 let var_at = unroller.var_at(tm, sv.current, k);
@@ -968,6 +1030,149 @@ mod tests {
         assert_eq!(shadows, vec![0, 0, 2, 6]);
         let deads: Vec<u64> = witness.frames().iter().map(|f| f.state("dead")).collect();
         assert_eq!(deads, vec![0, 1, 2, 3]);
+    }
+
+    /// A dependency chain `c -> b -> a` with only `a` observed by the bad
+    /// state: dist(a)=0, dist(b)=1, dist(c)=2, nothing statically dropped.
+    /// a: 0,0,0,1,4,10,20,…  b: 0,0,1,3,6,…  c: 0,1,2,3,…
+    fn chain_system(tm: &mut TermManager, target: u64) -> TransitionSystem {
+        let a = tm.var("a", Sort::BitVec(8));
+        let b = tm.var("b", Sort::BitVec(8));
+        let c = tm.var("c", Sort::BitVec(8));
+        let one = tm.one(8);
+        let zero = tm.zero(8);
+        let next_a = tm.bv_add(a, b);
+        let next_b = tm.bv_add(b, c);
+        let next_c = tm.bv_add(c, one);
+        let tgt = tm.bv_const(target, 8);
+        let bad = tm.eq(a, tgt);
+        let mut ts = TransitionSystem::new();
+        ts.add_state_var(tm, a, Some(zero), next_a);
+        ts.add_state_var(tm, b, Some(zero), next_b);
+        ts.add_state_var(tm, c, Some(zero), next_c);
+        ts.add_bad(bad);
+        ts
+    }
+
+    #[test]
+    fn per_depth_refinement_drops_beyond_the_static_cone() {
+        // Every variable is in the static cone (static dropped == 0), yet
+        // the per-depth refinement drops the tail frames' b/c updates; the
+        // verdicts must match the unreduced scratch baseline either way.
+        for target in [4u64, 3] {
+            // a reaches 4 at depth 4; it never equals 3
+            let mut tm = TermManager::new();
+            let ts = chain_system(&mut tm, target);
+            assert_eq!(ts.cone_of_influence(&tm).dropped, 0);
+            let mut refined = Bmc::new(BmcConfig::default());
+            let got = refined.check(&mut tm, &ts, 6);
+            assert!(
+                refined.stats().solver.encode.rewrite.coi_dropped_updates > 0,
+                "tail-frame b/c updates must be dropped per depth"
+            );
+            let mut tm2 = TermManager::new();
+            let ts2 = chain_system(&mut tm2, target);
+            let mut full = Bmc::new(BmcConfig {
+                mode: BmcMode::PerDepthScratch,
+                simplify: false,
+                ..BmcConfig::default()
+            });
+            let want = full.check(&mut tm2, &ts2, 6);
+            match (&got, &want) {
+                (BmcResult::Counterexample(a), BmcResult::Counterexample(b)) => {
+                    assert_eq!(a.num_steps(), b.num_steps(), "target {target}");
+                }
+                (
+                    BmcResult::NoCounterexample { bound: a },
+                    BmcResult::NoCounterexample { bound: b },
+                ) => assert_eq!(a, b),
+                other => panic!("verdicts diverge for target {target}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn per_depth_refinement_witnesses_reconstruct_tail_frames() {
+        // The counterexample ends at depth 4, where the last frames' b/c
+        // updates were never encoded — the witness must still carry their
+        // forward-evaluated values.
+        let mut tm = TermManager::new();
+        let ts = chain_system(&mut tm, 4);
+        let mut bmc = Bmc::new(BmcConfig::default());
+        let witness = match bmc.check(&mut tm, &ts, 6) {
+            BmcResult::Counterexample(w) => w,
+            other => panic!("expected a counterexample, got {other:?}"),
+        };
+        assert_eq!(witness.num_steps(), 4);
+        let values =
+            |name: &str| -> Vec<u64> { witness.frames().iter().map(|f| f.state(name)).collect() };
+        assert_eq!(values("a"), vec![0, 0, 0, 1, 4]);
+        assert_eq!(values("b"), vec![0, 0, 1, 3, 6]);
+        assert_eq!(values("c"), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cumulative_incremental_tops_refined_frames_up_across_bounds() {
+        // Growing max_bound calls on one persistent solver: every extension
+        // must top the old frames' cones up, so verdicts match a fresh
+        // per-depth run at every bound (both polarities appear: target 4 is
+        // reached at depth 4, so bounds 0..=3 are UNSAT, 4.. SAT).
+        let mut tm = TermManager::new();
+        let ts = chain_system(&mut tm, 4);
+        let mut cumulative = Bmc::new(BmcConfig {
+            mode: BmcMode::CumulativeIncremental,
+            ..BmcConfig::default()
+        });
+        for bound in 0..7 {
+            let got = cumulative.check(&mut tm, &ts, bound);
+            let mut tm2 = TermManager::new();
+            let ts2 = chain_system(&mut tm2, 4);
+            let mut per_depth = Bmc::new(BmcConfig::default());
+            let want = per_depth.check(&mut tm2, &ts2, bound);
+            match (&got, &want) {
+                (BmcResult::Counterexample(a), BmcResult::Counterexample(b)) => {
+                    assert_eq!(a.num_steps(), b.num_steps(), "bound {bound}");
+                }
+                (
+                    BmcResult::NoCounterexample { bound: a },
+                    BmcResult::NoCounterexample { bound: b },
+                ) => assert_eq!(a, b),
+                other => panic!("verdicts diverge at bound {bound}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn aig_off_is_a_faithful_baseline() {
+        for (target, constrain) in [(5u64, true), (50, true), (200, false)] {
+            let mut tm = TermManager::new();
+            let ts = counter_system(&mut tm, 8, target, constrain);
+            let mut on = Bmc::new(BmcConfig::default());
+            let got = on.check(&mut tm, &ts, 8);
+            let mut tm2 = TermManager::new();
+            let ts2 = counter_system(&mut tm2, 8, target, constrain);
+            let mut off = Bmc::new(BmcConfig {
+                aig: false,
+                ..BmcConfig::default()
+            });
+            let want = off.check(&mut tm2, &ts2, 8);
+            match (&got, &want) {
+                (BmcResult::Counterexample(a), BmcResult::Counterexample(b)) => {
+                    assert_eq!(a.num_steps(), b.num_steps(), "target {target}");
+                }
+                (
+                    BmcResult::NoCounterexample { bound: a },
+                    BmcResult::NoCounterexample { bound: b },
+                ) => assert_eq!(a, b),
+                other => panic!("verdicts diverge for target {target}: {other:?}"),
+            }
+            assert!(
+                on.stats().solver.encode.aig.strash_hits
+                    >= off.stats().solver.encode.aig.strash_hits,
+                "aig off must not structurally hash"
+            );
+            assert_eq!(off.stats().solver.encode.aig.strash_hits, 0);
+        }
     }
 
     #[test]

@@ -17,21 +17,65 @@ pub struct StateVar {
     pub next: TermId,
 }
 
-/// Result of [`TransitionSystem::cone_of_influence`]: which current-state
-/// variables the bounded model checker must keep, and how many it may drop.
+/// Result of [`TransitionSystem::cone_of_influence`]: how many transition
+/// steps each current-state variable needs to influence a bad state or an
+/// invariant constraint.
+///
+/// `dist(v) == 0` means `v` occurs directly in a bad-state property or a
+/// constraint; `dist(v) == d` means the shortest dependency chain from `v`
+/// through next-state functions to such a root has `d` steps.  Variables
+/// with no entry cannot influence the roots at all (the static cone).  The
+/// bounded model checker uses the distances *per frame*: the update into
+/// frame `k` of a depth-`b` unrolling only matters when
+/// `dist(v) <= b - k` — the remaining depth — so the last frames of a
+/// bounded check drop strictly more than the static fixpoint.
 #[derive(Debug, Clone)]
 pub struct CoiInfo {
-    /// Current-state variables whose next-state updates must be asserted.
-    pub keep: HashSet<TermId>,
-    /// Number of state variables outside the cone (their per-frame updates
-    /// can be dropped before encoding).
+    /// Current-state variable → distance (in transition steps) to the
+    /// nearest bad-state/constraint root.
+    dist: HashMap<TermId, usize>,
+    /// Total number of registered state variables.
+    num_state_vars: usize,
+    /// Largest finite distance in `dist` (0 when the cone is empty): past
+    /// this remaining depth the per-frame cone stops growing, so callers
+    /// can saturate their refinement levels here and skip no-op passes.
+    max_dist: usize,
+    /// Number of state variables outside the static cone (their per-frame
+    /// updates can always be dropped before encoding).
     pub dropped: usize,
 }
 
 impl CoiInfo {
-    /// Whether a state variable's update must be asserted.
+    /// Whether a state variable's update must be asserted at *some* frame
+    /// (the static cone).
     pub fn keeps(&self, current: TermId) -> bool {
-        self.keep.contains(&current)
+        self.dist.contains_key(&current)
+    }
+
+    /// The variable's distance to the nearest root, `None` outside the
+    /// static cone.
+    pub fn dist(&self, current: TermId) -> Option<usize> {
+        self.dist.get(&current).copied()
+    }
+
+    /// Whether a state variable's update must be asserted when `remaining`
+    /// transition steps are left below the bound.
+    pub fn keeps_within(&self, current: TermId, remaining: usize) -> bool {
+        self.dist.get(&current).is_some_and(|&d| d <= remaining)
+    }
+
+    /// Number of state variables whose update can be dropped at `remaining`
+    /// steps below the bound (static drops plus the per-depth refinement).
+    pub fn dropped_within(&self, remaining: usize) -> usize {
+        let kept = self.dist.values().filter(|&&d| d <= remaining).count();
+        self.num_state_vars - kept
+    }
+
+    /// The remaining depth at which the per-frame cone saturates: for
+    /// `remaining >= max_dist()` the kept set equals the static cone and no
+    /// later refinement can add anything.
+    pub fn max_dist(&self) -> usize {
+        self.max_dist
     }
 }
 
@@ -131,29 +175,35 @@ impl TransitionSystem {
             .find(|sv| tm.var_name(sv.current) == Some(name))
     }
 
-    /// Computes the static cone of influence of the bad-state properties.
+    /// Computes the layered cone of influence of the bad-state properties.
     ///
     /// A state variable is *kept* when it can reach a bad-state property or
     /// an invariant constraint through the next-state dependency graph
     /// (constraints must be roots: a constraint over a variable whose update
     /// was dropped could otherwise be satisfied by values the real update
-    /// forbids, creating spurious counterexamples).  The next-state update
-    /// of every other variable is a pure definition — the variable occurs in
-    /// no bad state, no constraint and no kept update — so dropping it from
-    /// the BMC unrolling preserves satisfiability frame for frame.  Initial
-    /// values stay asserted for all variables (frame 0 is shared), and the
-    /// model checker reconstructs dropped variables' trace values by
-    /// forward evaluation when it extracts a witness.
+    /// forbids, creating spurious counterexamples).  The breadth-first
+    /// search additionally records each kept variable's *distance* — how
+    /// many transition steps its value needs to propagate to a root — which
+    /// is what lets the model checker drop updates per frame: at remaining
+    /// depth `r` below the bound, only variables with distance `<= r` can
+    /// still matter.  The next-state update of every other variable is a
+    /// pure definition at that frame — the variable occurs in no bad state,
+    /// no constraint and no kept update of any later frame — so dropping it
+    /// preserves satisfiability frame for frame.  Initial values stay
+    /// asserted for all variables (frame 0 is shared), and the model checker
+    /// reconstructs dropped variables' trace values by forward evaluation
+    /// when it extracts a witness.
     pub fn cone_of_influence(&self, tm: &TermManager) -> CoiInfo {
         let state_set: HashSet<TermId> = self.state_vars.iter().map(|sv| sv.current).collect();
-        let mut keep: HashSet<TermId> = HashSet::new();
-        let mut worklist: Vec<TermId> = Vec::new();
+        let mut dist: HashMap<TermId, usize> = HashMap::new();
         let mut roots: Vec<TermId> = Vec::new();
         roots.extend(self.bad.iter().copied());
         roots.extend(self.constraints.iter().copied());
+        let mut frontier: Vec<TermId> = Vec::new();
         for v in tm.collect_vars(&roots) {
-            if state_set.contains(&v) && keep.insert(v) {
-                worklist.push(v);
+            if state_set.contains(&v) && !dist.contains_key(&v) {
+                dist.insert(v, 0);
+                frontier.push(v);
             }
         }
         let next_of: HashMap<TermId, TermId> = self
@@ -161,20 +211,30 @@ impl TransitionSystem {
             .iter()
             .map(|sv| (sv.current, sv.next))
             .collect();
-        while let Some(v) = worklist.pop() {
-            let next = next_of[&v];
-            for dep in tm.collect_vars(&[next]) {
-                if state_set.contains(&dep) && keep.insert(dep) {
-                    worklist.push(dep);
+        let mut layer = 0usize;
+        while !frontier.is_empty() {
+            layer += 1;
+            let mut next_frontier: Vec<TermId> = Vec::new();
+            for v in frontier {
+                let next = next_of[&v];
+                for dep in tm.collect_vars(&[next]) {
+                    if state_set.contains(&dep) && !dist.contains_key(&dep) {
+                        dist.insert(dep, layer);
+                        next_frontier.push(dep);
+                    }
                 }
             }
+            frontier = next_frontier;
         }
-        let dropped = self
-            .state_vars
-            .iter()
-            .filter(|sv| !keep.contains(&sv.current))
-            .count();
-        CoiInfo { keep, dropped }
+        let num_state_vars = self.state_vars.len();
+        let dropped = num_state_vars - dist.len();
+        let max_dist = dist.values().copied().max().unwrap_or(0);
+        CoiInfo {
+            dist,
+            num_state_vars,
+            dropped,
+            max_dist,
+        }
     }
 
     /// Concretely simulates the system for `inputs_per_frame.len()` steps.
@@ -284,6 +344,21 @@ mod tests {
         assert!(!coi.keeps(d), "unobserved variable is dropped");
         assert!(!coi.keeps(e), "variable feeding only dropped updates");
         assert_eq!(coi.dropped, 2);
+        // Distance layers: roots at 0, feeders one step out.
+        assert_eq!(coi.dist(a), Some(0));
+        assert_eq!(coi.dist(b), Some(1));
+        assert_eq!(coi.dist(c), Some(0));
+        assert_eq!(coi.dist(d), None);
+        assert_eq!(coi.dist(e), None);
+        // Per-depth refinement: with no remaining depth only the roots'
+        // updates matter, one step out `b` joins them.
+        assert!(coi.keeps_within(a, 0));
+        assert!(!coi.keeps_within(b, 0));
+        assert!(coi.keeps_within(b, 1));
+        assert!(!coi.keeps_within(d, 99));
+        assert_eq!(coi.dropped_within(0), 3);
+        assert_eq!(coi.dropped_within(1), 2);
+        assert_eq!(coi.dropped_within(7), 2);
     }
 
     #[test]

@@ -88,28 +88,56 @@ impl<'a> Unroller<'a> {
 
     /// The transition relation between frame `k` and frame `k + 1`.
     pub fn transition(&mut self, tm: &mut TermManager, k: usize) -> TermId {
-        self.transition_filtered(tm, k, None)
+        self.transition_filtered(tm, k, |_| true)
     }
 
     /// The transition relation between frame `k` and frame `k + 1`,
-    /// restricted to the state variables inside the cone of influence: the
-    /// next-state updates of variables outside `coi` are dropped before
-    /// anything is encoded (see
-    /// [`TransitionSystem::cone_of_influence`]).
-    pub fn transition_within(&mut self, tm: &mut TermManager, k: usize, coi: &CoiInfo) -> TermId {
-        self.transition_filtered(tm, k, Some(coi))
+    /// restricted to the state variables that can still reach a bad state
+    /// or constraint within `remaining` further transition steps: the
+    /// next-state update of a variable whose cone distance exceeds the
+    /// remaining depth is dropped before anything is encoded (see
+    /// [`TransitionSystem::cone_of_influence`]) — for the last frame of a
+    /// bounded check (`remaining == 0`) only the updates of variables
+    /// occurring directly in the bad states/constraints survive.
+    pub fn transition_within(
+        &mut self,
+        tm: &mut TermManager,
+        k: usize,
+        coi: &CoiInfo,
+        remaining: usize,
+    ) -> TermId {
+        self.transition_filtered(tm, k, |v| coi.keeps_within(v, remaining))
+    }
+
+    /// The *delta* of [`transition_within`](Self::transition_within) when
+    /// the remaining depth of an already-asserted frame grows from
+    /// `prev_remaining` to `remaining` (the bound was extended): only the
+    /// updates newly inside the per-depth cone, so an incremental solver
+    /// can top an old frame up without re-asserting what it already has.
+    pub fn transition_refinement(
+        &mut self,
+        tm: &mut TermManager,
+        k: usize,
+        coi: &CoiInfo,
+        prev_remaining: usize,
+        remaining: usize,
+    ) -> TermId {
+        debug_assert!(prev_remaining < remaining);
+        self.transition_filtered(tm, k, |v| {
+            !coi.keeps_within(v, prev_remaining) && coi.keeps_within(v, remaining)
+        })
     }
 
     fn transition_filtered(
         &mut self,
         tm: &mut TermManager,
         k: usize,
-        coi: Option<&CoiInfo>,
+        keep: impl Fn(TermId) -> bool,
     ) -> TermId {
         let mut conj = tm.tru();
         let state_vars: Vec<_> = self.ts.state_vars().to_vec();
         for sv in state_vars {
-            if coi.is_some_and(|coi| !coi.keeps(sv.current)) {
+            if !keep(sv.current) {
                 continue;
             }
             let lhs = self.var_at(tm, sv.current, k + 1);
