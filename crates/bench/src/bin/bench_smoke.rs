@@ -27,13 +27,22 @@
 //! the baseline (the clause count is deterministic on identical code, so
 //! its tight gate catches encoding regressions without runner-speed noise).
 //!
+//! A sixth, **parallel** arm runs a batch of identical copies of the
+//! `incremental` sweep on the work-stealing detection engine
+//! (`sepe_sqed::parallel`), once with one worker and once with `--jobs N`
+//! workers (default: available parallelism / `SEPE_JOBS`), and records the
+//! realised speedup.  The regression gate deliberately ignores the parallel
+//! numbers — they depend on the runner's core count — and keeps judging the
+//! deterministic single-worker modes only.
+//!
 //! Usage:
-//!   bench_smoke [--bound N] [--out BENCH_smoke.json] [--baseline BENCH_baseline.json]
+//!   bench_smoke [--bound N] [--jobs N] [--out BENCH_smoke.json] [--baseline BENCH_baseline.json]
 
 use serde::Serialize;
 
-use sepe_bench::sweep;
+use sepe_bench::{jobs_from_args, sweep};
 use sepe_smt::SolverReuseStats;
+use sepe_sqed::parallel::ParallelEngine;
 use sepe_tsys::BmcMode;
 
 /// Wall-time regression tolerance against the checked-in baseline (loose:
@@ -95,11 +104,31 @@ impl ModeResult {
     }
 }
 
+/// The parallel-engine arm: the same batch of identical sweep jobs timed
+/// with one worker and with `workers` workers.  Not part of the regression
+/// gate (the speedup depends on the runner's core count); recorded so the
+/// uploaded artifact tracks engine scaling over time.
+#[derive(Debug, Clone, Serialize)]
+struct ParallelResult {
+    /// Identical sweep copies in the batch.
+    batch_jobs: usize,
+    /// Worker threads of the parallel run.
+    workers: usize,
+    /// Batch wall time with one worker (the sequential reference).
+    wall_ms_jobs1: f64,
+    /// Batch wall time with `workers` workers.
+    wall_ms_jobsn: f64,
+    /// `wall_ms_jobs1 / wall_ms_jobsn` — bounded above by `workers` and by
+    /// the machine's core count.
+    speedup: f64,
+}
+
 #[derive(Debug, Clone, Serialize)]
 struct SmokeReport {
     bound: usize,
     opcode: String,
     modes: Vec<ModeResult>,
+    parallel: ParallelResult,
 }
 
 /// Pulls `"<field>": <number>` for a named mode out of a baseline JSON
@@ -146,6 +175,26 @@ fn main() {
     let (cumul_wall, cumul_solver) = sweep::run_cumulative(bound, &bug);
     let (scratch_wall, scratch_solver) =
         sweep::run_with(bound, BmcMode::PerDepthScratch, &bug, false, false);
+
+    // Parallel arm: the same sweep × BATCH_COPIES, one worker vs N workers.
+    const BATCH_COPIES: usize = 4;
+    let workers = jobs_from_args();
+    let seq = ParallelEngine::new(1).run(sweep::batch_jobs(bound, BATCH_COPIES));
+    let par = ParallelEngine::new(workers).run(sweep::batch_jobs(bound, BATCH_COPIES));
+    for d in seq.detections.iter().chain(&par.detections) {
+        assert!(!d.detected, "SQED must miss the Table-1 bug");
+        assert!(!d.inconclusive, "the smoke batch runs without budgets");
+    }
+    let parallel = ParallelResult {
+        batch_jobs: BATCH_COPIES,
+        // The effective count (the engine clamps to the batch size), not
+        // the requested one — this is the scaling denominator.
+        workers: par.stats.workers,
+        wall_ms_jobs1: seq.stats.wall.as_secs_f64() * 1e3,
+        wall_ms_jobsn: par.stats.wall.as_secs_f64() * 1e3,
+        speedup: seq.stats.wall.as_secs_f64() / par.stats.wall.as_secs_f64().max(1e-9),
+    };
+
     let report = SmokeReport {
         bound,
         opcode: "ADD".to_string(),
@@ -156,6 +205,7 @@ fn main() {
             ModeResult::new("cumulative_incremental", cumul_wall, cumul_solver),
             ModeResult::new("scratch", scratch_wall, scratch_solver),
         ],
+        parallel,
     };
     for m in &report.modes {
         println!(
@@ -194,6 +244,14 @@ fn main() {
             off.cnf_vars as f64 / (on.cnf_vars.max(1)) as f64,
         );
     }
+    println!(
+        "  parallel batch ({} jobs): {:>9.1} ms on 1 worker, {:>9.1} ms on {} workers = {:.2}x speedup",
+        report.parallel.batch_jobs,
+        report.parallel.wall_ms_jobs1,
+        report.parallel.wall_ms_jobsn,
+        report.parallel.workers,
+        report.parallel.speedup,
+    );
 
     let json = serde_json::to_string_pretty(&report).expect("serializable report");
     std::fs::write(&out_path, format!("{json}\n")).expect("write smoke report");

@@ -12,6 +12,9 @@ use sepe_synth::library::Library;
 use sepe_synth::spec::SynthesisCase;
 use sepe_synth::SynthesisConfig;
 
+use sepe_smt::EncodeStats;
+
+use crate::report::{SolverRow, SolverSummary};
 use crate::Profile;
 
 /// One bar pair of Figure 3.
@@ -69,6 +72,35 @@ impl Fig3Row {
             0.0
         } else {
             1.0 - self.hpf_secs / self.iterative_secs
+        }
+    }
+
+    /// This row's contribution to the shared solver summary.
+    fn solver_row(&self) -> SolverRow {
+        let encode = EncodeStats {
+            terms_cached: self.hpf_terms_cached,
+            terms_reused: self.hpf_terms_reused,
+            rewrite: sepe_smt::RewriteStats {
+                terms_rewritten: self.hpf_terms_rewritten,
+                rule_applications: self.hpf_rewrite_rules,
+                pins: self.hpf_rewrite_pins,
+                assertions_dropped: self.hpf_assertions_dropped,
+                ..Default::default()
+            },
+            aig: sepe_smt::AigStats {
+                nodes: self.hpf_aig_nodes,
+                strash_hits: self.hpf_aig_strash_hits,
+                consts_folded: self.hpf_aig_consts_folded,
+                rewrites: self.hpf_aig_rewrites,
+                cnf_vars: self.hpf_cnf_vars,
+                cnf_clauses: self.hpf_cnf_clauses,
+            },
+        };
+        SolverRow {
+            label: self.case.clone(),
+            encode,
+            learnt_retained: self.hpf_learnt_retained,
+            ..SolverRow::default()
         }
     }
 }
@@ -192,24 +224,13 @@ pub fn print(rows: &[Fig3Row]) {
         avg * 100.0,
         max * 100.0
     );
-    let mut encode = sepe_smt::EncodeStats::default();
-    for r in rows {
-        encode.terms_cached += r.hpf_terms_cached;
-        encode.terms_reused += r.hpf_terms_reused;
-        encode.rewrite.terms_rewritten += r.hpf_terms_rewritten;
-        encode.rewrite.rule_applications += r.hpf_rewrite_rules;
-        encode.rewrite.pins += r.hpf_rewrite_pins;
-        encode.rewrite.assertions_dropped += r.hpf_assertions_dropped;
-        encode.aig.nodes += r.hpf_aig_nodes;
-        encode.aig.strash_hits += r.hpf_aig_strash_hits;
-        encode.aig.consts_folded += r.hpf_aig_consts_folded;
-        encode.aig.rewrites += r.hpf_aig_rewrites;
-        encode.aig.cnf_vars += r.hpf_cnf_vars;
-        encode.aig.cnf_clauses += r.hpf_cnf_clauses;
-    }
-    let learnt: u64 = rows.iter().map(|r| r.hpf_learnt_retained).sum();
-    println!("encoding (HPF incremental CEGIS): {encode}");
-    println!("solver reuse: {learnt} learnt clauses retained across refinement rounds");
+    let summary = SolverSummary::new(
+        "HPF incremental CEGIS",
+        "refinement rounds",
+        rows.iter().map(Fig3Row::solver_row).collect(),
+        8,
+    );
+    println!("{summary}");
 }
 
 #[cfg(test)]

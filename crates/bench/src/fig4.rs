@@ -7,9 +7,12 @@ use serde::Serialize;
 
 use sepe_isa::Opcode;
 use sepe_processor::{Mutation, ProcessorConfig};
+use sepe_smt::EncodeStats;
 use sepe_sqed::detect::{Detector, DetectorConfig, Method};
+use sepe_sqed::parallel::{BatchStats, DetectionJob, ParallelEngine};
 use sepe_tsys::BmcMode;
 
+use crate::report::{SolverRow, SolverSummary};
 use crate::Profile;
 
 /// One bug of Figure 4 (one x-axis position).
@@ -81,6 +84,38 @@ impl Fig4Row {
             _ => None,
         }
     }
+
+    /// This row's contribution to the shared solver summary.
+    fn solver_row(&self) -> SolverRow {
+        let encode = EncodeStats {
+            terms_cached: self.sepe_terms_cached,
+            terms_reused: self.sepe_terms_reused,
+            rewrite: sepe_smt::RewriteStats {
+                terms_rewritten: self.sepe_terms_rewritten,
+                rule_applications: self.sepe_rewrite_rules,
+                pins: self.sepe_rewrite_pins,
+                assertions_dropped: self.sepe_assertions_dropped,
+                coi_dropped_updates: self.sepe_coi_dropped,
+                ..Default::default()
+            },
+            aig: sepe_smt::AigStats {
+                nodes: self.sepe_aig_nodes,
+                strash_hits: self.sepe_aig_strash_hits,
+                consts_folded: self.sepe_aig_consts_folded,
+                rewrites: self.sepe_aig_rewrites,
+                cnf_vars: self.sepe_cnf_vars,
+                cnf_clauses: self.sepe_cnf_clauses,
+            },
+        };
+        SolverRow {
+            label: self.bug.clone(),
+            encode,
+            learnt_retained: self.sepe_learnt_retained,
+            learnt_high_water: self.sepe_learnt_high_water,
+            learnt_deleted: self.sepe_learnt_deleted,
+            depth_conflicts: self.sepe_depth_conflicts.clone(),
+        }
+    }
 }
 
 /// The opcode universe for one Figure-4 bug: its trigger opcodes plus ADDI
@@ -130,25 +165,51 @@ pub fn detector_for(bug: &Mutation, profile: Profile) -> Detector {
     })
 }
 
-/// Runs the Figure-4 experiment.
+/// Runs the Figure-4 experiment sequentially (one worker).
 pub fn run(profile: Profile) -> Vec<Fig4Row> {
-    bugs(profile)
+    run_with_jobs(profile, 1).0
+}
+
+/// The two detection jobs of one Figure-4 bug.  Both methods explore depth
+/// by depth on the persistent incremental solver: counterexamples are
+/// genuinely shortest, so the length-ratio curve compares like for like (a
+/// cumulative query would return an arbitrary-model trace and bias the
+/// comparison), and the wall-clock budget is enforced between depths.
+fn jobs_for(bug: &Mutation, profile: Profile) -> [DetectionJob; 2] {
+    let detector = detector_for(bug, profile);
+    let per_depth = DetectorConfig {
+        bmc_mode: BmcMode::PerDepth,
+        ..detector.config().clone()
+    };
+    [
+        DetectionJob::new(
+            format!("{}-sqed", bug.name),
+            per_depth.clone(),
+            Method::Sqed,
+            Some(bug.clone()),
+        ),
+        DetectionJob::new(
+            format!("{}-sepe", bug.name),
+            per_depth,
+            Method::SepeSqed,
+            Some(bug.clone()),
+        ),
+    ]
+}
+
+/// Runs the Figure-4 experiment on the parallel detection engine with the
+/// given worker count; `jobs = 1` runs inline in the sequential driver's
+/// order, so its rows are bit-identical to [`run`]'s.
+pub fn run_with_jobs(profile: Profile, jobs: usize) -> (Vec<Fig4Row>, BatchStats) {
+    let bugs = bugs(profile);
+    let batch: Vec<DetectionJob> = bugs.iter().flat_map(|bug| jobs_for(bug, profile)).collect();
+    let outcome = ParallelEngine::new(jobs).run(batch);
+    let rows = bugs
         .iter()
         .enumerate()
         .map(|(i, bug)| {
-            let detector = detector_for(bug, profile);
-            // Both methods explore depth by depth on the persistent
-            // incremental solver: counterexamples are genuinely shortest, so
-            // the length-ratio curve compares like for like (a cumulative
-            // query would return an arbitrary-model trace and bias the
-            // comparison), and the wall-clock budget is enforced between
-            // depths.
-            let per_depth = Detector::new(DetectorConfig {
-                bmc_mode: BmcMode::PerDepth,
-                ..detector.config().clone()
-            });
-            let sqed = per_depth.check(Method::Sqed, Some(bug));
-            let sepe = per_depth.check(Method::SepeSqed, Some(bug));
+            let sqed = &outcome.detections[2 * i];
+            let sepe = &outcome.detections[2 * i + 1];
             Fig4Row {
                 index: i + 1,
                 bug: bug.name.clone(),
@@ -175,7 +236,8 @@ pub fn run(profile: Profile) -> Vec<Fig4Row> {
                 sepe_depth_conflicts: sepe.depths.iter().map(|d| d.conflicts).collect(),
             }
         })
-        .collect()
+        .collect();
+    (rows, outcome.stats)
 }
 
 /// Prints the figure's data series.
@@ -212,43 +274,13 @@ pub fn print(rows: &[Fig4Row]) {
          (paper: both detect all 20, SEPE-SQED is sometimes shorter).",
         rows.len()
     );
-    let mut encode = sepe_smt::EncodeStats::default();
-    for r in rows {
-        encode.terms_cached += r.sepe_terms_cached;
-        encode.terms_reused += r.sepe_terms_reused;
-        encode.rewrite.terms_rewritten += r.sepe_terms_rewritten;
-        encode.rewrite.rule_applications += r.sepe_rewrite_rules;
-        encode.rewrite.pins += r.sepe_rewrite_pins;
-        encode.rewrite.assertions_dropped += r.sepe_assertions_dropped;
-        encode.rewrite.coi_dropped_updates += r.sepe_coi_dropped;
-        encode.aig.nodes += r.sepe_aig_nodes;
-        encode.aig.strash_hits += r.sepe_aig_strash_hits;
-        encode.aig.consts_folded += r.sepe_aig_consts_folded;
-        encode.aig.rewrites += r.sepe_aig_rewrites;
-        encode.aig.cnf_vars += r.sepe_cnf_vars;
-        encode.aig.cnf_clauses += r.sepe_cnf_clauses;
-    }
-    let learnt: u64 = rows.iter().map(|r| r.sepe_learnt_retained).sum();
-    let high_water: u64 = rows
-        .iter()
-        .map(|r| r.sepe_learnt_high_water)
-        .max()
-        .unwrap_or(0);
-    let deleted: u64 = rows.iter().map(|r| r.sepe_learnt_deleted).sum();
-    println!("encoding (SEPE-SQED incremental per-depth sweeps): {encode}");
-    println!(
-        "solver reuse: {learnt} learnt clauses retained across depths, \
-         {deleted} deleted by reduction (live high-water {high_water})"
+    let summary = SolverSummary::new(
+        "SEPE-SQED incremental per-depth sweeps",
+        "depths",
+        rows.iter().map(Fig4Row::solver_row).collect(),
+        28,
     );
-    println!("\nper-depth SAT conflicts (SEPE-SQED, one column per depth):");
-    for row in rows {
-        let cols: Vec<String> = row
-            .sepe_depth_conflicts
-            .iter()
-            .map(|c| c.to_string())
-            .collect();
-        println!("{:<28} {}", row.bug, cols.join(" "));
-    }
+    println!("{summary}");
 }
 
 #[cfg(test)]

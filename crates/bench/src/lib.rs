@@ -11,10 +11,28 @@
 //! Each module exposes a `run` function returning serializable row structs
 //! and a `print` function producing the paper-style table.  The
 //! `fig3`/`table1`/`fig4` binaries are thin wrappers; the Criterion benches
-//! in `benches/` time representative slices of the same runners.
+//! in `benches/` time representative slices of the same runners.  The
+//! detection experiments additionally expose a `run_with_jobs` variant that
+//! schedules the per-bug checks on the parallel engine
+//! (`sepe_sqed::parallel`); `--jobs N` / `SEPE_JOBS` select the worker
+//! count and `jobs = 1` reproduces the sequential runs exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use sepe_bench::{table1, Profile};
+//!
+//! // The Table-1 quick profile exercises five single-instruction bugs.
+//! let bugs = table1::bugs(Profile::Quick);
+//! assert_eq!(bugs.len(), 5);
+//! // Every bug targets a specific opcode and gets its own detector.
+//! let detector = table1::detector_for(&bugs[0], Profile::Quick);
+//! assert!(detector.config().max_bound >= 4);
+//! ```
 
 pub mod fig3;
 pub mod fig4;
+pub mod report;
 pub mod sweep;
 pub mod table1;
 
@@ -43,4 +61,22 @@ impl Profile {
 /// Formats a duration in seconds with two decimals.
 pub fn secs(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64())
+}
+
+/// The worker count for the detection binaries: `--jobs N` on the command
+/// line beats the `SEPE_JOBS` environment variable beats the machine's
+/// available parallelism.  `1` runs the sequential code path exactly.
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--jobs") {
+        Some(i) => {
+            let value = args.get(i + 1).expect("--jobs takes a worker count");
+            value
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| panic!("--jobs takes a positive integer, got {value:?}"))
+        }
+        None => sepe_sqed::parallel::default_jobs(),
+    }
 }

@@ -1,0 +1,148 @@
+//! Shared pretty-printing of the solver/encoding summary block.
+//!
+//! Every experiment binary used to carry its own copy of the same three
+//! paragraphs — the aggregated [`EncodeStats`] line, the learnt-clause reuse
+//! line, and the per-depth conflict table.  One [`SolverSummary`] value now
+//! renders all of it through `Display`, so `table1`, `fig3` and `fig4`
+//! print byte-identical summaries from one definition.
+
+use std::fmt;
+
+use sepe_smt::EncodeStats;
+
+/// One experiment row's contribution to the summary: its encoding counters,
+/// learnt-clause counters, and (for the BMC sweeps) per-depth conflict
+/// deltas.
+#[derive(Debug, Clone, Default)]
+pub struct SolverRow {
+    /// Row label for the per-depth conflict table (bug or case name).
+    pub label: String,
+    /// The row's encoding counters (summed into the aggregate line).
+    pub encode: EncodeStats,
+    /// Learnt clauses retained at the end of the row's sweep.
+    pub learnt_retained: u64,
+    /// Live learnt-clause high-water mark (aggregated by max).
+    pub learnt_high_water: u64,
+    /// Learnt clauses deleted by database reduction.
+    pub learnt_deleted: u64,
+    /// Per-depth SAT-conflict deltas (empty for non-BMC rows).
+    pub depth_conflicts: Vec<u64>,
+}
+
+/// The rendered summary: construct with [`SolverSummary::new`] and print
+/// with `{}`.
+#[derive(Debug, Clone)]
+pub struct SolverSummary {
+    /// What the encoding line describes, e.g.
+    /// `"SEPE-SQED incremental per-depth sweeps"`.
+    encode_context: String,
+    /// What the learnt clauses were retained across, e.g. `"depths"` or
+    /// `"refinement rounds"`.
+    reuse_context: String,
+    rows: Vec<SolverRow>,
+    /// Column width of the labels in the per-depth conflict table.
+    label_width: usize,
+}
+
+impl SolverSummary {
+    /// Builds a summary over the given rows.
+    pub fn new(
+        encode_context: impl Into<String>,
+        reuse_context: impl Into<String>,
+        rows: Vec<SolverRow>,
+        label_width: usize,
+    ) -> Self {
+        SolverSummary {
+            encode_context: encode_context.into(),
+            reuse_context: reuse_context.into(),
+            rows,
+            label_width,
+        }
+    }
+}
+
+impl fmt::Display for SolverSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut encode = EncodeStats::default();
+        for r in &self.rows {
+            encode.absorb(&r.encode);
+        }
+        let learnt: u64 = self.rows.iter().map(|r| r.learnt_retained).sum();
+        let deleted: u64 = self.rows.iter().map(|r| r.learnt_deleted).sum();
+        let high_water = self
+            .rows
+            .iter()
+            .map(|r| r.learnt_high_water)
+            .max()
+            .unwrap_or(0);
+        writeln!(f, "encoding ({}): {encode}", self.encode_context)?;
+        write!(
+            f,
+            "solver reuse: {learnt} learnt clauses retained across {}",
+            self.reuse_context
+        )?;
+        if deleted > 0 || high_water > 0 {
+            write!(
+                f,
+                ", {deleted} deleted by reduction (live high-water {high_water})"
+            )?;
+        }
+        if self.rows.iter().any(|r| !r.depth_conflicts.is_empty()) {
+            write!(f, "\n\nper-depth SAT conflicts (one column per depth):")?;
+            for r in &self.rows {
+                let cols: Vec<String> = r.depth_conflicts.iter().map(|c| c.to_string()).collect();
+                write!(
+                    f,
+                    "\n{:<width$} {}",
+                    r.label,
+                    cols.join(" "),
+                    width = self.label_width
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_renders_reduction_and_depth_table_only_when_present() {
+        let quiet = SolverSummary::new(
+            "HPF incremental CEGIS",
+            "refinement rounds",
+            vec![SolverRow {
+                label: "case1".into(),
+                learnt_retained: 7,
+                ..SolverRow::default()
+            }],
+            8,
+        );
+        let text = quiet.to_string();
+        assert!(text.contains("encoding (HPF incremental CEGIS):"));
+        assert!(text.contains("7 learnt clauses retained across refinement rounds"));
+        assert!(!text.contains("deleted by reduction"));
+        assert!(!text.contains("per-depth SAT conflicts"));
+
+        let full = SolverSummary::new(
+            "sweeps",
+            "depths",
+            vec![SolverRow {
+                label: "bug-a".into(),
+                learnt_retained: 3,
+                learnt_deleted: 11,
+                learnt_high_water: 5,
+                depth_conflicts: vec![1, 2, 3],
+                ..SolverRow::default()
+            }],
+            10,
+        );
+        let text = full.to_string();
+        assert!(text.contains("11 deleted by reduction (live high-water 5)"));
+        assert!(text.contains("per-depth SAT conflicts"));
+        assert!(text.contains("bug-a"));
+        assert!(text.contains("1 2 3"));
+    }
+}

@@ -15,6 +15,7 @@ use sepe_isa::Opcode;
 use sepe_processor::{Mutation, ProcessorConfig};
 use sepe_smt::{SolverReuseStats, TermManager};
 use sepe_sqed::detect::{Detector, DetectorConfig, Method};
+use sepe_sqed::parallel::DetectionJob;
 use sepe_sqed::qed::{QedBuilder, Scheme};
 use sepe_tsys::{Bmc, BmcConfig, BmcMode};
 
@@ -76,6 +77,25 @@ pub fn run_with(
     // every mode carries its conflict count in the same place.
     solver.conflicts = detection.conflicts;
     (wall, solver)
+}
+
+/// A batch of `copies` independent copies of the sweep (the default
+/// pipeline, [`BmcMode::PerDepth`]), for the parallel engine's speedup
+/// measurement: identical jobs make the ideal speedup exactly the worker
+/// count, so the measured ratio isolates scheduling overhead and memory
+/// contention from workload imbalance.
+pub fn batch_jobs(max_bound: usize, copies: usize) -> Vec<DetectionJob> {
+    let bug = bug();
+    (0..copies)
+        .map(|i| {
+            DetectionJob::new(
+                format!("sqed-sweep-{i}"),
+                detector(max_bound, BmcMode::PerDepth).config().clone(),
+                Method::Sqed,
+                Some(bug.clone()),
+            )
+        })
+        .collect()
 }
 
 /// The cumulative-incremental sweep, driven as growing `max_bound` calls on

@@ -7,9 +7,12 @@ use serde::Serialize;
 
 use sepe_isa::Opcode;
 use sepe_processor::{Mutation, ProcessorConfig};
+use sepe_smt::EncodeStats;
 use sepe_sqed::detect::{Detector, DetectorConfig, Method};
+use sepe_sqed::parallel::{BatchStats, DetectionJob, ParallelEngine};
 use sepe_tsys::BmcMode;
 
+use crate::report::{SolverRow, SolverSummary};
 use crate::Profile;
 
 /// One row of Table 1.
@@ -86,6 +89,38 @@ impl Table1Row {
             "-".into()
         }
     }
+
+    /// This row's contribution to the shared solver summary.
+    fn solver_row(&self) -> SolverRow {
+        let encode = EncodeStats {
+            terms_cached: self.sepe_terms_cached,
+            terms_reused: self.sepe_terms_reused,
+            rewrite: sepe_smt::RewriteStats {
+                terms_rewritten: self.sepe_terms_rewritten,
+                rule_applications: self.sepe_rewrite_rules,
+                pins: self.sepe_rewrite_pins,
+                assertions_dropped: self.sepe_assertions_dropped,
+                coi_dropped_updates: self.sepe_coi_dropped,
+                ..Default::default()
+            },
+            aig: sepe_smt::AigStats {
+                nodes: self.sepe_aig_nodes,
+                strash_hits: self.sepe_aig_strash_hits,
+                consts_folded: self.sepe_aig_consts_folded,
+                rewrites: self.sepe_aig_rewrites,
+                cnf_vars: self.sepe_cnf_vars,
+                cnf_clauses: self.sepe_cnf_clauses,
+            },
+        };
+        SolverRow {
+            label: self.bug.clone(),
+            encode,
+            learnt_retained: self.sepe_learnt_retained,
+            learnt_high_water: self.sepe_learnt_high_water,
+            learnt_deleted: self.sepe_learnt_deleted,
+            depth_conflicts: self.sepe_depth_conflicts.clone(),
+        }
+    }
 }
 
 /// The detector configuration used for one Table-1 bug.
@@ -129,31 +164,59 @@ pub fn bugs(profile: Profile) -> Vec<Mutation> {
     }
 }
 
-/// Runs the Table-1 experiment.
+/// Runs the Table-1 experiment sequentially (one worker).
 pub fn run(profile: Profile) -> Vec<Table1Row> {
-    bugs(profile)
-        .iter()
-        .map(|bug| {
-            let detector = detector_for(bug, profile);
-            // SQED gets a shallower bound: the point of the row is that it
-            // finds nothing no matter how long it looks.
-            let sqed_bound = match profile {
-                Profile::Quick => 5,
-                Profile::Full => 8,
-            };
-            let sqed_detector = Detector::new(DetectorConfig {
+    run_with_jobs(profile, 1).0
+}
+
+/// The two detection jobs of one Table-1 bug: the SQED run (shallower
+/// bound — the point of the row is that it finds nothing no matter how long
+/// it looks) and the SEPE-SQED run (per-depth on the persistent incremental
+/// solver: shortest counterexamples first, encodings and learnt clauses
+/// shared across depths).
+fn jobs_for(bug: &Mutation, profile: Profile) -> [DetectionJob; 2] {
+    let detector = detector_for(bug, profile);
+    let sqed_bound = match profile {
+        Profile::Quick => 5,
+        Profile::Full => 8,
+    };
+    [
+        DetectionJob::new(
+            format!("{}-sqed", bug.name),
+            DetectorConfig {
                 max_bound: sqed_bound,
                 ..detector.config().clone()
-            });
-            let sqed = sqed_detector.check(Method::Sqed, Some(bug));
-            // SEPE-SQED explores depth by depth on the persistent incremental
-            // solver: shortest counterexamples first, encodings and learnt
-            // clauses shared across depths.
-            let sepe_detector = Detector::new(DetectorConfig {
+            },
+            Method::Sqed,
+            Some(bug.clone()),
+        ),
+        DetectionJob::new(
+            format!("{}-sepe", bug.name),
+            DetectorConfig {
                 bmc_mode: BmcMode::PerDepth,
                 ..detector.config().clone()
-            });
-            let sepe = sepe_detector.check(Method::SepeSqed, Some(bug));
+            },
+            Method::SepeSqed,
+            Some(bug.clone()),
+        ),
+    ]
+}
+
+/// Runs the Table-1 experiment on the parallel detection engine with the
+/// given worker count.  Every bug contributes two independent jobs (SQED +
+/// SEPE-SQED); `jobs = 1` runs them inline in the same order as the
+/// sequential driver always has, so its rows are bit-identical to
+/// [`run`]'s.
+pub fn run_with_jobs(profile: Profile, jobs: usize) -> (Vec<Table1Row>, BatchStats) {
+    let bugs = bugs(profile);
+    let batch: Vec<DetectionJob> = bugs.iter().flat_map(|bug| jobs_for(bug, profile)).collect();
+    let outcome = ParallelEngine::new(jobs).run(batch);
+    let rows = bugs
+        .iter()
+        .enumerate()
+        .map(|(i, bug)| {
+            let sqed = &outcome.detections[2 * i];
+            let sepe = &outcome.detections[2 * i + 1];
             Table1Row {
                 bug: bug.name.clone(),
                 opcode: bug
@@ -184,7 +247,8 @@ pub fn run(profile: Profile) -> Vec<Table1Row> {
                 sepe_depth_conflicts: sepe.depths.iter().map(|d| d.conflicts).collect(),
             }
         })
-        .collect()
+        .collect();
+    (rows, outcome.stats)
 }
 
 /// Prints the table in the paper's layout.
@@ -210,43 +274,13 @@ pub fn print(rows: &[Table1Row]) {
         rows.len() - sqed_missed,
         rows.len()
     );
-    let mut encode = sepe_smt::EncodeStats::default();
-    for r in rows {
-        encode.terms_cached += r.sepe_terms_cached;
-        encode.terms_reused += r.sepe_terms_reused;
-        encode.rewrite.terms_rewritten += r.sepe_terms_rewritten;
-        encode.rewrite.rule_applications += r.sepe_rewrite_rules;
-        encode.rewrite.pins += r.sepe_rewrite_pins;
-        encode.rewrite.assertions_dropped += r.sepe_assertions_dropped;
-        encode.rewrite.coi_dropped_updates += r.sepe_coi_dropped;
-        encode.aig.nodes += r.sepe_aig_nodes;
-        encode.aig.strash_hits += r.sepe_aig_strash_hits;
-        encode.aig.consts_folded += r.sepe_aig_consts_folded;
-        encode.aig.rewrites += r.sepe_aig_rewrites;
-        encode.aig.cnf_vars += r.sepe_cnf_vars;
-        encode.aig.cnf_clauses += r.sepe_cnf_clauses;
-    }
-    let learnt: u64 = rows.iter().map(|r| r.sepe_learnt_retained).sum();
-    let high_water: u64 = rows
-        .iter()
-        .map(|r| r.sepe_learnt_high_water)
-        .max()
-        .unwrap_or(0);
-    let deleted: u64 = rows.iter().map(|r| r.sepe_learnt_deleted).sum();
-    println!("encoding (SEPE-SQED incremental per-depth sweeps): {encode}");
-    println!(
-        "solver reuse: {learnt} learnt clauses retained across depths, \
-         {deleted} deleted by reduction (live high-water {high_water})"
+    let summary = SolverSummary::new(
+        "SEPE-SQED incremental per-depth sweeps",
+        "depths",
+        rows.iter().map(Table1Row::solver_row).collect(),
+        24,
     );
-    println!("\nper-depth SAT conflicts (SEPE-SQED, one column per depth):");
-    for row in rows {
-        let cols: Vec<String> = row
-            .sepe_depth_conflicts
-            .iter()
-            .map(|c| c.to_string())
-            .collect();
-        println!("{:<24} {}", row.bug, cols.join(" "));
-    }
+    println!("{summary}");
 }
 
 #[cfg(test)]

@@ -63,6 +63,13 @@ pub struct DetectorConfig {
     /// structural hashing, local rewriting, polarity-aware Tseitin.  Off is
     /// the direct-blasting baseline of the bench harness's `aig_off` arm.
     pub aig: bool,
+    /// Shared cancellation flag passed down to the model checker (default
+    /// `None`).  Raising the flag from another thread aborts an in-flight
+    /// run with an inconclusive [`Detection`] within a short burst of SAT
+    /// conflicts.  The [`parallel`](crate::parallel) engine injects one
+    /// flag per batch (global time budget) or per portfolio race
+    /// (first-finisher-wins).
+    pub cancel: Option<sepe_smt::CancelFlag>,
 }
 
 impl Default for DetectorConfig {
@@ -77,6 +84,7 @@ impl Default for DetectorConfig {
             bmc_mode: BmcMode::Cumulative,
             simplify: true,
             aig: true,
+            cancel: None,
         }
     }
 }
@@ -194,6 +202,7 @@ impl Detector {
             simplify: self.config.simplify,
             aig: self.config.aig,
             frame_rescore: None,
+            cancel: self.config.cancel.clone(),
         });
         let result = bmc.check(&mut tm, &system.ts, self.config.max_bound);
         let stats = bmc.stats();

@@ -47,6 +47,7 @@ pub mod eddiv;
 pub mod edsepv;
 pub mod equivalence;
 pub mod mapping;
+pub mod parallel;
 pub mod qed;
 
 pub use detect::{Detection, Detector, DetectorConfig, Method};
@@ -54,3 +55,6 @@ pub use eddiv::EddiV;
 pub use edsepv::EdsepV;
 pub use equivalence::EquivalenceDb;
 pub use mapping::RegisterMapping;
+pub use parallel::{
+    BatchOutcome, BatchStats, DetectionJob, ParallelEngine, PortfolioArm, PortfolioOutcome,
+};

@@ -1,0 +1,625 @@
+//! Parallel multi-bug detection: a work-stealing engine over independent
+//! `Detector::check` jobs, plus a portfolio mode that races solver
+//! configurations against each other.
+//!
+//! The paper's headline experiments (Table 1, Figure 4) are sweeps of one
+//! detection run per mutation × method × bound.  Every one of those runs is
+//! independent — its own [`TermManager`](sepe_smt::TermManager), its own
+//! solver — so the sweep is
+//! embarrassingly parallel; this module supplies the missing scheduler:
+//!
+//! * [`ParallelEngine::run`] — takes a batch of [`DetectionJob`]s and a
+//!   worker count, gives each worker its own [`Detector`] (nothing is shared
+//!   between jobs but the job queue and the cancellation flag), and pulls
+//!   jobs off a shared atomic counter so fast workers steal the remaining
+//!   work.  With `workers == 1` the batch runs inline on the calling thread
+//!   in job order — byte-for-byte the sequential drivers, which is what the
+//!   determinism tests and the bench regression gate rely on.
+//! * A **global time budget** ([`ParallelEngine::with_time_limit`]) bounds
+//!   the whole batch: a watchdog raises one shared [`CancelFlag`] when the
+//!   budget expires, every in-flight SAT search aborts within a short burst
+//!   of conflicts (the flag is polled at the same sampled check point as the
+//!   solver deadline), and jobs not yet started return immediately as
+//!   cancelled, inconclusive [`Detection`]s.
+//! * [`ParallelEngine::run_portfolio`] — launches the *same* query under
+//!   differing configurations ([`PortfolioArm`]: AIG on/off, rewriting
+//!   on/off, per-depth vs cumulative) and lets the first conclusive arm win,
+//!   cancelling the losers through the same flag.  The PR-4 measurements
+//!   showed `aig_off` propagates better on some cones while the shared
+//!   encoding wins on others — racing both gets the minimum of the arms'
+//!   runtimes without predicting the winner.
+//!
+//! Per-job [`SolverReuseStats`] are aggregated into a [`BatchStats`] so a
+//! batch reports the same counters the sequential drivers print.
+//!
+//! # Example
+//!
+//! ```
+//! use sepe_isa::Opcode;
+//! use sepe_processor::{Mutation, ProcessorConfig};
+//! use sepe_sqed::detect::{DetectorConfig, Method};
+//! use sepe_sqed::parallel::{DetectionJob, ParallelEngine};
+//!
+//! let config = DetectorConfig {
+//!     processor: ProcessorConfig::tiny().with_opcodes(&[Opcode::Add, Opcode::Xori]),
+//!     max_bound: 2,
+//!     ..DetectorConfig::default()
+//! };
+//! // Two independent jobs: the clean design under both methods.
+//! let jobs = vec![
+//!     DetectionJob::new("clean-sqed", config.clone(), Method::Sqed, None),
+//!     DetectionJob::new("clean-sepe", config, Method::SepeSqed, None),
+//! ];
+//! let outcome = ParallelEngine::new(2).run(jobs);
+//! assert_eq!(outcome.detections.len(), 2);
+//! assert!(outcome.detections.iter().all(|d| !d.detected));
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use sepe_processor::Mutation;
+use sepe_smt::{CancelFlag, SolverReuseStats};
+use sepe_tsys::BmcMode;
+
+use crate::detect::{Detection, Detector, DetectorConfig, Method};
+
+/// One unit of detection work: a full detector configuration plus the
+/// method and the (optional) injected bug to check it against.
+///
+/// Jobs carry their own [`DetectorConfig`] rather than sharing the engine's,
+/// because real sweeps vary the configuration per job (Table 1 narrows the
+/// opcode universe to each bug's target; Figure 4 derives it from the bug's
+/// trigger pattern).
+///
+/// The engine owns cancellation: `config.cancel` is **replaced** by the
+/// batch's shared flag when the job is scheduled, so a caller-supplied flag
+/// would be ignored.  To cancel work the engine runs, use
+/// [`ParallelEngine::with_time_limit`]; for private per-job cancellation,
+/// run a [`Detector`] directly with your own flag instead.
+#[derive(Debug, Clone)]
+pub struct DetectionJob {
+    /// Human-readable job label, carried through to results and logs.
+    pub label: String,
+    /// The detector configuration to run (per-job; never shared).
+    pub config: DetectorConfig,
+    /// Which verification method to run.
+    pub method: Method,
+    /// The injected bug, if any (`None` checks the clean design).
+    pub mutation: Option<Mutation>,
+}
+
+impl DetectionJob {
+    /// Creates a job.
+    pub fn new(
+        label: impl Into<String>,
+        config: DetectorConfig,
+        method: Method,
+        mutation: Option<Mutation>,
+    ) -> Self {
+        DetectionJob {
+            label: label.into(),
+            config,
+            method,
+            mutation,
+        }
+    }
+}
+
+/// Aggregate statistics of one batch (or portfolio) run.
+#[derive(Debug, Clone, Default)]
+pub struct BatchStats {
+    /// Jobs (or portfolio arms) that were scheduled.
+    pub jobs: u64,
+    /// Worker threads the batch ran on.
+    pub workers: usize,
+    /// Wall-clock time of the whole batch, queue to last result.
+    pub wall: Duration,
+    /// Sum of the per-job model-checking runtimes — on an otherwise idle
+    /// machine, `job_wall_total / wall` approximates the realised speedup.
+    pub job_wall_total: Duration,
+    /// Longest single job — the lower bound on batch wall time no worker
+    /// count can beat.
+    pub job_wall_max: Duration,
+    /// Jobs or portfolio arms that ended inconclusive because the shared
+    /// cancellation flag was raised (global budget expiry, or a portfolio
+    /// race being decided by another arm).
+    pub cancelled: u64,
+    /// Total SAT conflicts across all jobs.
+    pub conflicts: u64,
+    /// Per-job solver-reuse counters, summed (encode/rewrite/AIG work,
+    /// learnt-database reduction, CNF sizes).
+    pub solver: SolverReuseStats,
+}
+
+impl BatchStats {
+    fn absorb_job(&mut self, detection: &Detection, cancelled: bool) {
+        self.jobs += 1;
+        self.job_wall_total += detection.runtime;
+        self.job_wall_max = self.job_wall_max.max(detection.runtime);
+        self.cancelled += u64::from(cancelled);
+        self.conflicts += detection.conflicts;
+        self.solver.absorb(&detection.solver);
+    }
+}
+
+impl fmt::Display for BatchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} jobs on {} workers in {:.2}s (job wall {:.2}s total / {:.2}s max, \
+             {} cancelled, {} conflicts)",
+            self.jobs,
+            self.workers,
+            self.wall.as_secs_f64(),
+            self.job_wall_total.as_secs_f64(),
+            self.job_wall_max.as_secs_f64(),
+            self.cancelled,
+            self.conflicts,
+        )
+    }
+}
+
+/// The result of [`ParallelEngine::run`]: one [`Detection`] per job, in job
+/// order, plus the aggregate counters.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-job results; `detections[i]` answers `jobs[i]` regardless of
+    /// which worker ran it or when it finished.
+    pub detections: Vec<Detection>,
+    /// Aggregate batch counters.
+    pub stats: BatchStats,
+}
+
+/// One configuration of a portfolio race: the knobs that change *how* a
+/// query is solved without changing *what* it decides.
+#[derive(Debug, Clone)]
+pub struct PortfolioArm {
+    /// Arm label (reported in [`ArmOutcome`]).
+    pub name: String,
+    /// Depth-exploration strategy.
+    pub bmc_mode: BmcMode,
+    /// Word-level rewriting + cone-of-influence reduction.
+    pub simplify: bool,
+    /// Gate-level AIG reductions.
+    pub aig: bool,
+}
+
+impl PortfolioArm {
+    /// Creates an arm.
+    pub fn new(name: impl Into<String>, bmc_mode: BmcMode, simplify: bool, aig: bool) -> Self {
+        PortfolioArm {
+            name: name.into(),
+            bmc_mode,
+            simplify,
+            aig,
+        }
+    }
+
+    /// The standard four-arm portfolio: the default pipeline, the two
+    /// single-knob ablations that PR 3/4 measured as workload-dependent
+    /// (AIG off propagates better on some cones; rewriting off occasionally
+    /// wins on tiny queries), and the cumulative single-query mode (fastest
+    /// when a counterexample exists).
+    pub fn standard() -> Vec<PortfolioArm> {
+        vec![
+            PortfolioArm::new("per_depth", BmcMode::PerDepth, true, true),
+            PortfolioArm::new("per_depth_aig_off", BmcMode::PerDepth, true, false),
+            PortfolioArm::new("per_depth_norewrite", BmcMode::PerDepth, false, true),
+            PortfolioArm::new("cumulative", BmcMode::Cumulative, true, true),
+        ]
+    }
+
+    /// The base configuration with this arm's knobs applied.
+    fn apply(&self, base: &DetectorConfig) -> DetectorConfig {
+        DetectorConfig {
+            bmc_mode: self.bmc_mode,
+            simplify: self.simplify,
+            aig: self.aig,
+            ..base.clone()
+        }
+    }
+}
+
+/// The result of one portfolio arm.
+#[derive(Debug, Clone)]
+pub struct ArmOutcome {
+    /// The arm's label.
+    pub arm: String,
+    /// What the arm reported (inconclusive for cancelled losers).
+    pub detection: Detection,
+    /// Whether the arm was cut off by the race being decided (or by the
+    /// global budget) rather than finishing on its own.
+    pub cancelled: bool,
+}
+
+/// The result of [`ParallelEngine::run_portfolio`].
+#[derive(Debug, Clone)]
+pub struct PortfolioOutcome {
+    /// Index (into the arm list) of the winning arm.
+    pub winner: usize,
+    /// The winning arm's detection — the portfolio's answer.
+    pub detection: Detection,
+    /// Every arm's outcome, in arm order.
+    pub arms: Vec<ArmOutcome>,
+    /// Aggregate counters over the arms (cancelled losers included).
+    pub stats: BatchStats,
+}
+
+/// The work-stealing detection engine.
+///
+/// See the [module docs](self) for the scheduling and cancellation model.
+#[derive(Debug, Clone)]
+pub struct ParallelEngine {
+    workers: usize,
+    time_limit: Option<Duration>,
+}
+
+impl ParallelEngine {
+    /// Creates an engine with the given worker count (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        ParallelEngine {
+            workers: workers.max(1),
+            time_limit: None,
+        }
+    }
+
+    /// Sets a wall-clock budget for each subsequent batch: when it expires,
+    /// every in-flight job is interrupted and the not-yet-started ones
+    /// return cancelled.
+    pub fn with_time_limit(mut self, limit: Option<Duration>) -> Self {
+        self.time_limit = limit;
+        self
+    }
+
+    /// The worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs a batch of independent detection jobs, returning one
+    /// [`Detection`] per job in job order.
+    ///
+    /// Workers pull jobs off a shared counter (work stealing by exhaustion:
+    /// whichever worker frees up first takes the next job), and each job
+    /// runs on a fresh [`Detector`] owned by its worker.  With one worker
+    /// the batch runs inline on the calling thread, reproducing the
+    /// sequential drivers exactly.
+    pub fn run(&self, jobs: Vec<DetectionJob>) -> BatchOutcome {
+        let start = Instant::now();
+        let cancel: CancelFlag = Arc::new(AtomicBool::new(false));
+        let deadline = self.time_limit.map(|budget| start + budget);
+        let watchdog = self.spawn_watchdog(&cancel);
+        let workers = self.workers.min(jobs.len().max(1));
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Detection, bool)>();
+
+        if workers <= 1 {
+            worker_loop(&jobs, &next, &cancel, deadline, &tx);
+        } else {
+            thread::scope(|scope| {
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let (jobs, next, cancel) = (&jobs, &next, &cancel);
+                    scope.spawn(move || worker_loop(jobs, next, cancel, deadline, &tx));
+                }
+            });
+        }
+        drop(tx);
+
+        let mut detections: Vec<Option<Detection>> = vec![None; jobs.len()];
+        let mut stats = BatchStats {
+            workers,
+            ..BatchStats::default()
+        };
+        for (i, detection, cancelled) in rx {
+            stats.absorb_job(&detection, cancelled);
+            detections[i] = Some(detection);
+        }
+        if let Some((done, handle)) = watchdog {
+            let _ = done.send(());
+            let _ = handle.join();
+        }
+        stats.wall = start.elapsed();
+        BatchOutcome {
+            detections: detections
+                .into_iter()
+                .map(|d| d.expect("every job sends exactly one result"))
+                .collect(),
+            stats,
+        }
+    }
+
+    /// Races the same query under each arm's configuration; the first arm
+    /// to return a *conclusive* verdict wins and the others are cancelled
+    /// through the shared flag (they report as inconclusive, cancelled
+    /// [`ArmOutcome`]s).  If every arm is inconclusive — budget expiry, or
+    /// conflict limits all round — the earliest finisher is the "winner" so
+    /// the outcome always carries a detection.
+    ///
+    /// Soundness makes first-finisher-wins safe: every arm decides the same
+    /// bounded reachability question, so conclusive arms can only agree on
+    /// `detected`.  Only trace *lengths* may differ (the cumulative arm
+    /// returns an arbitrary-model trace, not a shortest one).
+    ///
+    /// The arm count is capped by neither `workers` nor the job queue —
+    /// a portfolio is one query's race, and arms only pay off when they
+    /// actually run concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn run_portfolio(&self, job: &DetectionJob, arms: &[PortfolioArm]) -> PortfolioOutcome {
+        assert!(!arms.is_empty(), "a portfolio needs at least one arm");
+        let start = Instant::now();
+        let cancel: CancelFlag = Arc::new(AtomicBool::new(false));
+        let deadline = self.time_limit.map(|budget| start + budget);
+        let watchdog = self.spawn_watchdog(&cancel);
+        let (tx, rx) = mpsc::channel::<(usize, Detection, bool)>();
+
+        let mut outcomes: Vec<Option<ArmOutcome>> = vec![None; arms.len()];
+        let mut winner: Option<usize> = None;
+        thread::scope(|scope| {
+            for (i, arm) in arms.iter().enumerate() {
+                let tx = tx.clone();
+                let cancel = cancel.clone();
+                let mut config = arm.apply(&job.config);
+                config.cancel = Some(cancel.clone());
+                clamp_time_limit(&mut config, deadline);
+                let method = job.method;
+                let mutation = job.mutation.clone();
+                scope.spawn(move || {
+                    let detection = Detector::new(config).check(method, mutation.as_ref());
+                    // Sample the flag here, not at receive time: an arm
+                    // that gave up on its own budget before the race was
+                    // decided must not be mislabeled as cancelled just
+                    // because the winner's flag landed while its result
+                    // sat in the channel.
+                    let cancelled = detection.inconclusive && cancel.load(Ordering::Relaxed);
+                    let _ = tx.send((i, detection, cancelled));
+                });
+            }
+            drop(tx);
+            // Collect in arrival order so the first conclusive verdict can
+            // cut the still-running arms loose immediately.
+            for (i, detection, cancelled) in rx {
+                if winner.is_none() && !detection.inconclusive {
+                    winner = Some(i);
+                    cancel.store(true, Ordering::Relaxed);
+                }
+                outcomes[i] = Some(ArmOutcome {
+                    arm: arms[i].name.clone(),
+                    detection,
+                    cancelled,
+                });
+            }
+        });
+        if let Some((done, handle)) = watchdog {
+            let _ = done.send(());
+            let _ = handle.join();
+        }
+
+        let arms_out: Vec<ArmOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("every arm sends exactly one result"))
+            .collect();
+        // All-inconclusive fallback: the arm that gave up first.
+        let winner = winner.unwrap_or_else(|| {
+            arms_out
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, o)| o.detection.runtime)
+                .map(|(i, _)| i)
+                .expect("arms is non-empty")
+        });
+        let mut stats = BatchStats {
+            workers: arms_out.len(),
+            ..BatchStats::default()
+        };
+        for o in &arms_out {
+            stats.absorb_job(&o.detection, o.cancelled);
+        }
+        stats.wall = start.elapsed();
+        PortfolioOutcome {
+            winner,
+            detection: arms_out[winner].detection.clone(),
+            arms: arms_out,
+            stats,
+        }
+    }
+
+    /// Arms the global budget: a watchdog thread that raises the shared
+    /// flag when the budget expires, unless released first through the
+    /// returned channel.  `None` when the engine has no time limit.
+    #[allow(clippy::type_complexity)]
+    fn spawn_watchdog(
+        &self,
+        cancel: &CancelFlag,
+    ) -> Option<(mpsc::Sender<()>, thread::JoinHandle<()>)> {
+        let budget = self.time_limit?;
+        let cancel = cancel.clone();
+        let (done, release) = mpsc::channel::<()>();
+        let handle = thread::spawn(move || {
+            if release.recv_timeout(budget).is_err() {
+                cancel.store(true, Ordering::Relaxed);
+            }
+        });
+        Some((done, handle))
+    }
+}
+
+/// One worker: pull the next job index, run it on a fresh detector, send
+/// the result home, repeat until the queue is exhausted.
+fn worker_loop(
+    jobs: &[DetectionJob],
+    next: &AtomicUsize,
+    cancel: &CancelFlag,
+    deadline: Option<Instant>,
+    tx: &mpsc::Sender<(usize, Detection, bool)>,
+) {
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= jobs.len() {
+            return;
+        }
+        let job = &jobs[i];
+        let (detection, cancelled) = if cancel.load(Ordering::Relaxed) {
+            // The budget expired before this job started: report it
+            // cancelled without building a detector at all.
+            (stub_detection(job), true)
+        } else {
+            let mut config = job.config.clone();
+            config.cancel = Some(cancel.clone());
+            clamp_time_limit(&mut config, deadline);
+            let detection = Detector::new(config).check(job.method, job.mutation.as_ref());
+            let cancelled = detection.inconclusive && cancel.load(Ordering::Relaxed);
+            (detection, cancelled)
+        };
+        if tx.send((i, detection, cancelled)).is_err() {
+            return; // receiver gone — nothing left to report to
+        }
+    }
+}
+
+/// Tightens a job's own time limit to whatever remains of the global
+/// batch deadline (in-flight SAT calls then stop through the existing
+/// per-solver deadline even between flag polls).
+fn clamp_time_limit(config: &mut DetectorConfig, deadline: Option<Instant>) {
+    if let Some(deadline) = deadline {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        config.time_limit = Some(config.time_limit.map_or(remaining, |t| t.min(remaining)));
+    }
+}
+
+/// An inconclusive result for a job that never ran.
+fn stub_detection(job: &DetectionJob) -> Detection {
+    Detection {
+        method: job.method,
+        bug: job.mutation.as_ref().map(|m| m.name.clone()),
+        detected: false,
+        inconclusive: true,
+        runtime: Duration::ZERO,
+        trace_len: None,
+        witness: None,
+        bound_reached: 0,
+        conflicts: 0,
+        solver: SolverReuseStats::default(),
+        depths: Vec::new(),
+    }
+}
+
+/// The default worker count: `SEPE_JOBS` if set to a positive integer,
+/// otherwise the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    parse_jobs(std::env::var("SEPE_JOBS").ok().as_deref())
+        .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// The worker count encoded by an override value like `SEPE_JOBS`, if it is
+/// a positive integer.  Split out of [`default_jobs`] so the parsing is
+/// testable without mutating the process environment (`setenv` races
+/// against `getenv` from concurrently spawned threads).
+fn parse_jobs(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Compile-time audit: everything a worker thread owns or shares must be
+/// `Send`.  A regression (say, an `Rc` slipping into solver state) fails
+/// right here instead of deep inside a `thread::scope` bound error.
+#[allow(dead_code)]
+fn assert_engine_types_are_send() {
+    fn is_send<T: Send>() {}
+    is_send::<Detector>();
+    is_send::<DetectorConfig>();
+    is_send::<DetectionJob>();
+    is_send::<Detection>();
+    is_send::<sepe_smt::TermManager>();
+    is_send::<sepe_smt::SatSolver>();
+    is_send::<sepe_smt::Solver>();
+    is_send::<sepe_smt::IncrementalSolver>();
+    is_send::<sepe_tsys::Bmc>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepe_isa::Opcode;
+    use sepe_processor::ProcessorConfig;
+
+    fn tiny_config(opcodes: &[Opcode], max_bound: usize) -> DetectorConfig {
+        DetectorConfig {
+            processor: ProcessorConfig::tiny().with_opcodes(opcodes),
+            max_bound,
+            ..DetectorConfig::default()
+        }
+    }
+
+    #[test]
+    fn empty_batch_returns_immediately() {
+        let outcome = ParallelEngine::new(4).run(Vec::new());
+        assert!(outcome.detections.is_empty());
+        assert_eq!(outcome.stats.jobs, 0);
+    }
+
+    #[test]
+    fn single_worker_runs_jobs_in_order() {
+        let config = tiny_config(&[Opcode::Add, Opcode::Xori], 2);
+        let jobs = vec![
+            DetectionJob::new("a", config.clone(), Method::Sqed, None),
+            DetectionJob::new("b", config, Method::SepeSqed, None),
+        ];
+        let outcome = ParallelEngine::new(1).run(jobs);
+        assert_eq!(outcome.detections.len(), 2);
+        assert_eq!(outcome.detections[0].method, Method::Sqed);
+        assert_eq!(outcome.detections[1].method, Method::SepeSqed);
+        assert!(outcome.detections.iter().all(|d| !d.detected));
+        assert_eq!(outcome.stats.jobs, 2);
+        assert_eq!(outcome.stats.cancelled, 0);
+        assert_eq!(outcome.stats.workers, 1);
+    }
+
+    #[test]
+    fn results_land_in_job_order_regardless_of_worker_count() {
+        let config = tiny_config(&[Opcode::Add], 2);
+        let jobs: Vec<DetectionJob> = (0..6)
+            .map(|i| {
+                DetectionJob::new(
+                    format!("job{i}"),
+                    config.clone(),
+                    if i % 2 == 0 {
+                        Method::Sqed
+                    } else {
+                        Method::SepeSqed
+                    },
+                    None,
+                )
+            })
+            .collect();
+        let outcome = ParallelEngine::new(3).run(jobs);
+        assert_eq!(outcome.detections.len(), 6);
+        for (i, d) in outcome.detections.iter().enumerate() {
+            let want = if i % 2 == 0 {
+                Method::Sqed
+            } else {
+                Method::SepeSqed
+            };
+            assert_eq!(d.method, want, "job {i} out of order");
+        }
+    }
+
+    #[test]
+    fn jobs_override_parsing_accepts_only_positive_integers() {
+        assert_eq!(parse_jobs(Some("3")), Some(3));
+        assert_eq!(parse_jobs(Some("not-a-number")), None);
+        assert_eq!(parse_jobs(Some("0")), None);
+        assert_eq!(parse_jobs(Some("")), None);
+        assert_eq!(parse_jobs(None), None);
+        // Whatever the environment says, the default is a usable count.
+        assert!(default_jobs() >= 1);
+    }
+}

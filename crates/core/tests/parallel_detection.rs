@@ -1,0 +1,193 @@
+//! Integration tests of the parallel detection engine: determinism across
+//! worker counts, prompt global cancellation, and portfolio
+//! first-finisher-wins agreement.
+
+use std::time::{Duration, Instant};
+
+use sepe_isa::Opcode;
+use sepe_processor::{Mutation, ProcessorConfig};
+use sepe_sqed::detect::{Detector, DetectorConfig, Method};
+use sepe_sqed::parallel::{DetectionJob, ParallelEngine, PortfolioArm};
+
+/// A fast per-bug configuration: tiny processor, the bug's target opcode
+/// plus ADDI, shallow bound.  Small enough that the whole Table-1 mutation
+/// set sweeps in seconds; the verdicts are still real model-checking
+/// verdicts (consistent up to the bound).
+fn tiny_config_for(bug: &Mutation, max_bound: usize) -> DetectorConfig {
+    let mut opcodes = vec![Opcode::Addi];
+    opcodes.extend(bug.target_opcode());
+    DetectorConfig {
+        processor: ProcessorConfig::tiny().with_opcodes(&opcodes),
+        max_bound,
+        ..DetectorConfig::default()
+    }
+}
+
+/// One SEPE-SQED job per Table-1 mutation.
+fn table1_jobs(max_bound: usize) -> Vec<DetectionJob> {
+    Mutation::table1()
+        .iter()
+        .map(|bug| {
+            DetectionJob::new(
+                bug.name.clone(),
+                tiny_config_for(bug, max_bound),
+                Method::SepeSqed,
+                Some(bug.clone()),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn four_workers_match_one_worker_on_the_table1_mutation_set() {
+    let sequential = ParallelEngine::new(1).run(table1_jobs(2));
+    let parallel = ParallelEngine::new(4).run(table1_jobs(2));
+    assert_eq!(sequential.detections.len(), parallel.detections.len());
+    for (i, (seq, par)) in sequential
+        .detections
+        .iter()
+        .zip(&parallel.detections)
+        .enumerate()
+    {
+        assert_eq!(seq.bug, par.bug, "job {i} answers a different bug");
+        assert_eq!(seq.detected, par.detected, "verdict diverges on job {i}");
+        assert_eq!(
+            seq.inconclusive, par.inconclusive,
+            "conclusiveness diverges on job {i}"
+        );
+        assert_eq!(
+            seq.bound_reached, par.bound_reached,
+            "bound diverges on job {i}"
+        );
+        assert_eq!(
+            seq.trace_len, par.trace_len,
+            "trace length diverges on job {i}"
+        );
+        // The solver is deterministic and each job owns its state, so even
+        // the conflict counts must agree bit for bit across worker counts.
+        assert_eq!(
+            seq.conflicts, par.conflicts,
+            "search diverges on job {i} — worker state is leaking between jobs"
+        );
+    }
+    assert_eq!(sequential.stats.cancelled, 0);
+    assert_eq!(parallel.stats.cancelled, 0);
+}
+
+#[test]
+fn global_deadline_stops_all_workers_promptly() {
+    // Each job alone would run for minutes (the bound-8 SQED sweep against
+    // an SQED-invisible bug explores every depth); the batch budget is a
+    // fraction of a second, and the shared flag must cut every in-flight
+    // SAT search loose within a short burst of conflicts.
+    let bug = Mutation::table1()[0].clone();
+    let config = DetectorConfig {
+        processor: ProcessorConfig::tiny().with_opcodes(&[Opcode::Add]),
+        max_bound: 8,
+        ..DetectorConfig::default()
+    };
+    let jobs: Vec<DetectionJob> = (0..4)
+        .map(|i| {
+            DetectionJob::new(
+                format!("hard-{i}"),
+                config.clone(),
+                Method::Sqed,
+                Some(bug.clone()),
+            )
+        })
+        .collect();
+    let start = Instant::now();
+    let outcome = ParallelEngine::new(2)
+        .with_time_limit(Some(Duration::from_millis(300)))
+        .run(jobs);
+    let wall = start.elapsed();
+    assert!(
+        wall < Duration::from_secs(10),
+        "cancellation took {wall:?} — workers are not being interrupted"
+    );
+    assert_eq!(outcome.detections.len(), 4);
+    for (i, d) in outcome.detections.iter().enumerate() {
+        assert!(
+            d.inconclusive && !d.detected,
+            "job {i} should be cut off inconclusive"
+        );
+    }
+    assert!(
+        outcome.stats.cancelled >= 1,
+        "at least the in-flight jobs must report as cancelled"
+    );
+}
+
+#[test]
+fn portfolio_first_finisher_matches_every_arm_run_alone() {
+    // The clean design is consistent, so every arm must conclude UNSAT up
+    // to the bound; whichever arm finishes first, the portfolio's verdict
+    // has to agree with each arm run by itself.
+    let job = DetectionJob::new(
+        "clean",
+        DetectorConfig {
+            processor: ProcessorConfig::tiny().with_opcodes(&[Opcode::Add, Opcode::Xori]),
+            max_bound: 2,
+            ..DetectorConfig::default()
+        },
+        Method::Sqed,
+        None,
+    );
+    let arms = PortfolioArm::standard();
+    let outcome = ParallelEngine::new(arms.len()).run_portfolio(&job, &arms);
+    assert!(outcome.winner < arms.len());
+    assert!(!outcome.detection.detected);
+    assert!(!outcome.detection.inconclusive);
+    assert_eq!(outcome.arms.len(), arms.len());
+    for (i, arm) in arms.iter().enumerate() {
+        assert_eq!(outcome.arms[i].arm, arm.name, "arm results out of order");
+        // Each arm alone, sequentially, with the same knobs.
+        let mut config = job.config.clone();
+        config.bmc_mode = arm.bmc_mode;
+        config.simplify = arm.simplify;
+        config.aig = arm.aig;
+        let alone = Detector::new(config).check(job.method, None);
+        assert!(
+            !alone.detected && !alone.inconclusive,
+            "arm {} diverges from its solo run",
+            arm.name
+        );
+        assert_eq!(alone.detected, outcome.detection.detected);
+    }
+}
+
+#[test]
+#[ignore = "long formal check on a single-CPU host; run with cargo test -- --ignored"]
+fn portfolio_detects_a_real_bug_and_agrees_with_the_arms() {
+    // A detected (SAT) verdict through the portfolio: the ADD off-by-one
+    // bug is visible to SEPE-SQED within bound 4.
+    let bug = Mutation::table1()[0].clone();
+    let job = DetectionJob::new(
+        "add-bug",
+        DetectorConfig {
+            processor: ProcessorConfig::tiny().with_opcodes(&[Opcode::Add, Opcode::Addi]),
+            max_bound: 4,
+            ..DetectorConfig::default()
+        },
+        Method::SepeSqed,
+        Some(bug),
+    );
+    let arms = PortfolioArm::standard();
+    let outcome = ParallelEngine::new(arms.len()).run_portfolio(&job, &arms);
+    assert!(
+        outcome.detection.detected,
+        "the portfolio must find the bug"
+    );
+    for (i, arm) in arms.iter().enumerate() {
+        let mut config = job.config.clone();
+        config.bmc_mode = arm.bmc_mode;
+        config.simplify = arm.simplify;
+        config.aig = arm.aig;
+        let alone = Detector::new(config).check(job.method, job.mutation.as_ref());
+        assert!(
+            alone.detected,
+            "arm {} misses the bug its portfolio found",
+            arms[i].name
+        );
+    }
+}

@@ -20,6 +20,25 @@
 //! The QED modules (EDDI-V / EDSEP-V transformations, dispatch queue, the
 //! universal property) live in the `sepe-sqed` crate and are wired onto the
 //! transition system produced here.
+//!
+//! # Example
+//!
+//! The mutation catalog drives the paper's experiments: every Table-1
+//! entry is a single-instruction bug naming the opcode it corrupts.
+//!
+//! ```
+//! use sepe_isa::Opcode;
+//! use sepe_processor::{Mutation, ProcessorConfig};
+//!
+//! let table1 = Mutation::table1();
+//! assert_eq!(table1.len(), 13, "the paper injects 13 single-instruction bugs");
+//! assert_eq!(table1[0].target_opcode(), Some(Opcode::Add));
+//! assert_eq!(Mutation::figure4().len(), 20, "…and 20 multiple-instruction bugs");
+//!
+//! // The tiny configuration keeps formal checks fast in tests and docs.
+//! let config = ProcessorConfig::tiny().with_opcodes(&[Opcode::Add]);
+//! assert!(config.xlen <= 8);
+//! ```
 
 pub mod concrete;
 pub mod config;

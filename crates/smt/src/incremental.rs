@@ -195,6 +195,15 @@ impl IncrementalSolver {
         self.sat.set_deadline(deadline);
     }
 
+    /// Attaches a shared cancellation flag to subsequent checks; raising it
+    /// from another thread makes an in-flight check return
+    /// [`SatResult::Unknown`] within a short burst of conflicts.  The solver
+    /// state stays valid — detach or lower the flag and check again to
+    /// continue (see [`CancelFlag`](crate::CancelFlag)).  `None` detaches.
+    pub fn set_cancel_flag(&mut self, cancel: Option<crate::sat::CancelFlag>) {
+        self.sat.set_cancel_flag(cancel);
+    }
+
     /// Overrides the learnt-database reduction schedule of the underlying
     /// SAT solver: the next reduction fires `interval` conflicts from now
     /// and the interval grows geometrically from there.  Small values force

@@ -17,9 +17,20 @@
 //! [`SatSolver::unsat_assumptions`] yields the subset of assumptions that
 //! participated in the final conflict (an unsat core over assumptions).
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::cnf::{Clause, Cnf, Lit, Var};
+
+/// A shared cancellation flag: set it from any thread and every solver
+/// holding a clone abandons its in-flight search with
+/// [`SolveOutcome::Unknown`] at the next check point (the same sampled spot
+/// where the wall-clock deadline is polled).  This is what lets a parallel
+/// detection batch cut every worker loose when a global time budget expires,
+/// and what lets a portfolio run cancel the losing arms the moment the first
+/// one finishes.
+pub type CancelFlag = Arc<AtomicBool>;
 
 /// Result of a SAT call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -238,6 +249,10 @@ pub struct SatSolver {
     /// [`SolveOutcome::Unknown`] (checked every few conflicts, so a call
     /// overruns the deadline by at most a short burst of conflicts).
     deadline: Option<Instant>,
+    /// Externally shared cancellation flag, polled at the same sampled
+    /// check point as the deadline; a raised flag yields
+    /// [`SolveOutcome::Unknown`] and leaves the solver reusable.
+    cancel: Option<CancelFlag>,
 }
 
 impl Default for SatSolver {
@@ -279,6 +294,7 @@ impl SatSolver {
             model: Vec::new(),
             num_learnt_live: 0,
             deadline: None,
+            cancel: None,
         }
     }
 
@@ -345,6 +361,23 @@ impl SatSolver {
     /// interruptible from drivers with wall-clock budgets.
     pub fn set_deadline(&mut self, deadline: Option<Instant>) {
         self.deadline = deadline;
+    }
+
+    /// Attaches a shared cancellation flag to subsequent solve calls; when
+    /// another thread raises the flag, an in-flight search returns
+    /// [`SolveOutcome::Unknown`] at its next check point (the same 1-in-64
+    /// conflict sampling as the deadline, so cancellation lands within a
+    /// short burst of conflicts).  The solver state stays valid: clear or
+    /// replace the flag and solve again to continue.  `None` detaches.
+    pub fn set_cancel_flag(&mut self, cancel: Option<CancelFlag>) {
+        self.cancel = cancel;
+    }
+
+    /// Whether the attached cancellation flag has been raised.
+    fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
     }
 
     /// Overrides the learnt-database reduction schedule: the next reduction
@@ -956,6 +989,11 @@ impl SatSolver {
         if !self.ok {
             return SolveOutcome::Unsat;
         }
+        if self.cancelled() {
+            // A pre-raised flag (e.g. a batch whose budget expired before
+            // this job started) skips the search entirely.
+            return SolveOutcome::Unknown;
+        }
         debug_assert_eq!(
             self.decision_level(),
             0,
@@ -1020,11 +1058,15 @@ impl SatSolver {
                         return Some(SolveOutcome::Unknown);
                     }
                 }
-                if let Some(deadline) = self.deadline {
-                    // An Instant read per conflict would already be noise
-                    // next to conflict analysis; sampling 1-in-64 makes it
-                    // free while bounding the overrun to a short burst.
-                    if self.conflicts.is_multiple_of(64) && Instant::now() >= deadline {
+                if self.conflicts.is_multiple_of(64) {
+                    // An Instant read (or even an atomic load) per conflict
+                    // would already be noise next to conflict analysis;
+                    // sampling 1-in-64 makes both interruption sources free
+                    // while bounding the overrun to a short burst.
+                    let deadline_hit = self
+                        .deadline
+                        .is_some_and(|deadline| Instant::now() >= deadline);
+                    if deadline_hit || self.cancelled() {
                         self.backtrack(0);
                         return Some(SolveOutcome::Unknown);
                     }

@@ -108,6 +108,7 @@ pub struct Solver {
     assertions: Vec<TermId>,
     conflict_limit: Option<u64>,
     deadline: Option<Instant>,
+    cancel: Option<crate::sat::CancelFlag>,
     last_model: Option<Model>,
     stats: SolverStats,
     simplify: bool,
@@ -127,6 +128,7 @@ impl Solver {
             assertions: Vec::new(),
             conflict_limit: None,
             deadline: None,
+            cancel: None,
             last_model: None,
             stats: SolverStats::default(),
             simplify: true,
@@ -181,6 +183,14 @@ impl Solver {
         self.deadline = deadline;
     }
 
+    /// Attaches a shared cancellation flag to subsequent checks; raising it
+    /// from another thread makes an in-flight check return
+    /// [`SatResult::Unknown`] within a short burst of conflicts (see
+    /// [`CancelFlag`](crate::CancelFlag)).  `None` detaches.
+    pub fn set_cancel_flag(&mut self, cancel: Option<crate::sat::CancelFlag>) {
+        self.cancel = cancel;
+    }
+
     /// Statistics of the most recent check.
     pub fn stats(&self) -> SolverStats {
         self.stats
@@ -213,6 +223,7 @@ impl Solver {
         let mut sat = SatSolver::from_cnf(cnf);
         sat.set_conflict_limit(self.conflict_limit);
         sat.set_deadline(self.deadline);
+        sat.set_cancel_flag(self.cancel.clone());
         let outcome = sat.solve();
         self.stats = SolverStats {
             cnf_vars,

@@ -22,7 +22,14 @@
 //! use sepe_isa::Opcode;
 //! use sepe_synth::{library::Library, spec::Spec, SynthesisConfig, hpf::HpfCegis};
 //!
-//! let config = SynthesisConfig { width: 8, ..SynthesisConfig::default() };
+//! // A deliberately tiny configuration so the example runs in seconds even
+//! // unoptimized (the fig3 bench profiles exercise the paper-scale ones).
+//! let config = SynthesisConfig {
+//!     width: 4,
+//!     programs_wanted: 1,
+//!     max_cegis_iterations: 6,
+//!     ..SynthesisConfig::default()
+//! };
 //! let library = Library::standard();
 //! let spec = Spec::for_opcode(Opcode::Sub, config.width);
 //! let mut synth = HpfCegis::new(config, library);

@@ -51,7 +51,7 @@ pub enum BmcMode {
 }
 
 /// Configuration of a BMC run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BmcConfig {
     /// Conflict budget per SAT call (`None` = unlimited).
     pub conflict_limit: Option<u64>,
@@ -87,6 +87,13 @@ pub struct BmcConfig {
     /// frames, re-centring VSIDS on the newest frame's variables.  `None`
     /// (default) leaves activities untouched.
     pub frame_rescore: Option<f64>,
+    /// Shared cancellation flag (default `None`).  When another thread
+    /// raises the flag, an in-flight SAT search aborts within a short burst
+    /// of conflicts and the check returns [`BmcResult::Unknown`]; the flag
+    /// is also polled between depths.  This is how the parallel detection
+    /// engine enforces a global batch budget and cancels losing portfolio
+    /// arms — see `sepe_sqed::parallel`.
+    pub cancel: Option<sepe_smt::CancelFlag>,
 }
 
 impl Default for BmcConfig {
@@ -99,6 +106,7 @@ impl Default for BmcConfig {
             simplify: true,
             aig: true,
             frame_rescore: None,
+            cancel: None,
         }
     }
 }
@@ -220,6 +228,14 @@ impl Bmc {
         self.stats.clone()
     }
 
+    /// Whether the configured shared cancellation flag has been raised.
+    fn cancelled(&self) -> bool {
+        self.config
+            .cancel
+            .as_ref()
+            .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+    }
+
     /// Drops the persistent solver state of
     /// [`BmcMode::CumulativeIncremental`], so the next
     /// [`check`](Self::check) starts from scratch (required before reusing
@@ -265,6 +281,7 @@ impl Bmc {
         solver.set_simplify(self.config.simplify);
         solver.set_conflict_limit(self.config.conflict_limit);
         solver.set_deadline(self.config.time_limit.map(|limit| start + limit));
+        solver.set_cancel_flag(self.config.cancel.clone());
         let init = unroller.init(tm);
         solver.assert_term(tm, init);
         let c0 = unroller.constraints_at(tm, 0);
@@ -277,13 +294,15 @@ impl Bmc {
                 solver.assert_term(tm, t);
             }
             let coi_dropped = coi_dropped_total(coi.as_ref(), &levels);
-            if let Some(limit) = self.config.time_limit {
-                if start.elapsed() > limit {
-                    self.stats.solver = solver.stats();
-                    self.stats.solver.encode.rewrite.coi_dropped_updates = coi_dropped;
-                    self.stats.duration = start.elapsed();
-                    return BmcResult::Unknown { bound };
-                }
+            let budget_gone = self
+                .config
+                .time_limit
+                .is_some_and(|limit| start.elapsed() > limit);
+            if budget_gone || self.cancelled() {
+                self.stats.solver = solver.stats();
+                self.stats.solver.encode.rewrite.coi_dropped_updates = coi_dropped;
+                self.stats.duration = start.elapsed();
+                return BmcResult::Unknown { bound };
             }
             let bad = unroller.bad_at(tm, bound);
             let result = solver.check_assuming(tm, &[bad]);
@@ -346,11 +365,13 @@ impl Bmc {
                 let both = tm.and(tr, cs);
                 path.push(both);
             }
-            if let Some(limit) = self.config.time_limit {
-                if start.elapsed() > limit {
-                    self.stats.duration = start.elapsed();
-                    return BmcResult::Unknown { bound };
-                }
+            let budget_gone = self
+                .config
+                .time_limit
+                .is_some_and(|limit| start.elapsed() > limit);
+            if budget_gone || self.cancelled() {
+                self.stats.duration = start.elapsed();
+                return BmcResult::Unknown { bound };
             }
             let bad = unroller.bad_at(tm, bound);
             let query_start = Instant::now();
@@ -359,6 +380,7 @@ impl Bmc {
             solver.set_simplify(self.config.simplify);
             solver.set_conflict_limit(self.config.conflict_limit);
             solver.set_deadline(self.config.time_limit.map(|limit| start + limit));
+            solver.set_cancel_flag(self.config.cancel.clone());
             for &p in path.iter().take(bound + 2) {
                 solver.assert_term(tm, p);
             }
@@ -418,6 +440,7 @@ impl Bmc {
         solver.set_simplify(self.config.simplify);
         solver.set_conflict_limit(self.config.conflict_limit);
         solver.set_deadline(self.config.time_limit.map(|limit| start + limit));
+        solver.set_cancel_flag(self.config.cancel.clone());
         let init = unroller.init(tm);
         solver.assert_term(tm, init);
         let c0 = unroller.constraints_at(tm, 0);
@@ -507,6 +530,7 @@ impl Bmc {
         let solver = &mut state.solver;
         solver.set_conflict_limit(self.config.conflict_limit);
         solver.set_deadline(self.config.time_limit.map(|limit| start + limit));
+        solver.set_cancel_flag(self.config.cancel.clone());
 
         let var_watermark = solver.num_cnf_vars();
         let frames_before = state.levels.len();

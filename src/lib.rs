@@ -1,6 +1,25 @@
 //! Workspace façade: re-exports the SEPE-SQED reproduction crates so the
 //! top-level `tests/` and `examples/` can depend on a single package, and so
 //! downstream users get one import surface.
+//!
+//! # Example
+//!
+//! Everything below is reachable through this one crate: build a detector
+//! for the clean tiny design and confirm it is self-consistent.
+//!
+//! ```
+//! use sepe::isa::Opcode;
+//! use sepe::processor::ProcessorConfig;
+//! use sepe::sqed::detect::{Detector, DetectorConfig, Method};
+//!
+//! let detector = Detector::new(DetectorConfig {
+//!     processor: ProcessorConfig::tiny().with_opcodes(&[Opcode::Add, Opcode::Xori]),
+//!     max_bound: 2,
+//!     ..DetectorConfig::default()
+//! });
+//! let detection = detector.check(Method::Sqed, None);
+//! assert!(!detection.detected, "the unmutated design is self-consistent");
+//! ```
 
 pub use sepe_isa as isa;
 pub use sepe_processor as processor;
