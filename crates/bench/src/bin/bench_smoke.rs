@@ -35,6 +35,13 @@
 //! numbers — they depend on the runner's core count — and keeps judging the
 //! deterministic single-worker modes only.
 //!
+//! The parallel batch also feeds a `robustness` entry — retries taken,
+//! degraded re-runs, panics absorbed, and stopped-job tallies by stop
+//! reason, straight from the engine's `BatchStats`.  A healthy run reports
+//! all zeros; the entry exists so the CI artifact history makes any
+//! engine-level recovery activity visible at a glance.  Also outside the
+//! regression gate.
+//!
 //! Usage:
 //!   bench_smoke [--bound N] [--jobs N] [--out BENCH_smoke.json] [--baseline BENCH_baseline.json]
 
@@ -123,12 +130,47 @@ struct ParallelResult {
     speedup: f64,
 }
 
+/// Robustness counters of the parallel batch, straight out of
+/// [`BatchStats`](sepe_sqed::BatchStats): retries taken, degraded re-runs,
+/// panics absorbed, and the per-reason tally of stopped jobs.  On a healthy
+/// smoke run every counter is zero — the entry exists so the uploaded
+/// artifact proves the fault-tolerance layer saw no work, and a nonzero
+/// value in CI history is immediately visible.  Not part of the regression
+/// gate.
+#[derive(Debug, Clone, Serialize)]
+struct RobustnessResult {
+    retries: u64,
+    degraded_runs: u64,
+    panics: u64,
+    stop_deadline: u64,
+    stop_conflict_budget: u64,
+    stop_memory_budget: u64,
+    stop_cancelled: u64,
+    stop_panicked: u64,
+}
+
+impl RobustnessResult {
+    fn new(stats: &sepe_sqed::BatchStats) -> RobustnessResult {
+        RobustnessResult {
+            retries: stats.retries,
+            degraded_runs: stats.degraded_runs,
+            panics: stats.panics,
+            stop_deadline: stats.stop_reasons.deadline,
+            stop_conflict_budget: stats.stop_reasons.conflict_budget,
+            stop_memory_budget: stats.stop_reasons.memory_budget,
+            stop_cancelled: stats.stop_reasons.cancelled,
+            stop_panicked: stats.stop_reasons.panicked,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Serialize)]
 struct SmokeReport {
     bound: usize,
     opcode: String,
     modes: Vec<ModeResult>,
     parallel: ParallelResult,
+    robustness: RobustnessResult,
 }
 
 /// Pulls `"<field>": <number>` for a named mode out of a baseline JSON
@@ -185,6 +227,7 @@ fn main() {
         assert!(!d.detected, "SQED must miss the Table-1 bug");
         assert!(!d.inconclusive, "the smoke batch runs without budgets");
     }
+    let robustness = RobustnessResult::new(&par.stats);
     let parallel = ParallelResult {
         batch_jobs: BATCH_COPIES,
         // The effective count (the engine clamps to the batch size), not
@@ -206,6 +249,7 @@ fn main() {
             ModeResult::new("scratch", scratch_wall, scratch_solver),
         ],
         parallel,
+        robustness,
     };
     for m in &report.modes {
         println!(
@@ -251,6 +295,17 @@ fn main() {
         report.parallel.wall_ms_jobsn,
         report.parallel.workers,
         report.parallel.speedup,
+    );
+    println!(
+        "  robustness: {} retries, {} degraded, {} panics, {} stopped jobs",
+        report.robustness.retries,
+        report.robustness.degraded_runs,
+        report.robustness.panics,
+        report.robustness.stop_deadline
+            + report.robustness.stop_conflict_budget
+            + report.robustness.stop_memory_budget
+            + report.robustness.stop_cancelled
+            + report.robustness.stop_panicked,
     );
 
     let json = serde_json::to_string_pretty(&report).expect("serializable report");

@@ -6,10 +6,11 @@ use std::time::Duration;
 
 use sepe_isa::Opcode;
 use sepe_processor::{Mutation, ProcessorConfig};
-use sepe_smt::TermManager;
+use sepe_smt::{CancelFlag, StopReason, TermManager};
 use sepe_tsys::{Bmc, BmcConfig, BmcMode, BmcResult, Witness};
 
 use crate::equivalence::EquivalenceDb;
+use crate::fault::FaultPlan;
 use crate::qed::{QedBuilder, Scheme};
 
 /// Which verification method to run.
@@ -63,13 +64,23 @@ pub struct DetectorConfig {
     /// structural hashing, local rewriting, polarity-aware Tseitin.  Off is
     /// the direct-blasting baseline of the bench harness's `aig_off` arm.
     pub aig: bool,
-    /// Shared cancellation flag passed down to the model checker (default
-    /// `None`).  Raising the flag from another thread aborts an in-flight
+    /// Shared cancellation flags passed down to the model checker (default
+    /// empty).  Raising *any* flag from another thread aborts an in-flight
     /// run with an inconclusive [`Detection`] within a short burst of SAT
-    /// conflicts.  The [`parallel`](crate::parallel) engine injects one
-    /// flag per batch (global time budget) or per portfolio race
-    /// (first-finisher-wins).
-    pub cancel: Option<sepe_smt::CancelFlag>,
+    /// conflicts.  Independent cancellation sources chain by each pushing
+    /// their own flag: the [`parallel`](crate::parallel) engine *adds* its
+    /// batch/portfolio flag to whatever the caller configured, so a
+    /// caller's flag keeps working inside a batch.
+    pub cancel: Vec<CancelFlag>,
+    /// Caps the estimated SAT clause-arena + watcher bytes per solver
+    /// (`None` = unlimited); a run that exceeds the cap comes back
+    /// inconclusive with [`StopReason::MemoryBudget`] instead of growing
+    /// without bound.
+    pub memory_limit: Option<usize>,
+    /// Deterministic fault injection (default `None`: no faults); see
+    /// [`FaultPlan`].  Test-only machinery — the parallel engine's retry
+    /// ladder strips it on retries unless the plan says otherwise.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for DetectorConfig {
@@ -84,7 +95,9 @@ impl Default for DetectorConfig {
             bmc_mode: BmcMode::Cumulative,
             simplify: true,
             aig: true,
-            cancel: None,
+            cancel: Vec::new(),
+            memory_limit: None,
+            fault: None,
         }
     }
 }
@@ -101,6 +114,10 @@ pub struct Detection {
     /// Whether the run ended because a resource budget was exhausted rather
     /// than because the bound was fully explored.
     pub inconclusive: bool,
+    /// Why an inconclusive run stopped (`None` on a conclusive verdict):
+    /// deadline, conflict budget, memory budget, or cancellation — the
+    /// previously indistinguishable give-ups, classified.
+    pub stop_reason: Option<StopReason>,
     /// Wall-clock runtime of the model-checking run.
     pub runtime: Duration,
     /// Counterexample length in committed instructions, when detected.
@@ -203,6 +220,8 @@ impl Detector {
             aig: self.config.aig,
             frame_rescore: None,
             cancel: self.config.cancel.clone(),
+            memory_limit: self.config.memory_limit,
+            fault: self.config.fault.map(FaultPlan::to_bmc).unwrap_or_default(),
         });
         let result = bmc.check(&mut tm, &system.ts, self.config.max_bound);
         let stats = bmc.stats();
@@ -213,6 +232,7 @@ impl Detector {
                 bug,
                 detected: true,
                 inconclusive: false,
+                stop_reason: None,
                 runtime: stats.duration,
                 trace_len: Some(witness.num_steps()),
                 witness: Some(witness),
@@ -226,6 +246,7 @@ impl Detector {
                 bug,
                 detected: false,
                 inconclusive: false,
+                stop_reason: None,
                 runtime: stats.duration,
                 trace_len: None,
                 witness: None,
@@ -234,11 +255,12 @@ impl Detector {
                 solver: stats.solver,
                 depths: stats.depths.clone(),
             },
-            BmcResult::Unknown { bound } => Detection {
+            BmcResult::Unknown { bound, reason } => Detection {
                 method,
                 bug,
                 detected: false,
                 inconclusive: true,
+                stop_reason: Some(reason),
                 runtime: stats.duration,
                 trace_len: None,
                 witness: None,

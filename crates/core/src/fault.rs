@@ -1,0 +1,143 @@
+//! Deterministic fault injection for detection runs.
+//!
+//! A [`FaultPlan`] describes one failure to force during a detection run —
+//! a panic at the k-th SAT conflict, a faked memory-cap breach, or a
+//! cancellation at a chosen BMC depth.  Everything is counter-indexed,
+//! never wall-clock, so an injected failure reproduces bit-identically on
+//! any machine: the fault-injection test suite and the CI seed matrix rely
+//! on this to exercise every recovery path of the engine (panic isolation,
+//! budget classification, retry-with-degradation) without timing
+//! assertions.
+//!
+//! Plans are either written out explicitly ([`panic_at`](FaultPlan::panic_at),
+//! [`memory_breach_at`](FaultPlan::memory_breach_at),
+//! [`cancel_at`](FaultPlan::cancel_at)) or derived from a seed
+//! ([`seeded`](FaultPlan::seeded)) with a small std-only xorshift mix —
+//! no RNG dependency, same plan for the same seed forever.
+
+use sepe_smt::FaultHooks;
+use sepe_tsys::BmcFaultPlan;
+
+/// One deterministic failure to inject into a detection run.
+///
+/// The default plan injects nothing.  By default a plan applies only to the
+/// *first* attempt at a job — the retry ladder of
+/// [`ParallelEngine`](crate::ParallelEngine) re-runs the job fault-free, so
+/// the "failed once, retried, succeeded degraded" path is itself
+/// deterministic; set [`every_attempt`](FaultPlan::every_attempt) to keep
+/// the fault armed on every retry instead (exhausting the ladder).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Force a panic inside the SAT search at exactly this conflict count.
+    pub panic_at_conflict: Option<u64>,
+    /// Fake a memory-budget breach at exactly this conflict count (the real
+    /// budget samples 1-in-64 conflicts; the fake is exact).
+    pub memory_breach_at_conflict: Option<u64>,
+    /// Act as a raised cancellation flag when the BMC run reaches this
+    /// depth.
+    pub cancel_at_depth: Option<usize>,
+    /// Keep the fault armed on retries instead of only the first attempt.
+    pub every_attempt: bool,
+}
+
+impl FaultPlan {
+    /// A plan that panics at the `k`-th SAT conflict.
+    pub fn panic_at(k: u64) -> FaultPlan {
+        FaultPlan {
+            panic_at_conflict: Some(k),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan that fakes a memory-cap breach at the `k`-th SAT conflict.
+    pub fn memory_breach_at(k: u64) -> FaultPlan {
+        FaultPlan {
+            memory_breach_at_conflict: Some(k),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan that trips cancellation when the BMC run reaches `depth`.
+    pub fn cancel_at(depth: usize) -> FaultPlan {
+        FaultPlan {
+            cancel_at_depth: Some(depth),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Keeps the fault armed on every retry attempt (by default it fires
+    /// only on the first, so retries run clean).
+    pub fn every_attempt(mut self) -> FaultPlan {
+        self.every_attempt = true;
+        self
+    }
+
+    /// Derives a plan from a seed: a std-only xorshift mix picks the fault
+    /// kind and its trigger point.  Same seed, same plan, forever — the CI
+    /// fault-injection job sweeps a seed matrix through here.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let kind = next() % 3;
+        let k = 1 + next() % 16;
+        match kind {
+            0 => FaultPlan::panic_at(k),
+            1 => FaultPlan::memory_breach_at(k),
+            _ => FaultPlan::cancel_at(1 + (k as usize % 4)),
+        }
+    }
+
+    /// Whether the plan injects nothing (the default).
+    pub fn is_empty(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+
+    /// Lowers the plan to the BMC layer's fault configuration.
+    pub fn to_bmc(self) -> BmcFaultPlan {
+        BmcFaultPlan {
+            sat: FaultHooks {
+                panic_at_conflict: self.panic_at_conflict,
+                memory_breach_at_conflict: self.memory_breach_at_conflict,
+            },
+            cancel_at_depth: self.cancel_at_depth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_nonempty() {
+        for seed in 0..64 {
+            let a = FaultPlan::seeded(seed);
+            let b = FaultPlan::seeded(seed);
+            assert_eq!(a, b, "seed {seed} must reproduce");
+            assert!(!a.is_empty(), "seed {seed} must inject something");
+        }
+    }
+
+    #[test]
+    fn seeded_plans_cover_every_fault_kind() {
+        let plans: Vec<FaultPlan> = (0..64).map(FaultPlan::seeded).collect();
+        assert!(plans.iter().any(|p| p.panic_at_conflict.is_some()));
+        assert!(plans.iter().any(|p| p.memory_breach_at_conflict.is_some()));
+        assert!(plans.iter().any(|p| p.cancel_at_depth.is_some()));
+    }
+
+    #[test]
+    fn lowering_preserves_the_trigger_points() {
+        let bmc = FaultPlan::panic_at(7).to_bmc();
+        assert_eq!(bmc.sat.panic_at_conflict, Some(7));
+        assert_eq!(bmc.cancel_at_depth, None);
+        let bmc = FaultPlan::cancel_at(3).to_bmc();
+        assert!(bmc.sat.is_empty());
+        assert_eq!(bmc.cancel_at_depth, Some(3));
+    }
+}

@@ -46,6 +46,7 @@ pub mod detect;
 pub mod eddiv;
 pub mod edsepv;
 pub mod equivalence;
+pub mod fault;
 pub mod mapping;
 pub mod parallel;
 pub mod qed;
@@ -54,7 +55,9 @@ pub use detect::{Detection, Detector, DetectorConfig, Method};
 pub use eddiv::EddiV;
 pub use edsepv::EdsepV;
 pub use equivalence::EquivalenceDb;
+pub use fault::FaultPlan;
 pub use mapping::RegisterMapping;
 pub use parallel::{
-    BatchOutcome, BatchStats, DetectionJob, ParallelEngine, PortfolioArm, PortfolioOutcome,
+    BatchOutcome, BatchStats, DegradationRung, DetectionJob, JobOutcome, JobReport, ParallelEngine,
+    PortfolioArm, PortfolioOutcome, RetryPolicy, StopReasonTally,
 };

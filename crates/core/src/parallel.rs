@@ -56,13 +56,14 @@
 //! ```
 
 use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use sepe_processor::Mutation;
-use sepe_smt::{CancelFlag, SolverReuseStats};
+use sepe_smt::{CancelFlag, SolverReuseStats, StopReason};
 use sepe_tsys::BmcMode;
 
 use crate::detect::{Detection, Detector, DetectorConfig, Method};
@@ -75,11 +76,11 @@ use crate::detect::{Detection, Detector, DetectorConfig, Method};
 /// opcode universe to each bug's target; Figure 4 derives it from the bug's
 /// trigger pattern).
 ///
-/// The engine owns cancellation: `config.cancel` is **replaced** by the
-/// batch's shared flag when the job is scheduled, so a caller-supplied flag
-/// would be ignored.  To cancel work the engine runs, use
-/// [`ParallelEngine::with_time_limit`]; for private per-job cancellation,
-/// run a [`Detector`] directly with your own flag instead.
+/// Cancellation *chains*: when the job is scheduled, the engine **pushes**
+/// the batch's shared flag onto the job's own `config.cancel` set instead of
+/// replacing it, so either source tripping cancels the job — the batch
+/// budget through [`ParallelEngine::with_time_limit`], or a caller-supplied
+/// per-job flag raised from outside.
 #[derive(Debug, Clone)]
 pub struct DetectionJob {
     /// Human-readable job label, carried through to results and logs.
@@ -109,6 +110,182 @@ impl DetectionJob {
     }
 }
 
+/// The classified final outcome of one job, after any retries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// A conclusive verdict: detected, or proven clean within the bound.
+    Completed,
+    /// The job stopped without a verdict for the given reason (budget
+    /// exhaustion, cancellation).
+    Stopped(StopReason),
+    /// The job panicked; the panic was caught, the worker survived, and the
+    /// payload's message is carried here.
+    Failed {
+        /// The panic payload, when it was a string (the common case).
+        message: String,
+    },
+}
+
+impl JobOutcome {
+    /// Whether the retry ladder re-runs a job that ended this way: panics
+    /// and per-solver budget exhaustion are worth a degraded retry, while
+    /// deadline expiry and cancellation are verdicts about the *batch* (its
+    /// wall budget is gone either way), so retrying would only burn more of
+    /// it.
+    fn should_retry(&self) -> bool {
+        match self {
+            JobOutcome::Completed => false,
+            JobOutcome::Failed { .. } => true,
+            JobOutcome::Stopped(reason) => matches!(
+                reason,
+                StopReason::ConflictBudget | StopReason::MemoryBudget
+            ),
+        }
+    }
+
+    /// The stop reason this outcome tallies under (`None` for a conclusive
+    /// verdict).
+    fn stop_reason(&self) -> Option<StopReason> {
+        match self {
+            JobOutcome::Completed => None,
+            JobOutcome::Stopped(reason) => Some(*reason),
+            JobOutcome::Failed { .. } => Some(StopReason::Panicked),
+        }
+    }
+}
+
+/// One rung of the retry degradation ladder: each retry re-runs the job
+/// under a configuration one step simpler/cheaper than the last, mirroring
+/// the ablation arms of [`PortfolioArm::standard`].  A panic or budget
+/// breach tied to a specific optimisation (AIG rewriting, word-level
+/// simplification, solver persistence) clears at the rung that removes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradationRung {
+    /// The job's own configuration, untouched (every first attempt).
+    Full,
+    /// Gate-level AIG reductions off.
+    AigOff,
+    /// Word-level rewriting + cone-of-influence reduction off.
+    NoRewrite,
+    /// Per-depth scratch solving (no persistent solver state at all) with
+    /// the bound halved — the cheapest, most conservative configuration.
+    ScratchHalfBound,
+}
+
+impl DegradationRung {
+    /// The next rung down (saturating at the bottom).
+    fn next(self) -> DegradationRung {
+        match self {
+            DegradationRung::Full => DegradationRung::AigOff,
+            DegradationRung::AigOff => DegradationRung::NoRewrite,
+            DegradationRung::NoRewrite => DegradationRung::ScratchHalfBound,
+            DegradationRung::ScratchHalfBound => DegradationRung::ScratchHalfBound,
+        }
+    }
+
+    /// Applies the rung's knobs on top of a job's base configuration.
+    fn apply(self, config: &mut DetectorConfig) {
+        match self {
+            DegradationRung::Full => {}
+            DegradationRung::AigOff => config.aig = false,
+            DegradationRung::NoRewrite => config.simplify = false,
+            DegradationRung::ScratchHalfBound => {
+                config.bmc_mode = BmcMode::PerDepthScratch;
+                config.max_bound = (config.max_bound / 2).max(1);
+            }
+        }
+    }
+}
+
+impl fmt::Display for DegradationRung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DegradationRung::Full => "full",
+            DegradationRung::AigOff => "aig_off",
+            DegradationRung::NoRewrite => "norewrite",
+            DegradationRung::ScratchHalfBound => "scratch_half_bound",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// How the engine re-runs jobs that failed or exhausted a per-solver
+/// budget: up to `max_retries` additional attempts, each one rung further
+/// down the [`DegradationRung`] ladder.  The default retries nothing, which
+/// reproduces the pre-retry engine exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 disables retrying).
+    pub max_retries: u32,
+}
+
+impl RetryPolicy {
+    /// No retries (the default): one attempt per job, failures reported
+    /// as-is.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy::default()
+    }
+
+    /// Up to `max_retries` degraded re-runs per failed/budget-exhausted
+    /// job.
+    pub fn ladder(max_retries: u32) -> RetryPolicy {
+        RetryPolicy { max_retries }
+    }
+}
+
+/// Per-job execution report: how the job ended and what it took to get
+/// there.  `BatchOutcome::reports[i]` describes `jobs[i]`, parallel to
+/// `detections[i]`.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// The job's label.
+    pub label: String,
+    /// The classified final outcome (after any retries).
+    pub outcome: JobOutcome,
+    /// Attempts run, including the first (0 for a job cancelled before it
+    /// ever started).
+    pub attempts: u32,
+    /// Attempts that panicked along the way (caught, worker kept alive).
+    pub panicked_attempts: u32,
+    /// The degradation rung of the final attempt (`Full` when the job never
+    /// needed the ladder).
+    pub rung: DegradationRung,
+}
+
+/// Final-outcome tallies by [`StopReason`] — how many jobs of a batch ended
+/// on each non-verdict path.  Jobs that completed are not tallied.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StopReasonTally {
+    /// Jobs that ran out of wall-clock budget.
+    pub deadline: u64,
+    /// Jobs that ran out of SAT conflict budget.
+    pub conflict_budget: u64,
+    /// Jobs that breached the SAT memory cap.
+    pub memory_budget: u64,
+    /// Jobs cancelled through a shared flag.
+    pub cancelled: u64,
+    /// Jobs whose final attempt panicked.
+    pub panicked: u64,
+}
+
+impl StopReasonTally {
+    /// Bumps the counter for a reason.
+    pub fn record(&mut self, reason: StopReason) {
+        match reason {
+            StopReason::Deadline => self.deadline += 1,
+            StopReason::ConflictBudget => self.conflict_budget += 1,
+            StopReason::MemoryBudget => self.memory_budget += 1,
+            StopReason::Cancelled => self.cancelled += 1,
+            StopReason::Panicked => self.panicked += 1,
+        }
+    }
+
+    /// Total jobs tallied (the batch's non-verdict count).
+    pub fn total(&self) -> u64 {
+        self.deadline + self.conflict_budget + self.memory_budget + self.cancelled + self.panicked
+    }
+}
+
 /// Aggregate statistics of one batch (or portfolio) run.
 #[derive(Debug, Clone, Default)]
 pub struct BatchStats {
@@ -130,18 +307,36 @@ pub struct BatchStats {
     pub cancelled: u64,
     /// Total SAT conflicts across all jobs.
     pub conflicts: u64,
+    /// Retry attempts across all jobs (attempts beyond each job's first).
+    pub retries: u64,
+    /// Jobs whose *final* attempt ran below the [`DegradationRung::Full`]
+    /// rung (i.e. the answer, conclusive or not, came from a degraded
+    /// configuration).
+    pub degraded_runs: u64,
+    /// Attempts that panicked and were caught (workers survive panics, so
+    /// this can exceed the failed-job count when retries also panic).
+    pub panics: u64,
+    /// Final-outcome tallies by stop reason (jobs that completed are not
+    /// tallied).
+    pub stop_reasons: StopReasonTally,
     /// Per-job solver-reuse counters, summed (encode/rewrite/AIG work,
     /// learnt-database reduction, CNF sizes).
     pub solver: SolverReuseStats,
 }
 
 impl BatchStats {
-    fn absorb_job(&mut self, detection: &Detection, cancelled: bool) {
+    fn absorb_job(&mut self, detection: &Detection, report: &JobReport, cancelled: bool) {
         self.jobs += 1;
         self.job_wall_total += detection.runtime;
         self.job_wall_max = self.job_wall_max.max(detection.runtime);
         self.cancelled += u64::from(cancelled);
         self.conflicts += detection.conflicts;
+        self.retries += u64::from(report.attempts.saturating_sub(1));
+        self.degraded_runs += u64::from(report.rung != DegradationRung::Full);
+        self.panics += u64::from(report.panicked_attempts);
+        if let Some(reason) = report.outcome.stop_reason() {
+            self.stop_reasons.record(reason);
+        }
         self.solver.absorb(&detection.solver);
     }
 }
@@ -151,7 +346,7 @@ impl fmt::Display for BatchStats {
         write!(
             f,
             "{} jobs on {} workers in {:.2}s (job wall {:.2}s total / {:.2}s max, \
-             {} cancelled, {} conflicts)",
+             {} cancelled, {} conflicts, {} retries, {} degraded, {} panics)",
             self.jobs,
             self.workers,
             self.wall.as_secs_f64(),
@@ -159,6 +354,9 @@ impl fmt::Display for BatchStats {
             self.job_wall_max.as_secs_f64(),
             self.cancelled,
             self.conflicts,
+            self.retries,
+            self.degraded_runs,
+            self.panics,
         )
     }
 }
@@ -170,6 +368,9 @@ pub struct BatchOutcome {
     /// Per-job results; `detections[i]` answers `jobs[i]` regardless of
     /// which worker ran it or when it finished.
     pub detections: Vec<Detection>,
+    /// Per-job execution reports (classified outcome, attempts, ladder
+    /// rung), parallel to `detections`.
+    pub reports: Vec<JobReport>,
     /// Aggregate batch counters.
     pub stats: BatchStats,
 }
@@ -256,6 +457,7 @@ pub struct PortfolioOutcome {
 pub struct ParallelEngine {
     workers: usize,
     time_limit: Option<Duration>,
+    retry: RetryPolicy,
 }
 
 impl ParallelEngine {
@@ -264,6 +466,7 @@ impl ParallelEngine {
         ParallelEngine {
             workers: workers.max(1),
             time_limit: None,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -272,6 +475,15 @@ impl ParallelEngine {
     /// return cancelled.
     pub fn with_time_limit(mut self, limit: Option<Duration>) -> Self {
         self.time_limit = limit;
+        self
+    }
+
+    /// Sets the retry policy for each subsequent batch: jobs that panic or
+    /// exhaust a per-solver budget are re-run down the
+    /// [`DegradationRung`] ladder up to the policy's attempt count.  The
+    /// default retries nothing.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -295,29 +507,32 @@ impl ParallelEngine {
         let watchdog = self.spawn_watchdog(&cancel);
         let workers = self.workers.min(jobs.len().max(1));
         let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, Detection, bool)>();
+        let retry = self.retry;
+        let (tx, rx) = mpsc::channel::<(usize, Detection, JobReport, bool)>();
 
         if workers <= 1 {
-            worker_loop(&jobs, &next, &cancel, deadline, &tx);
+            worker_loop(&jobs, &next, &cancel, deadline, retry, &tx);
         } else {
             thread::scope(|scope| {
                 for _ in 0..workers {
                     let tx = tx.clone();
                     let (jobs, next, cancel) = (&jobs, &next, &cancel);
-                    scope.spawn(move || worker_loop(jobs, next, cancel, deadline, &tx));
+                    scope.spawn(move || worker_loop(jobs, next, cancel, deadline, retry, &tx));
                 }
             });
         }
         drop(tx);
 
         let mut detections: Vec<Option<Detection>> = vec![None; jobs.len()];
+        let mut reports: Vec<Option<JobReport>> = vec![None; jobs.len()];
         let mut stats = BatchStats {
             workers,
             ..BatchStats::default()
         };
-        for (i, detection, cancelled) in rx {
-            stats.absorb_job(&detection, cancelled);
+        for (i, detection, report, cancelled) in rx {
+            stats.absorb_job(&detection, &report, cancelled);
             detections[i] = Some(detection);
+            reports[i] = Some(report);
         }
         if let Some((done, handle)) = watchdog {
             let _ = done.send(());
@@ -328,6 +543,10 @@ impl ParallelEngine {
             detections: detections
                 .into_iter()
                 .map(|d| d.expect("every job sends exactly one result"))
+                .collect(),
+            reports: reports
+                .into_iter()
+                .map(|r| r.expect("every job sends exactly one report"))
                 .collect(),
             stats,
         }
@@ -358,43 +577,57 @@ impl ParallelEngine {
         let cancel: CancelFlag = Arc::new(AtomicBool::new(false));
         let deadline = self.time_limit.map(|budget| start + budget);
         let watchdog = self.spawn_watchdog(&cancel);
-        let (tx, rx) = mpsc::channel::<(usize, Detection, bool)>();
+        let (tx, rx) = mpsc::channel::<(usize, Detection, JobReport, bool)>();
 
-        let mut outcomes: Vec<Option<ArmOutcome>> = vec![None; arms.len()];
+        let mut outcomes: Vec<Option<(ArmOutcome, JobReport)>> = vec![None; arms.len()];
         let mut winner: Option<usize> = None;
         thread::scope(|scope| {
             for (i, arm) in arms.iter().enumerate() {
                 let tx = tx.clone();
                 let cancel = cancel.clone();
                 let mut config = arm.apply(&job.config);
-                config.cancel = Some(cancel.clone());
+                // Chain, don't replace: the caller's own flags stay armed
+                // alongside the race's flag.
+                config.cancel.push(cancel.clone());
                 clamp_time_limit(&mut config, deadline);
                 let method = job.method;
                 let mutation = job.mutation.clone();
+                let label = format!("{}:{}", job.label, arm.name);
                 scope.spawn(move || {
-                    let detection = Detector::new(config).check(method, mutation.as_ref());
+                    let (detection, outcome, panicked) =
+                        run_isolated(config, method, mutation.as_ref());
+                    let report = JobReport {
+                        label,
+                        outcome,
+                        attempts: 1,
+                        panicked_attempts: u32::from(panicked),
+                        rung: DegradationRung::Full,
+                    };
                     // Sample the flag here, not at receive time: an arm
                     // that gave up on its own budget before the race was
                     // decided must not be mislabeled as cancelled just
                     // because the winner's flag landed while its result
                     // sat in the channel.
                     let cancelled = detection.inconclusive && cancel.load(Ordering::Relaxed);
-                    let _ = tx.send((i, detection, cancelled));
+                    let _ = tx.send((i, detection, report, cancelled));
                 });
             }
             drop(tx);
             // Collect in arrival order so the first conclusive verdict can
             // cut the still-running arms loose immediately.
-            for (i, detection, cancelled) in rx {
+            for (i, detection, report, cancelled) in rx {
                 if winner.is_none() && !detection.inconclusive {
                     winner = Some(i);
                     cancel.store(true, Ordering::Relaxed);
                 }
-                outcomes[i] = Some(ArmOutcome {
-                    arm: arms[i].name.clone(),
-                    detection,
-                    cancelled,
-                });
+                outcomes[i] = Some((
+                    ArmOutcome {
+                        arm: arms[i].name.clone(),
+                        detection,
+                        cancelled,
+                    },
+                    report,
+                ));
             }
         });
         if let Some((done, handle)) = watchdog {
@@ -402,10 +635,10 @@ impl ParallelEngine {
             let _ = handle.join();
         }
 
-        let arms_out: Vec<ArmOutcome> = outcomes
+        let (arms_out, arm_reports): (Vec<ArmOutcome>, Vec<JobReport>) = outcomes
             .into_iter()
             .map(|o| o.expect("every arm sends exactly one result"))
-            .collect();
+            .unzip();
         // All-inconclusive fallback: the arm that gave up first.
         let winner = winner.unwrap_or_else(|| {
             arms_out
@@ -419,8 +652,8 @@ impl ParallelEngine {
             workers: arms_out.len(),
             ..BatchStats::default()
         };
-        for o in &arms_out {
-            stats.absorb_job(&o.detection, o.cancelled);
+        for (o, report) in arms_out.iter().zip(&arm_reports) {
+            stats.absorb_job(&o.detection, report, o.cancelled);
         }
         stats.wall = start.elapsed();
         PortfolioOutcome {
@@ -451,14 +684,17 @@ impl ParallelEngine {
     }
 }
 
-/// One worker: pull the next job index, run it on a fresh detector, send
-/// the result home, repeat until the queue is exhausted.
+/// One worker: pull the next job index, run it (with panic isolation and
+/// the retry ladder) on fresh detectors, send the result home, repeat until
+/// the queue is exhausted.  A panicking job never takes the worker down —
+/// the panic is caught, classified, and the loop continues.
 fn worker_loop(
     jobs: &[DetectionJob],
     next: &AtomicUsize,
     cancel: &CancelFlag,
     deadline: Option<Instant>,
-    tx: &mpsc::Sender<(usize, Detection, bool)>,
+    retry: RetryPolicy,
+    tx: &mpsc::Sender<(usize, Detection, JobReport, bool)>,
 ) {
     loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -466,21 +702,116 @@ fn worker_loop(
             return;
         }
         let job = &jobs[i];
-        let (detection, cancelled) = if cancel.load(Ordering::Relaxed) {
+        let (detection, report, cancelled) = if cancel.load(Ordering::Relaxed) {
             // The budget expired before this job started: report it
             // cancelled without building a detector at all.
-            (stub_detection(job), true)
+            let report = JobReport {
+                label: job.label.clone(),
+                outcome: JobOutcome::Stopped(StopReason::Cancelled),
+                attempts: 0,
+                panicked_attempts: 0,
+                rung: DegradationRung::Full,
+            };
+            (stub_detection(job), report, true)
         } else {
-            let mut config = job.config.clone();
-            config.cancel = Some(cancel.clone());
-            clamp_time_limit(&mut config, deadline);
-            let detection = Detector::new(config).check(job.method, job.mutation.as_ref());
+            let (detection, report) = run_with_retry(job, cancel, deadline, retry);
             let cancelled = detection.inconclusive && cancel.load(Ordering::Relaxed);
-            (detection, cancelled)
+            (detection, report, cancelled)
         };
-        if tx.send((i, detection, cancelled)).is_err() {
+        if tx.send((i, detection, report, cancelled)).is_err() {
             return; // receiver gone — nothing left to report to
         }
+    }
+}
+
+/// Runs one job down the retry ladder: the first attempt under the job's
+/// own configuration, each subsequent attempt — granted only for panics and
+/// per-solver budget exhaustion, see [`JobOutcome::should_retry`] — one
+/// rung further down [`DegradationRung`].  The job's fault plan applies to
+/// the first attempt only unless it says otherwise
+/// ([`FaultPlan::every_attempt`](crate::fault::FaultPlan)), so
+/// "failed once, retried clean, succeeded degraded" is itself a
+/// deterministic path.
+fn run_with_retry(
+    job: &DetectionJob,
+    cancel: &CancelFlag,
+    deadline: Option<Instant>,
+    retry: RetryPolicy,
+) -> (Detection, JobReport) {
+    let mut rung = DegradationRung::Full;
+    let mut attempts: u32 = 0;
+    let mut panicked_attempts: u32 = 0;
+    loop {
+        attempts += 1;
+        let mut config = job.config.clone();
+        rung.apply(&mut config);
+        // Chain, don't replace: the job's own cancel flags stay armed
+        // alongside the batch flag — either tripping cancels the job.
+        config.cancel.push(cancel.clone());
+        clamp_time_limit(&mut config, deadline);
+        if attempts > 1 && !config.fault.is_some_and(|f| f.every_attempt) {
+            config.fault = None; // retries run clean by default
+        }
+        let (detection, outcome, panicked) =
+            run_isolated(config, job.method, job.mutation.as_ref());
+        panicked_attempts += u32::from(panicked);
+        if attempts > retry.max_retries || !outcome.should_retry() {
+            let report = JobReport {
+                label: job.label.clone(),
+                outcome,
+                attempts,
+                panicked_attempts,
+                rung,
+            };
+            return (detection, report);
+        }
+        rung = rung.next();
+    }
+}
+
+/// Runs one detection attempt with panic isolation: a panicking check is
+/// caught, classified as [`JobOutcome::Failed`], and replaced by an
+/// inconclusive stub detection so the worker (and the batch) survive.
+/// Unwind safety: the detector, its term manager and its solvers are all
+/// constructed inside the closure and dropped with it, so a panic can leave
+/// no torn state behind for anyone else to observe.
+fn run_isolated(
+    config: DetectorConfig,
+    method: Method,
+    mutation: Option<&Mutation>,
+) -> (Detection, JobOutcome, bool) {
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        Detector::new(config).check(method, mutation)
+    }));
+    match result {
+        Ok(detection) => {
+            let outcome = if detection.inconclusive {
+                JobOutcome::Stopped(detection.stop_reason.unwrap_or(StopReason::Cancelled))
+            } else {
+                JobOutcome::Completed
+            };
+            (detection, outcome, false)
+        }
+        Err(payload) => {
+            let mut stub = stub_detection_raw(method, mutation);
+            stub.stop_reason = Some(StopReason::Panicked);
+            let outcome = JobOutcome::Failed {
+                message: panic_message(payload.as_ref()),
+            };
+            (stub, outcome, true)
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (`&str` and `String`
+/// payloads cover `panic!` and formatted panics; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -496,11 +827,20 @@ fn clamp_time_limit(config: &mut DetectorConfig, deadline: Option<Instant>) {
 
 /// An inconclusive result for a job that never ran.
 fn stub_detection(job: &DetectionJob) -> Detection {
+    let mut d = stub_detection_raw(job.method, job.mutation.as_ref());
+    d.stop_reason = Some(StopReason::Cancelled);
+    d
+}
+
+/// An inconclusive result with no run behind it (no stop reason assigned —
+/// callers set one).
+fn stub_detection_raw(method: Method, mutation: Option<&Mutation>) -> Detection {
     Detection {
-        method: job.method,
-        bug: job.mutation.as_ref().map(|m| m.name.clone()),
+        method,
+        bug: mutation.map(|m| m.name.clone()),
         detected: false,
         inconclusive: true,
+        stop_reason: None,
         runtime: Duration::ZERO,
         trace_len: None,
         witness: None,

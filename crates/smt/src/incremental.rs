@@ -34,7 +34,7 @@ use std::time::{Duration, Instant};
 use crate::bitblast::BitBlaster;
 use crate::cnf::Lit;
 use crate::rewrite::{EncodeStats, Rewriter};
-use crate::sat::{SatSolver, SolveOutcome};
+use crate::sat::{CancelFlag, FaultHooks, SatSolver, SolveOutcome, StopReason};
 use crate::solver::{Model, SatResult};
 use crate::term::{TermId, TermManager};
 
@@ -199,9 +199,44 @@ impl IncrementalSolver {
     /// from another thread makes an in-flight check return
     /// [`SatResult::Unknown`] within a short burst of conflicts.  The solver
     /// state stays valid — detach or lower the flag and check again to
-    /// continue (see [`CancelFlag`](crate::CancelFlag)).  `None` detaches.
-    pub fn set_cancel_flag(&mut self, cancel: Option<crate::sat::CancelFlag>) {
+    /// continue (see [`CancelFlag`]).  `None` detaches.
+    pub fn set_cancel_flag(&mut self, cancel: Option<CancelFlag>) {
         self.sat.set_cancel_flag(cancel);
+    }
+
+    /// Attaches a *set* of cancellation flags: any raised flag cancels the
+    /// check.  Independent cancellation sources (a caller's own flag, a
+    /// batch's global flag) chain this way instead of replacing each other.
+    /// Replaces previously attached flags; an empty set detaches.
+    pub fn set_cancel_flags(&mut self, cancel: Vec<CancelFlag>) {
+        self.sat.set_cancel_flags(cancel);
+    }
+
+    /// Caps the estimated clause-arena + watcher bytes of the underlying SAT
+    /// solver; a check whose estimate exceeds the cap returns
+    /// [`SatResult::Unknown`] with [`StopReason::MemoryBudget`].  The solver
+    /// state stays valid — learnt-database reduction or a raised cap lets a
+    /// later check continue.  `None` (default) means unlimited.
+    pub fn set_memory_limit(&mut self, limit: Option<usize>) {
+        self.sat.set_memory_limit(limit);
+    }
+
+    /// Arms the deterministic fault-injection hooks (see [`FaultHooks`]) on
+    /// the underlying SAT solver for subsequent checks.
+    pub fn set_fault_hooks(&mut self, fault: FaultHooks) {
+        self.sat.set_fault_hooks(fault);
+    }
+
+    /// Why the last check returned [`SatResult::Unknown`]; `None` after a
+    /// conclusive verdict (or before any check).
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.sat.stop_reason()
+    }
+
+    /// High-water mark of the SAT solver's memory estimate (bytes), sampled
+    /// at the same 1-in-64-conflict point as the budget check.
+    pub fn memory_high_water(&self) -> usize {
+        self.sat.memory_high_water()
     }
 
     /// Overrides the learnt-database reduction schedule of the underlying
@@ -218,6 +253,12 @@ impl IncrementalSolver {
     /// equalities — definitions of not-yet-encoded variables are eliminated
     /// entirely — and only then is the surviving subgraph bit-blasted (and
     /// of that, only the part not already encoded by earlier work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not a boolean term — asserting a bit-vector has no
+    /// meaning, so the misuse is rejected at the call site rather than
+    /// surfacing as an encoding error later.
     pub fn assert_term(&mut self, tm: &mut TermManager, t: TermId) {
         assert!(tm.sort(t).is_bool(), "assertions must be boolean terms");
         if !self.simplify {
@@ -254,6 +295,11 @@ impl IncrementalSolver {
     /// On [`SatResult::Unsat`], [`unsat_core`](Self::unsat_core) holds the
     /// subset of `assumptions` involved in the final conflict (empty when the
     /// permanent assertions are unsatisfiable on their own).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumption is not a boolean term (the same invariant as
+    /// [`assert_term`](Self::assert_term)).
     pub fn check_assuming(&mut self, tm: &mut TermManager, assumptions: &[TermId]) -> SatResult {
         let start = Instant::now();
         let mut assumption_lits: Vec<(Lit, TermId)> = Vec::with_capacity(assumptions.len());

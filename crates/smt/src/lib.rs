@@ -114,7 +114,7 @@ pub use aig::{Aig, AigCnf, AigLit, AigNode, AigStats, GateKind};
 pub use cnf::{Clause, Cnf, Lit, Var};
 pub use incremental::{IncrementalSolver, SolverReuseStats};
 pub use rewrite::{EncodeStats, RewriteStats, Rewriter};
-pub use sat::{CancelFlag, ReduceStats, SatSolver, SolveOutcome};
+pub use sat::{CancelFlag, FaultHooks, ReduceStats, SatSolver, SolveOutcome, StopReason};
 pub use solver::{Model, SatResult, Solver};
 pub use sort::Sort;
 pub use term::{Op, Term, TermId, TermManager};

@@ -32,6 +32,68 @@ use crate::cnf::{Clause, Cnf, Lit, Var};
 /// one finishes.
 pub type CancelFlag = Arc<AtomicBool>;
 
+/// Why a call gave up with [`SolveOutcome::Unknown`] (or why a detection
+/// run ended without a verdict) — the error taxonomy of the whole stack.
+///
+/// Every layer that can abandon work (`SatSolver`, the SMT front-ends, the
+/// BMC driver, the parallel detection engine) reports one of these instead
+/// of an undifferentiated "unknown", so a server loop can tell a job that
+/// needs a bigger budget from one that was cancelled or crashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The conflict budget was exhausted.
+    ConflictBudget,
+    /// The memory budget (clause arena + watcher estimate) was exceeded.
+    MemoryBudget,
+    /// A shared cancellation flag was raised from outside.
+    Cancelled,
+    /// The job panicked and was caught by the isolation layer.  Never
+    /// produced by the solver itself; the parallel engine maps caught
+    /// panics to this variant so they share the taxonomy.
+    Panicked,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            StopReason::Deadline => "deadline",
+            StopReason::ConflictBudget => "conflict-budget",
+            StopReason::MemoryBudget => "memory-budget",
+            StopReason::Cancelled => "cancelled",
+            StopReason::Panicked => "panicked",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Deterministic fault-injection hooks for the SAT core (test-only in
+/// spirit, but compiled in: the checks are two `Option` compares per
+/// conflict, noise next to conflict analysis).
+///
+/// Both hooks key on the solver's *cumulative* conflict counter, which is
+/// deterministic for a fixed formula and configuration — so a forced fault
+/// lands at exactly the same point on every run, which is what lets the
+/// recovery paths be tested by counters instead of wall clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultHooks {
+    /// Panic (deliberately) once the cumulative conflict count reaches this
+    /// value — exercises the panic-isolation layer above.
+    pub panic_at_conflict: Option<u64>,
+    /// Report a fake memory-budget breach once the cumulative conflict
+    /// count reaches this value — exercises the [`StopReason::MemoryBudget`]
+    /// path without allocating anything.
+    pub memory_breach_at_conflict: Option<u64>,
+}
+
+impl FaultHooks {
+    /// Whether no hook is armed.
+    pub fn is_empty(&self) -> bool {
+        self.panic_at_conflict.is_none() && self.memory_breach_at_conflict.is_none()
+    }
+}
+
 /// Result of a SAT call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SolveOutcome {
@@ -249,10 +311,27 @@ pub struct SatSolver {
     /// [`SolveOutcome::Unknown`] (checked every few conflicts, so a call
     /// overruns the deadline by at most a short burst of conflicts).
     deadline: Option<Instant>,
-    /// Externally shared cancellation flag, polled at the same sampled
-    /// check point as the deadline; a raised flag yields
-    /// [`SolveOutcome::Unknown`] and leaves the solver reusable.
-    cancel: Option<CancelFlag>,
+    /// Externally shared cancellation flags, polled at the same sampled
+    /// check point as the deadline; any raised flag yields
+    /// [`SolveOutcome::Unknown`] and leaves the solver reusable.  A `Vec`
+    /// so independent cancellation sources chain instead of replacing each
+    /// other (a caller's private flag plus a batch's global flag).
+    cancel: Vec<CancelFlag>,
+    /// Byte budget for the clause arena + watcher estimate; exceeding it at
+    /// the sampled check point yields [`SolveOutcome::Unknown`] with
+    /// [`StopReason::MemoryBudget`].
+    memory_limit: Option<usize>,
+    /// Live literal slots in the clause arena, maintained incrementally so
+    /// [`memory_estimate`](Self::memory_estimate) never scans the arena.
+    lit_slots: usize,
+    /// High-water mark of the memory estimate (sampled alongside the
+    /// deadline poll).
+    mem_high_water: usize,
+    /// Why the last call returned [`SolveOutcome::Unknown`]; `None` after a
+    /// verdict.
+    stop_reason: Option<StopReason>,
+    /// Deterministic fault-injection hooks (empty by default).
+    fault: FaultHooks,
 }
 
 impl Default for SatSolver {
@@ -294,7 +373,12 @@ impl SatSolver {
             model: Vec::new(),
             num_learnt_live: 0,
             deadline: None,
-            cancel: None,
+            cancel: Vec::new(),
+            memory_limit: None,
+            lit_slots: 0,
+            mem_high_water: 0,
+            stop_reason: None,
+            fault: FaultHooks::default(),
         }
     }
 
@@ -370,14 +454,61 @@ impl SatSolver {
     /// short burst of conflicts).  The solver state stays valid: clear or
     /// replace the flag and solve again to continue.  `None` detaches.
     pub fn set_cancel_flag(&mut self, cancel: Option<CancelFlag>) {
+        self.cancel.clear();
+        self.cancel.extend(cancel);
+    }
+
+    /// Attaches a *set* of cancellation flags: any raised flag cancels.
+    /// This is how independent cancellation sources chain — e.g. a caller's
+    /// private flag plus the parallel engine's batch flag — instead of one
+    /// silently replacing the other.  Replaces any previously attached
+    /// flags; an empty set detaches.
+    pub fn set_cancel_flags(&mut self, cancel: Vec<CancelFlag>) {
         self.cancel = cancel;
     }
 
-    /// Whether the attached cancellation flag has been raised.
+    /// Whether any attached cancellation flag has been raised.
     fn cancelled(&self) -> bool {
-        self.cancel
-            .as_ref()
-            .is_some_and(|c| c.load(Ordering::Relaxed))
+        self.cancel.iter().any(|c| c.load(Ordering::Relaxed))
+    }
+
+    /// Caps the estimated bytes held by the clause arena and watcher lists
+    /// (see [`memory_estimate`](Self::memory_estimate)); a search that
+    /// exceeds the cap at the sampled check point returns
+    /// [`SolveOutcome::Unknown`] with [`StopReason::MemoryBudget`] instead
+    /// of growing without bound.  The solver stays reusable — raise the cap
+    /// (or let reduction shrink the arena) and solve again.  `None` (the
+    /// default) means unlimited.
+    pub fn set_memory_limit(&mut self, limit: Option<usize>) {
+        self.memory_limit = limit;
+    }
+
+    /// Estimated bytes held by the clause arena and watcher lists,
+    /// maintained from O(1) counters (literal slots, clause count) so the
+    /// search loop can poll it: literal storage, per-clause metadata, and
+    /// the two watcher entries every live clause registers.
+    pub fn memory_estimate(&self) -> usize {
+        self.lit_slots * std::mem::size_of::<Lit>()
+            + self.clauses.len()
+                * (std::mem::size_of::<ClauseData>() + 2 * std::mem::size_of::<u32>())
+    }
+
+    /// High-water mark of [`memory_estimate`](Self::memory_estimate),
+    /// sampled at the same check point as the deadline poll.
+    pub fn memory_high_water(&self) -> usize {
+        self.mem_high_water
+    }
+
+    /// Why the last solve call returned [`SolveOutcome::Unknown`]; `None`
+    /// after a conclusive verdict (or before any call).
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.stop_reason
+    }
+
+    /// Arms the deterministic fault-injection hooks for subsequent solve
+    /// calls (see [`FaultHooks`]).  The default hooks are empty.
+    pub fn set_fault_hooks(&mut self, fault: FaultHooks) {
+        self.fault = fault;
     }
 
     /// Overrides the learnt-database reduction schedule: the next reduction
@@ -510,6 +641,7 @@ impl SatSolver {
                 let idx = u32::try_from(self.clauses.len()).expect("clause index overflow");
                 self.watches[simplified[0].index()].push(idx);
                 self.watches[simplified[1].index()].push(idx);
+                self.lit_slots += simplified.len();
                 self.clauses.push(ClauseData {
                     lits: simplified,
                     learnt: false,
@@ -767,6 +899,7 @@ impl SatSolver {
                 let lbd = self.compute_lbd(&clause);
                 self.watches[clause[0].index()].push(idx);
                 self.watches[clause[1].index()].push(idx);
+                self.lit_slots += clause.len();
                 self.clauses.push(ClauseData {
                     lits: clause,
                     learnt: true,
@@ -922,6 +1055,7 @@ impl SatSolver {
         for (i, c) in std::mem::take(&mut self.clauses).into_iter().enumerate() {
             if delete[i] {
                 self.reduce_stats.literals_freed += c.lits.len() as u64;
+                self.lit_slots -= c.lits.len();
                 continue;
             }
             remap[i] = u32::try_from(kept.len()).expect("clause index overflow");
@@ -986,12 +1120,14 @@ impl SatSolver {
     pub fn solve_under_assumptions(&mut self, assumps: &[Lit]) -> SolveOutcome {
         self.conflict_core.clear();
         self.model.clear();
+        self.stop_reason = None;
         if !self.ok {
             return SolveOutcome::Unsat;
         }
         if self.cancelled() {
             // A pre-raised flag (e.g. a batch whose budget expired before
             // this job started) skips the search entirely.
+            self.stop_reason = Some(StopReason::Cancelled);
             return SolveOutcome::Unknown;
         }
         debug_assert_eq!(
@@ -1052,8 +1188,34 @@ impl SatSolver {
                 }
                 self.var_decay();
                 self.cla_decay();
+                if self
+                    .fault
+                    .panic_at_conflict
+                    .is_some_and(|k| self.conflicts >= k)
+                {
+                    // Deterministic injected fault: the panic-isolation
+                    // layer above (sepe_sqed::parallel) must catch this.
+                    panic!(
+                        "fault injection: forced panic at conflict {}",
+                        self.conflicts
+                    );
+                }
+                if self
+                    .fault
+                    .memory_breach_at_conflict
+                    .is_some_and(|k| self.conflicts >= k)
+                {
+                    // Injected fake cap breach: exercises the memory-budget
+                    // give-up path exactly, without allocating anything.
+                    // Checked per conflict (not sampled) so tiny test
+                    // formulas trip it deterministically too.
+                    self.stop_reason = Some(StopReason::MemoryBudget);
+                    self.backtrack(0);
+                    return Some(SolveOutcome::Unknown);
+                }
                 if let Some(limit) = self.conflict_limit {
                     if self.conflicts - start_conflicts >= limit {
+                        self.stop_reason = Some(StopReason::ConflictBudget);
                         self.backtrack(0);
                         return Some(SolveOutcome::Unknown);
                     }
@@ -1061,12 +1223,25 @@ impl SatSolver {
                 if self.conflicts.is_multiple_of(64) {
                     // An Instant read (or even an atomic load) per conflict
                     // would already be noise next to conflict analysis;
-                    // sampling 1-in-64 makes both interruption sources free
-                    // while bounding the overrun to a short burst.
-                    let deadline_hit = self
+                    // sampling 1-in-64 makes every interruption source free
+                    // while bounding the overrun to a short burst.  The
+                    // memory estimate rides along: O(1) counter reads.
+                    let estimate = self.memory_estimate();
+                    self.mem_high_water = self.mem_high_water.max(estimate);
+                    let reason = if self
                         .deadline
-                        .is_some_and(|deadline| Instant::now() >= deadline);
-                    if deadline_hit || self.cancelled() {
+                        .is_some_and(|deadline| Instant::now() >= deadline)
+                    {
+                        Some(StopReason::Deadline)
+                    } else if self.memory_limit.is_some_and(|cap| estimate > cap) {
+                        Some(StopReason::MemoryBudget)
+                    } else if self.cancelled() {
+                        Some(StopReason::Cancelled)
+                    } else {
+                        None
+                    };
+                    if let Some(reason) = reason {
+                        self.stop_reason = Some(reason);
                         self.backtrack(0);
                         return Some(SolveOutcome::Unknown);
                     }
@@ -1187,6 +1362,83 @@ mod tests {
         let mut s = solver_with(&pigeonhole(7, 6));
         s.set_conflict_limit(Some(5));
         assert_eq!(s.solve(), SolveOutcome::Unknown);
+        assert_eq!(s.stop_reason(), Some(StopReason::ConflictBudget));
+        // Lifting the budget clears the reason along with the verdict.
+        s.set_conflict_limit(None);
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        assert_eq!(s.stop_reason(), None);
+    }
+
+    #[test]
+    fn memory_budget_stops_the_search_deterministically() {
+        let mut tight = solver_with(&pigeonhole(7, 6));
+        tight.set_memory_limit(Some(1)); // any learnt clause breaches 1 byte
+        assert_eq!(tight.solve(), SolveOutcome::Unknown);
+        assert_eq!(tight.stop_reason(), Some(StopReason::MemoryBudget));
+        assert!(tight.memory_high_water() > 1);
+        // Deterministic: an identical twin gives up at the same conflict.
+        let mut twin = solver_with(&pigeonhole(7, 6));
+        twin.set_memory_limit(Some(1));
+        assert_eq!(twin.solve(), SolveOutcome::Unknown);
+        assert_eq!(twin.num_conflicts(), tight.num_conflicts());
+        // Raising the cap lets the same solver finish the job.
+        tight.set_memory_limit(None);
+        assert_eq!(tight.solve(), SolveOutcome::Unsat);
+        assert_eq!(tight.stop_reason(), None);
+    }
+
+    #[test]
+    fn raised_cancel_flag_reports_cancelled() {
+        let mut s = solver_with(&pigeonhole(7, 6));
+        let flag: CancelFlag = Arc::new(AtomicBool::new(true));
+        s.set_cancel_flag(Some(flag));
+        assert_eq!(s.solve(), SolveOutcome::Unknown);
+        assert_eq!(s.stop_reason(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn any_flag_of_a_chained_set_cancels() {
+        let mut s = solver_with(&pigeonhole(7, 6));
+        let a: CancelFlag = Arc::new(AtomicBool::new(false));
+        let b: CancelFlag = Arc::new(AtomicBool::new(false));
+        s.set_cancel_flags(vec![a.clone(), b.clone()]);
+        b.store(true, Ordering::Relaxed);
+        assert_eq!(s.solve(), SolveOutcome::Unknown);
+        assert_eq!(s.stop_reason(), Some(StopReason::Cancelled));
+        // Lowering the flag makes the same solver usable again.
+        b.store(false, Ordering::Relaxed);
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        assert_eq!(s.stop_reason(), None);
+    }
+
+    #[test]
+    fn forced_panic_fires_at_the_exact_conflict() {
+        let mut s = solver_with(&pigeonhole(7, 6));
+        s.set_fault_hooks(FaultHooks {
+            panic_at_conflict: Some(10),
+            ..FaultHooks::default()
+        });
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.solve()));
+        let message = *caught
+            .expect_err("the armed hook must panic")
+            .downcast::<String>()
+            .expect("panic payload is a formatted string");
+        assert!(message.contains("forced panic at conflict 10"), "{message}");
+    }
+
+    #[test]
+    fn fake_memory_breach_stops_at_the_exact_conflict() {
+        let mut s = solver_with(&pigeonhole(7, 6));
+        s.set_fault_hooks(FaultHooks {
+            memory_breach_at_conflict: Some(10),
+            ..FaultHooks::default()
+        });
+        assert_eq!(s.solve(), SolveOutcome::Unknown);
+        assert_eq!(s.stop_reason(), Some(StopReason::MemoryBudget));
+        assert_eq!(s.num_conflicts(), 10);
+        // Disarming the hook lets the solver finish.
+        s.set_fault_hooks(FaultHooks::default());
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
     }
 
     #[test]

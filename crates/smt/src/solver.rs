@@ -7,7 +7,7 @@ use crate::bitblast::BitBlaster;
 use crate::cnf::Lit;
 use crate::concrete::{eval, Assignment};
 use crate::rewrite::{RewriteStats, Rewriter};
-use crate::sat::{SatSolver, SolveOutcome};
+use crate::sat::{CancelFlag, FaultHooks, SatSolver, SolveOutcome, StopReason};
 use crate::term::{TermId, TermManager};
 
 /// Result of an SMT check.
@@ -108,7 +108,10 @@ pub struct Solver {
     assertions: Vec<TermId>,
     conflict_limit: Option<u64>,
     deadline: Option<Instant>,
-    cancel: Option<crate::sat::CancelFlag>,
+    cancel: Vec<CancelFlag>,
+    memory_limit: Option<usize>,
+    fault: FaultHooks,
+    stop_reason: Option<StopReason>,
     last_model: Option<Model>,
     stats: SolverStats,
     simplify: bool,
@@ -128,7 +131,10 @@ impl Solver {
             assertions: Vec::new(),
             conflict_limit: None,
             deadline: None,
-            cancel: None,
+            cancel: Vec::new(),
+            memory_limit: None,
+            fault: FaultHooks::default(),
+            stop_reason: None,
             last_model: None,
             stats: SolverStats::default(),
             simplify: true,
@@ -155,6 +161,12 @@ impl Solver {
     }
 
     /// Adds an assertion (must be a boolean term).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not a boolean term — asserting a bit-vector has no
+    /// meaning, so the misuse is rejected at the call site rather than
+    /// surfacing as an encoding error later.
     pub fn assert_term(&mut self, tm: &TermManager, t: TermId) {
         assert!(tm.sort(t).is_bool(), "assertions must be boolean terms");
         self.assertions.push(t);
@@ -186,9 +198,38 @@ impl Solver {
     /// Attaches a shared cancellation flag to subsequent checks; raising it
     /// from another thread makes an in-flight check return
     /// [`SatResult::Unknown`] within a short burst of conflicts (see
-    /// [`CancelFlag`](crate::CancelFlag)).  `None` detaches.
-    pub fn set_cancel_flag(&mut self, cancel: Option<crate::sat::CancelFlag>) {
+    /// [`CancelFlag`]).  `None` detaches.
+    pub fn set_cancel_flag(&mut self, cancel: Option<CancelFlag>) {
+        self.cancel.clear();
+        self.cancel.extend(cancel);
+    }
+
+    /// Attaches a *set* of cancellation flags: any raised flag cancels the
+    /// check.  Independent cancellation sources (a caller's own flag, a
+    /// batch's global flag) chain this way instead of replacing each other.
+    /// Replaces previously attached flags; an empty set detaches.
+    pub fn set_cancel_flags(&mut self, cancel: Vec<CancelFlag>) {
         self.cancel = cancel;
+    }
+
+    /// Caps the estimated SAT clause-arena + watcher bytes of subsequent
+    /// checks; a check that exceeds the cap returns [`SatResult::Unknown`]
+    /// with [`StopReason::MemoryBudget`] instead of growing without bound.
+    /// `None` (default) means unlimited.
+    pub fn set_memory_limit(&mut self, limit: Option<usize>) {
+        self.memory_limit = limit;
+    }
+
+    /// Arms the deterministic fault-injection hooks (see
+    /// [`FaultHooks`]) on the SAT solver of each subsequent check.
+    pub fn set_fault_hooks(&mut self, fault: FaultHooks) {
+        self.fault = fault;
+    }
+
+    /// Why the last check returned [`SatResult::Unknown`]; `None` after a
+    /// conclusive verdict (or before any check).
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.stop_reason
     }
 
     /// Statistics of the most recent check.
@@ -223,8 +264,11 @@ impl Solver {
         let mut sat = SatSolver::from_cnf(cnf);
         sat.set_conflict_limit(self.conflict_limit);
         sat.set_deadline(self.deadline);
-        sat.set_cancel_flag(self.cancel.clone());
+        sat.set_cancel_flags(self.cancel.clone());
+        sat.set_memory_limit(self.memory_limit);
+        sat.set_fault_hooks(self.fault);
         let outcome = sat.solve();
+        self.stop_reason = sat.stop_reason();
         self.stats = SolverStats {
             cnf_vars,
             cnf_clauses,

@@ -4,7 +4,8 @@ use std::time::{Duration, Instant};
 
 use sepe_smt::concrete::{self, Assignment};
 use sepe_smt::{
-    IncrementalSolver, Model, SatResult, Solver, SolverReuseStats, TermId, TermManager,
+    CancelFlag, FaultHooks, IncrementalSolver, Model, SatResult, Solver, SolverReuseStats,
+    StopReason, TermId, TermManager,
 };
 
 use crate::ts::{CoiInfo, TransitionSystem};
@@ -87,13 +88,46 @@ pub struct BmcConfig {
     /// frames, re-centring VSIDS on the newest frame's variables.  `None`
     /// (default) leaves activities untouched.
     pub frame_rescore: Option<f64>,
-    /// Shared cancellation flag (default `None`).  When another thread
-    /// raises the flag, an in-flight SAT search aborts within a short burst
-    /// of conflicts and the check returns [`BmcResult::Unknown`]; the flag
-    /// is also polled between depths.  This is how the parallel detection
-    /// engine enforces a global batch budget and cancels losing portfolio
-    /// arms — see `sepe_sqed::parallel`.
-    pub cancel: Option<sepe_smt::CancelFlag>,
+    /// Shared cancellation flags (default empty).  *Any* raised flag makes
+    /// an in-flight SAT search abort within a short burst of conflicts and
+    /// the check return [`BmcResult::Unknown`] with
+    /// [`StopReason::Cancelled`]; the flags are also polled between depths.
+    /// Independent cancellation sources chain by each pushing their own flag
+    /// — a caller's flag and the parallel engine's batch flag coexist
+    /// instead of replacing each other (see `sepe_sqed::parallel`).
+    pub cancel: Vec<CancelFlag>,
+    /// Caps the estimated clause-arena + watcher bytes of each SAT solver
+    /// (`None` = unlimited); a query whose estimate exceeds the cap returns
+    /// [`BmcResult::Unknown`] with [`StopReason::MemoryBudget`] instead of
+    /// growing without bound.
+    pub memory_limit: Option<usize>,
+    /// Deterministic fault injection (default: no faults).  Test-only
+    /// machinery for exercising the failure paths above without wall-clock
+    /// coupling; see [`BmcFaultPlan`].
+    pub fault: BmcFaultPlan,
+}
+
+/// Deterministic fault injection for a BMC run: which failure to force and
+/// exactly where.  Everything here is counter-indexed (conflicts, depths),
+/// never wall-clock, so an injected failure reproduces bit-identically on
+/// any machine.  The default plan injects nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BmcFaultPlan {
+    /// Hooks armed on every SAT solver the run constructs: forced panic or
+    /// faked memory-cap breach at the k-th conflict (see
+    /// [`FaultHooks`]).
+    pub sat: FaultHooks,
+    /// Acts as a raised cancellation flag at the between-depths poll of the
+    /// given depth: the per-depth modes trip when about to query exactly
+    /// this depth, the cumulative modes when their single query covers it.
+    pub cancel_at_depth: Option<usize>,
+}
+
+impl BmcFaultPlan {
+    /// Whether the plan injects nothing (the default).
+    pub fn is_empty(&self) -> bool {
+        *self == BmcFaultPlan::default()
+    }
 }
 
 impl Default for BmcConfig {
@@ -106,7 +140,9 @@ impl Default for BmcConfig {
             simplify: true,
             aig: true,
             frame_rescore: None,
-            cancel: None,
+            cancel: Vec::new(),
+            memory_limit: None,
+            fault: BmcFaultPlan::default(),
         }
     }
 }
@@ -166,10 +202,13 @@ pub enum BmcResult {
         /// The bound that was exhaustively checked.
         bound: usize,
     },
-    /// The resource budget ran out at the given bound.
+    /// The run stopped without a verdict at the given bound.
     Unknown {
-        /// The bound being checked when the budget ran out.
+        /// The bound being checked when the run stopped.
         bound: usize,
+        /// Which budget ran out or which interruption fired — the previously
+        /// indistinguishable give-ups, classified (see [`StopReason`]).
+        reason: StopReason,
     },
 }
 
@@ -228,12 +267,12 @@ impl Bmc {
         self.stats.clone()
     }
 
-    /// Whether the configured shared cancellation flag has been raised.
+    /// Whether any configured shared cancellation flag has been raised.
     fn cancelled(&self) -> bool {
         self.config
             .cancel
-            .as_ref()
-            .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+            .iter()
+            .any(|c| c.load(std::sync::atomic::Ordering::Relaxed))
     }
 
     /// Drops the persistent solver state of
@@ -281,7 +320,9 @@ impl Bmc {
         solver.set_simplify(self.config.simplify);
         solver.set_conflict_limit(self.config.conflict_limit);
         solver.set_deadline(self.config.time_limit.map(|limit| start + limit));
-        solver.set_cancel_flag(self.config.cancel.clone());
+        solver.set_cancel_flags(self.config.cancel.clone());
+        solver.set_memory_limit(self.config.memory_limit);
+        solver.set_fault_hooks(self.config.fault.sat);
         let init = unroller.init(tm);
         solver.assert_term(tm, init);
         let c0 = unroller.constraints_at(tm, 0);
@@ -298,11 +339,17 @@ impl Bmc {
                 .config
                 .time_limit
                 .is_some_and(|limit| start.elapsed() > limit);
-            if budget_gone || self.cancelled() {
+            let fault_cancel = self.config.fault.cancel_at_depth == Some(bound);
+            if budget_gone || fault_cancel || self.cancelled() {
                 self.stats.solver = solver.stats();
                 self.stats.solver.encode.rewrite.coi_dropped_updates = coi_dropped;
                 self.stats.duration = start.elapsed();
-                return BmcResult::Unknown { bound };
+                let reason = if budget_gone {
+                    StopReason::Deadline
+                } else {
+                    StopReason::Cancelled
+                };
+                return BmcResult::Unknown { bound, reason };
             }
             let bad = unroller.bad_at(tm, bound);
             let result = solver.check_assuming(tm, &[bad]);
@@ -330,7 +377,8 @@ impl Bmc {
                 SatResult::Unsat => {}
                 SatResult::Unknown => {
                     self.stats.duration = start.elapsed();
-                    return BmcResult::Unknown { bound };
+                    let reason = solver.stop_reason().unwrap_or(StopReason::ConflictBudget);
+                    return BmcResult::Unknown { bound, reason };
                 }
             }
         }
@@ -369,9 +417,15 @@ impl Bmc {
                 .config
                 .time_limit
                 .is_some_and(|limit| start.elapsed() > limit);
-            if budget_gone || self.cancelled() {
+            let fault_cancel = self.config.fault.cancel_at_depth == Some(bound);
+            if budget_gone || fault_cancel || self.cancelled() {
                 self.stats.duration = start.elapsed();
-                return BmcResult::Unknown { bound };
+                let reason = if budget_gone {
+                    StopReason::Deadline
+                } else {
+                    StopReason::Cancelled
+                };
+                return BmcResult::Unknown { bound, reason };
             }
             let bad = unroller.bad_at(tm, bound);
             let query_start = Instant::now();
@@ -380,7 +434,9 @@ impl Bmc {
             solver.set_simplify(self.config.simplify);
             solver.set_conflict_limit(self.config.conflict_limit);
             solver.set_deadline(self.config.time_limit.map(|limit| start + limit));
-            solver.set_cancel_flag(self.config.cancel.clone());
+            solver.set_cancel_flags(self.config.cancel.clone());
+            solver.set_memory_limit(self.config.memory_limit);
+            solver.set_fault_hooks(self.config.fault.sat);
             for &p in path.iter().take(bound + 2) {
                 solver.assert_term(tm, p);
             }
@@ -416,7 +472,8 @@ impl Bmc {
                 SatResult::Unsat => {}
                 SatResult::Unknown => {
                     self.stats.duration = start.elapsed();
-                    return BmcResult::Unknown { bound };
+                    let reason = solver.stop_reason().unwrap_or(StopReason::ConflictBudget);
+                    return BmcResult::Unknown { bound, reason };
                 }
             }
         }
@@ -440,7 +497,9 @@ impl Bmc {
         solver.set_simplify(self.config.simplify);
         solver.set_conflict_limit(self.config.conflict_limit);
         solver.set_deadline(self.config.time_limit.map(|limit| start + limit));
-        solver.set_cancel_flag(self.config.cancel.clone());
+        solver.set_cancel_flags(self.config.cancel.clone());
+        solver.set_memory_limit(self.config.memory_limit);
+        solver.set_fault_hooks(self.config.fault.sat);
         let init = unroller.init(tm);
         solver.assert_term(tm, init);
         let c0 = unroller.constraints_at(tm, 0);
@@ -458,6 +517,20 @@ impl Bmc {
             any_bad = tm.or(any_bad, bad);
         }
         solver.assert_term(tm, any_bad);
+        if self
+            .config
+            .fault
+            .cancel_at_depth
+            .is_some_and(|d| d <= max_bound)
+        {
+            // The single query covers this depth: act as a raised flag at
+            // the pre-query poll, like the per-depth modes do.
+            self.stats.duration = start.elapsed();
+            return BmcResult::Unknown {
+                bound: max_bound,
+                reason: StopReason::Cancelled,
+            };
+        }
         let outcome = solver.check(tm);
         self.stats.queries = 1;
         self.stats.conflicts = solver.stats().conflicts;
@@ -489,7 +562,10 @@ impl Bmc {
                 BmcResult::Counterexample(witness)
             }
             SatResult::Unsat => BmcResult::NoCounterexample { bound: max_bound },
-            SatResult::Unknown => BmcResult::Unknown { bound: max_bound },
+            SatResult::Unknown => BmcResult::Unknown {
+                bound: max_bound,
+                reason: solver.stop_reason().unwrap_or(StopReason::ConflictBudget),
+            },
         };
         self.stats.duration = start.elapsed();
         result
@@ -530,7 +606,9 @@ impl Bmc {
         let solver = &mut state.solver;
         solver.set_conflict_limit(self.config.conflict_limit);
         solver.set_deadline(self.config.time_limit.map(|limit| start + limit));
-        solver.set_cancel_flag(self.config.cancel.clone());
+        solver.set_cancel_flags(self.config.cancel.clone());
+        solver.set_memory_limit(self.config.memory_limit);
+        solver.set_fault_hooks(self.config.fault.sat);
 
         let var_watermark = solver.num_cnf_vars();
         let frames_before = state.levels.len();
@@ -571,6 +649,20 @@ impl Bmc {
             bads.push((k, bad));
             any_bad = tm.or(any_bad, bad);
         }
+        if self
+            .config
+            .fault
+            .cancel_at_depth
+            .is_some_and(|d| d <= max_bound)
+        {
+            // The single query covers this depth: act as a raised flag at
+            // the pre-query poll, like the per-depth modes do.
+            self.stats.duration = start.elapsed();
+            return BmcResult::Unknown {
+                bound: max_bound,
+                reason: StopReason::Cancelled,
+            };
+        }
         let outcome = solver.check_assuming(tm, &[any_bad]);
         let mut sstats = solver.stats();
         sstats.encode.rewrite.coi_dropped_updates = state.coi_dropped;
@@ -601,7 +693,10 @@ impl Bmc {
                 state.next_unproven = max_bound + 1;
                 BmcResult::NoCounterexample { bound: max_bound }
             }
-            SatResult::Unknown => BmcResult::Unknown { bound: max_bound },
+            SatResult::Unknown => BmcResult::Unknown {
+                bound: max_bound,
+                reason: solver.stop_reason().unwrap_or(StopReason::ConflictBudget),
+            },
         };
         self.stats.duration = start.elapsed();
         result
@@ -700,6 +795,9 @@ fn extract_witness(
         }
     }
     let mut frames = Vec::with_capacity(bound + 1);
+    // The `expect`s below restate the registration-time invariant of
+    // `TransitionSystem::add_state_var`/`add_input`: state vars and inputs
+    // are variable terms, so they always have names.
     for k in 0..=bound {
         let mut frame = Frame::default();
         for sv in ts.state_vars() {

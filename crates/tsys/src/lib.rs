@@ -39,7 +39,7 @@ pub mod ts;
 pub mod unroll;
 pub mod witness;
 
-pub use bmc::{Bmc, BmcConfig, BmcMode, BmcResult, BmcStats, DepthStats};
+pub use bmc::{Bmc, BmcConfig, BmcFaultPlan, BmcMode, BmcResult, BmcStats, DepthStats};
 pub use ts::{CoiInfo, StateVar, TransitionSystem};
 pub use unroll::Unroller;
 pub use witness::{Frame, Witness};

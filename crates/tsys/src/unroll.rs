@@ -34,6 +34,11 @@ impl<'a> Unroller<'a> {
 
     /// Ensures frame `k` variables exist and returns the substitution map of
     /// that frame.
+    ///
+    /// The `expect`s below restate an invariant enforced at registration
+    /// time: [`TransitionSystem::add_state_var`] and
+    /// [`TransitionSystem::add_input`] reject non-variable terms, so every
+    /// state var and input reaching here has a name.
     pub fn frame_map(&mut self, tm: &mut TermManager, k: usize) -> &HashMap<TermId, TermId> {
         while self.frame_maps.len() <= k {
             let frame = self.frame_maps.len();
