@@ -42,6 +42,15 @@
 //! engine-level recovery activity visible at a glance.  Also outside the
 //! regression gate.
 //!
+//! A seventh, **batched** arm answers a twenty-entry mutation catalogue
+//! over one shared unrolling (`sepe_sqed::BatchedDetector` via
+//! `BatchSpec::catalogue`): one encoding, one persistent solver, one-hot
+//! activation-literal flips per entry and depth.  Its counters are
+//! deterministic, so it *is* gated: the shared encoding's clause count
+//! gets the tight clause gate, and the throughput ratio (per-job total
+//! clauses / batched shared clauses) must clear a hard 5x floor on every
+//! run and hold its baseline value when `--baseline` is given.
+//!
 //! Usage:
 //!   bench_smoke [--bound N] [--jobs N] [--out BENCH_smoke.json] [--baseline BENCH_baseline.json]
 
@@ -49,7 +58,8 @@ use serde::Serialize;
 
 use sepe_bench::{jobs_from_args, sweep};
 use sepe_smt::SolverReuseStats;
-use sepe_sqed::parallel::ParallelEngine;
+use sepe_sqed::detect::Method;
+use sepe_sqed::parallel::{BatchSpec, Engine};
 use sepe_tsys::BmcMode;
 
 /// Wall-time regression tolerance against the checked-in baseline (loose:
@@ -61,6 +71,17 @@ const REGRESSION_FACTOR: f64 = 1.5;
 /// encoding regression — intentional encoding changes refresh the baseline,
 /// as its `note` describes).
 const CLAUSE_REGRESSION_FACTOR: f64 = 1.05;
+
+/// Minimum batched-throughput ratio (per-job total CNF clauses over the
+/// batched shared encoding's clauses, for the same catalogue).  Both counts
+/// are deterministic on identical code, so this is a hard floor, checked on
+/// every run: the in-solver batched path must answer the catalogue at least
+/// this many times cheaper than one encoding per entry.
+const BATCHED_THROUGHPUT_FLOOR: f64 = 5.0;
+
+/// Catalogue entries of the batched arm (the ISSUE-scale twenty-mutation
+/// catalogue).
+const BATCHED_ENTRIES: usize = 20;
 
 #[derive(Debug, Clone, Serialize)]
 struct ModeResult {
@@ -164,6 +185,43 @@ impl RobustnessResult {
     }
 }
 
+/// The batched in-solver arm: [`BATCHED_ENTRIES`] identical copies of the
+/// sweep's mutation answered over **one** shared unrolling
+/// (`sepe_sqed::BatchedDetector` behind `BatchSpec::catalogue`).  The
+/// encode-once counters are deterministic, so unlike the parallel arm this
+/// one *is* part of the regression gate: `cnf_clauses` gets the tight
+/// clause gate and `throughput` (per-job total clauses / batched shared
+/// clauses) must clear [`BATCHED_THROUGHPUT_FLOOR`] and hold its baseline.
+#[derive(Debug, Clone, Serialize)]
+struct BatchedResult {
+    /// Gate key — `baseline_field` scans for this value, so it leads.
+    mode: String,
+    /// Catalogue entries answered.
+    entries: usize,
+    /// Wall time of the whole batched run.
+    wall_ms: f64,
+    /// `check_assuming` queries issued on the shared solver.
+    queries: u64,
+    /// Transition-system encodings paid (1 on a healthy run).
+    encodes: u64,
+    /// Entries answered by the per-job fallback path (0 on a healthy run).
+    fallbacks: u64,
+    /// SAT conflicts spent by the shared solver.
+    shared_conflicts: u64,
+    /// CNF variables of the one shared encoding.
+    cnf_vars: u64,
+    /// CNF clauses of the one shared encoding.
+    cnf_clauses: u64,
+    /// What the per-job engine pays for the same catalogue: the measured
+    /// single-job clause count times `entries`.
+    perjob_cnf_clauses: u64,
+    /// `perjob_cnf_clauses / cnf_clauses` — the deterministic form of the
+    /// batched-throughput claim.
+    throughput: f64,
+    /// `entries / encodes` — encodings the batched path avoided.
+    encode_ratio: f64,
+}
+
 #[derive(Debug, Clone, Serialize)]
 struct SmokeReport {
     bound: usize,
@@ -171,6 +229,7 @@ struct SmokeReport {
     modes: Vec<ModeResult>,
     parallel: ParallelResult,
     robustness: RobustnessResult,
+    batched: BatchedResult,
 }
 
 /// Pulls `"<field>": <number>` for a named mode out of a baseline JSON
@@ -221,12 +280,54 @@ fn main() {
     // Parallel arm: the same sweep × BATCH_COPIES, one worker vs N workers.
     const BATCH_COPIES: usize = 4;
     let workers = jobs_from_args();
-    let seq = ParallelEngine::new(1).run(sweep::batch_jobs(bound, BATCH_COPIES));
-    let par = ParallelEngine::new(workers).run(sweep::batch_jobs(bound, BATCH_COPIES));
+    let seq = Engine::new(1)
+        .run(sweep::batch_jobs(bound, BATCH_COPIES))
+        .expect_jobs();
+    let par = Engine::new(workers)
+        .run(sweep::batch_jobs(bound, BATCH_COPIES))
+        .expect_jobs();
     for d in seq.detections.iter().chain(&par.detections) {
         assert!(!d.detected, "SQED must miss the Table-1 bug");
         assert!(!d.inconclusive, "the smoke batch runs without budgets");
     }
+
+    // Batched in-solver arm: one shared unrolling answers BATCHED_ENTRIES
+    // activation-guarded copies of the same mutation.  The per-job clause
+    // reference comes from the sequential arm above (identical jobs, so any
+    // one of its detections carries the single-encoding clause count).
+    let shared_config = sweep::detector(bound, BmcMode::PerDepth).config().clone();
+    let batched_outcome = Engine::new(1)
+        .run(BatchSpec::catalogue(
+            Method::Sqed,
+            shared_config,
+            sweep::catalogue(BATCHED_ENTRIES),
+        ))
+        .expect_catalogue();
+    for d in &batched_outcome.detections {
+        assert!(!d.detected, "SQED must miss the Table-1 bug");
+        assert!(!d.inconclusive, "the smoke catalogue runs without budgets");
+    }
+    let bstats = &batched_outcome.stats;
+    let perjob_clauses = seq
+        .detections
+        .first()
+        .map(|d| d.solver.cnf_clauses)
+        .unwrap_or(0)
+        * BATCHED_ENTRIES as u64;
+    let batched = BatchedResult {
+        mode: "batched".to_string(),
+        entries: BATCHED_ENTRIES,
+        wall_ms: bstats.wall.as_secs_f64() * 1e3,
+        queries: bstats.queries,
+        encodes: bstats.encodes,
+        fallbacks: bstats.fallbacks,
+        shared_conflicts: bstats.shared_conflicts,
+        cnf_vars: bstats.solver.cnf_vars,
+        cnf_clauses: bstats.solver.cnf_clauses,
+        perjob_cnf_clauses: perjob_clauses,
+        throughput: perjob_clauses as f64 / (bstats.solver.cnf_clauses.max(1)) as f64,
+        encode_ratio: BATCHED_ENTRIES as f64 / (bstats.encodes.max(1)) as f64,
+    };
     let robustness = RobustnessResult::new(&par.stats);
     let parallel = ParallelResult {
         batch_jobs: BATCH_COPIES,
@@ -250,6 +351,7 @@ fn main() {
         ],
         parallel,
         robustness,
+        batched,
     };
     for m in &report.modes {
         println!(
@@ -307,10 +409,34 @@ fn main() {
             + report.robustness.stop_cancelled
             + report.robustness.stop_panicked,
     );
+    println!(
+        "  batched catalogue ({} entries): {:>9.1} ms, {} queries, {} encodes, {} fallbacks, \
+         {} shared clauses vs {} per-job = {:.2}x throughput ({:.0}x fewer encodings)",
+        report.batched.entries,
+        report.batched.wall_ms,
+        report.batched.queries,
+        report.batched.encodes,
+        report.batched.fallbacks,
+        report.batched.cnf_clauses,
+        report.batched.perjob_cnf_clauses,
+        report.batched.throughput,
+        report.batched.encode_ratio,
+    );
 
     let json = serde_json::to_string_pretty(&report).expect("serializable report");
     std::fs::write(&out_path, format!("{json}\n")).expect("write smoke report");
     println!("wrote {out_path}");
+
+    // The throughput floor is baseline-free: both clause counts are
+    // deterministic, so falling below the floor means the shared encoding
+    // itself bloated (or the batch fell back to per-job runs).
+    if report.batched.throughput < BATCHED_THROUGHPUT_FLOOR {
+        eprintln!(
+            "bench-smoke: batched throughput {:.2}x is below the {BATCHED_THROUGHPUT_FLOOR}x floor",
+            report.batched.throughput
+        );
+        std::process::exit(1);
+    }
 
     if let Some(path) = baseline_path {
         let baseline = std::fs::read_to_string(&path)
@@ -352,6 +478,45 @@ fn main() {
                 }
                 _ => println!("  {:<24} no baseline cnf_clauses entry, skipping", m.mode),
             }
+        }
+        // Batched arm: the shared encoding's clause count gets the tight
+        // deterministic gate, and the throughput ratio must hold whatever
+        // the baseline recorded (both sides of the ratio are deterministic,
+        // so a drop means the batched path lost ground to per-job).
+        match baseline_field(&baseline, "batched", "cnf_clauses") {
+            Some(expected) if expected > 0.0 => {
+                let ratio = report.batched.cnf_clauses as f64 / expected;
+                let verdict = if ratio > CLAUSE_REGRESSION_FACTOR {
+                    regressed = true;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "  {:<24} {:>9} clauses vs baseline {:>9.0} ({ratio:.2}x) {verdict}",
+                    "batched", report.batched.cnf_clauses, expected
+                );
+            }
+            _ => println!(
+                "  {:<24} no baseline cnf_clauses entry, skipping",
+                "batched"
+            ),
+        }
+        match baseline_field(&baseline, "batched", "throughput") {
+            Some(expected) if expected > 0.0 => {
+                let floor = expected / CLAUSE_REGRESSION_FACTOR;
+                let verdict = if report.batched.throughput < floor {
+                    regressed = true;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "  {:<24} {:.2}x throughput vs baseline {expected:.2}x {verdict}",
+                    "batched", report.batched.throughput
+                );
+            }
+            _ => println!("  {:<24} no baseline throughput entry, skipping", "batched"),
         }
         if regressed {
             eprintln!(

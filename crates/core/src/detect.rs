@@ -11,6 +11,7 @@ use sepe_tsys::{Bmc, BmcConfig, BmcMode, BmcResult, Witness};
 
 use crate::equivalence::EquivalenceDb;
 use crate::fault::FaultPlan;
+use crate::parallel::RetryPolicy;
 use crate::qed::{QedBuilder, Scheme};
 
 /// Which verification method to run.
@@ -81,6 +82,10 @@ pub struct DetectorConfig {
     /// [`FaultPlan`].  Test-only machinery — the parallel engine's retry
     /// ladder strips it on retries unless the plan says otherwise.
     pub fault: Option<FaultPlan>,
+    /// Per-run retry policy override (default `None`: inherit the engine's
+    /// policy).  Lets one job of a batch climb the degradation ladder
+    /// further (or not at all) than its batchmates.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for DetectorConfig {
@@ -98,7 +103,126 @@ impl Default for DetectorConfig {
             cancel: Vec::new(),
             memory_limit: None,
             fault: None,
+            retry: None,
         }
+    }
+}
+
+impl DetectorConfig {
+    /// Starts a builder over the default configuration.  The struct fields
+    /// stay public — the builder is the ergonomic front for the common
+    /// "defaults plus a few knobs" case:
+    ///
+    /// ```
+    /// use sepe_sqed::detect::DetectorConfig;
+    /// use sepe_sqed::parallel::RetryPolicy;
+    ///
+    /// let config = DetectorConfig::builder()
+    ///     .bound(6)
+    ///     .aig(false)
+    ///     .retry(RetryPolicy::ladder(2))
+    ///     .build();
+    /// assert_eq!(config.max_bound, 6);
+    /// assert!(!config.aig);
+    /// assert_eq!(config.retry, Some(RetryPolicy::ladder(2)));
+    /// ```
+    pub fn builder() -> DetectorConfigBuilder {
+        DetectorConfigBuilder {
+            config: DetectorConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`DetectorConfig`]; see [`DetectorConfig::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct DetectorConfigBuilder {
+    config: DetectorConfig,
+}
+
+impl DetectorConfigBuilder {
+    /// Sets the processor model configuration (its `allowed_opcodes` also
+    /// define the original-instruction universe).
+    pub fn processor(mut self, processor: ProcessorConfig) -> Self {
+        self.config.processor = processor;
+        self
+    }
+
+    /// Sets the maximum BMC bound (transition steps).
+    pub fn bound(mut self, max_bound: usize) -> Self {
+        self.config.max_bound = max_bound;
+        self
+    }
+
+    /// Sets the SAT conflict budget per BMC query.
+    pub fn conflict_limit(mut self, limit: u64) -> Self {
+        self.config.conflict_limit = Some(limit);
+        self
+    }
+
+    /// Sets the wall-clock budget for the whole run.
+    pub fn time_limit(mut self, limit: Duration) -> Self {
+        self.config.time_limit = Some(limit);
+        self
+    }
+
+    /// Overrides the dispatch-queue depth.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.config.queue_depth = Some(depth);
+        self
+    }
+
+    /// Sets the equivalence database for SEPE-SQED.
+    pub fn equivalence(mut self, db: EquivalenceDb) -> Self {
+        self.config.equivalence = Some(db);
+        self
+    }
+
+    /// Sets the depth-exploration strategy of the model checker.
+    pub fn bmc_mode(mut self, mode: BmcMode) -> Self {
+        self.config.bmc_mode = mode;
+        self
+    }
+
+    /// Turns word-level preprocessing on or off.
+    pub fn simplify(mut self, simplify: bool) -> Self {
+        self.config.simplify = simplify;
+        self
+    }
+
+    /// Turns the gate-level AIG reductions on or off.
+    pub fn aig(mut self, aig: bool) -> Self {
+        self.config.aig = aig;
+        self
+    }
+
+    /// Chains a cancellation flag (pushes — flags from every caller stay
+    /// armed together, per the PR-6 chaining semantics).
+    pub fn cancel(mut self, flag: CancelFlag) -> Self {
+        self.config.cancel.push(flag);
+        self
+    }
+
+    /// Caps the estimated SAT memory per solver.
+    pub fn memory_limit(mut self, bytes: usize) -> Self {
+        self.config.memory_limit = Some(bytes);
+        self
+    }
+
+    /// Arms a deterministic fault plan.
+    pub fn fault(mut self, fault: FaultPlan) -> Self {
+        self.config.fault = Some(fault);
+        self
+    }
+
+    /// Sets the per-run retry policy (overrides the engine's).
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = Some(retry);
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> DetectorConfig {
+        self.config
     }
 }
 

@@ -22,7 +22,7 @@ use sepe_tsys::BmcFaultPlan;
 ///
 /// The default plan injects nothing.  By default a plan applies only to the
 /// *first* attempt at a job — the retry ladder of
-/// [`ParallelEngine`](crate::ParallelEngine) re-runs the job fault-free, so
+/// [`Engine`](crate::Engine) re-runs the job fault-free, so
 /// the "failed once, retried, succeeded degraded" path is itself
 /// deterministic; set [`every_attempt`](FaultPlan::every_attempt) to keep
 /// the fault armed on every retry instead (exhausting the ladder).

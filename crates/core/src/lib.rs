@@ -42,6 +42,7 @@
 //! assert!(detection.detected, "SEPE-SQED catches single-instruction bugs");
 //! ```
 
+pub mod batch;
 pub mod detect;
 pub mod eddiv;
 pub mod edsepv;
@@ -51,13 +52,16 @@ pub mod mapping;
 pub mod parallel;
 pub mod qed;
 
+pub use batch::{BatchedDetector, BatchedOutcome, BatchedStats, CatalogueEntry};
 pub use detect::{Detection, Detector, DetectorConfig, Method};
 pub use eddiv::EddiV;
 pub use edsepv::EdsepV;
 pub use equivalence::EquivalenceDb;
 pub use fault::FaultPlan;
 pub use mapping::RegisterMapping;
+#[allow(deprecated)]
+pub use parallel::ParallelEngine;
 pub use parallel::{
-    BatchOutcome, BatchStats, DegradationRung, DetectionJob, JobOutcome, JobReport, ParallelEngine,
-    PortfolioArm, PortfolioOutcome, RetryPolicy, StopReasonTally,
+    BatchOutcome, BatchSpec, BatchStats, DegradationRung, DetectionJob, Engine, EngineOutcome,
+    JobOutcome, JobReport, PortfolioArm, PortfolioOutcome, RetryPolicy, StopReasonTally,
 };

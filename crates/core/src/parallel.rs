@@ -3,54 +3,65 @@
 //! configurations against each other.
 //!
 //! The paper's headline experiments (Table 1, Figure 4) are sweeps of one
-//! detection run per mutation × method × bound.  Every one of those runs is
-//! independent — its own [`TermManager`](sepe_smt::TermManager), its own
-//! solver — so the sweep is
-//! embarrassingly parallel; this module supplies the missing scheduler:
+//! detection run per mutation × method × bound.  [`Engine::run`] is the one
+//! entry point for all of them: it takes a [`BatchSpec`] describing *what*
+//! to schedule and returns an [`EngineOutcome`] describing what happened.
+//! The three spec modes:
 //!
-//! * [`ParallelEngine::run`] — takes a batch of [`DetectionJob`]s and a
-//!   worker count, gives each worker its own [`Detector`] (nothing is shared
-//!   between jobs but the job queue and the cancellation flag), and pulls
-//!   jobs off a shared atomic counter so fast workers steal the remaining
-//!   work.  With `workers == 1` the batch runs inline on the calling thread
-//!   in job order — byte-for-byte the sequential drivers, which is what the
-//!   determinism tests and the bench regression gate rely on.
-//! * A **global time budget** ([`ParallelEngine::with_time_limit`]) bounds
-//!   the whole batch: a watchdog raises one shared [`CancelFlag`] when the
-//!   budget expires, every in-flight SAT search aborts within a short burst
-//!   of conflicts (the flag is polled at the same sampled check point as the
-//!   solver deadline), and jobs not yet started return immediately as
-//!   cancelled, inconclusive [`Detection`]s.
-//! * [`ParallelEngine::run_portfolio`] — launches the *same* query under
-//!   differing configurations ([`PortfolioArm`]: AIG on/off, rewriting
-//!   on/off, per-depth vs cumulative) and lets the first conclusive arm win,
-//!   cancelling the losers through the same flag.  The PR-4 measurements
-//!   showed `aig_off` propagates better on some cones while the shared
-//!   encoding wins on others — racing both gets the minimum of the arms'
-//!   runtimes without predicting the winner.
+//! * [`BatchSpec::Jobs`] — independent [`DetectionJob`]s: each worker gets
+//!   its own [`Detector`] (nothing is shared between jobs but the job queue
+//!   and the cancellation flag) and pulls jobs off a shared atomic counter
+//!   so fast workers steal the remaining work.  With `workers == 1` the
+//!   batch runs inline on the calling thread in job order — byte-for-byte
+//!   the sequential drivers, which is what the determinism tests and the
+//!   bench regression gate rely on.
+//! * [`BatchSpec::Portfolio`] — the *same* query raced under differing
+//!   configurations ([`PortfolioArm`]: AIG on/off, rewriting on/off,
+//!   per-depth vs cumulative); the first conclusive arm wins and the losers
+//!   are cancelled through the shared flag.  The PR-4 measurements showed
+//!   `aig_off` propagates better on some cones while the shared encoding
+//!   wins on others — racing both gets the minimum of the arms' runtimes
+//!   without predicting the winner.
+//! * [`BatchSpec::Catalogue`] — a mutation catalogue answered over **one
+//!   shared unrolling** by the batched detector
+//!   ([`BatchedDetector`]): the whole group
+//!   is one scheduling unit (one solver, so no intra-group parallelism to
+//!   steal), run under the engine's global budget and retry policy like any
+//!   other unit of work.
+//!
+//! A **global time budget** ([`Engine::with_time_limit`]) bounds the whole
+//! batch in every mode: a watchdog raises one shared [`CancelFlag`] when the
+//! budget expires, every in-flight SAT search aborts within a short burst
+//! of conflicts (the flag is polled at the same sampled check point as the
+//! solver deadline), and jobs not yet started return immediately as
+//! cancelled, inconclusive [`Detection`]s.
 //!
 //! Per-job [`SolverReuseStats`] are aggregated into a [`BatchStats`] so a
 //! batch reports the same counters the sequential drivers print.
+//!
+//! The pre-redesign entry points survive as deprecated shims:
+//! `ParallelEngine` is an alias of [`Engine`], and
+//! [`Engine::run_portfolio`] forwards to [`Engine::run`] with a
+//! [`BatchSpec::Portfolio`].
 //!
 //! # Example
 //!
 //! ```
 //! use sepe_isa::Opcode;
-//! use sepe_processor::{Mutation, ProcessorConfig};
+//! use sepe_processor::ProcessorConfig;
 //! use sepe_sqed::detect::{DetectorConfig, Method};
-//! use sepe_sqed::parallel::{DetectionJob, ParallelEngine};
+//! use sepe_sqed::parallel::{DetectionJob, Engine};
 //!
-//! let config = DetectorConfig {
-//!     processor: ProcessorConfig::tiny().with_opcodes(&[Opcode::Add, Opcode::Xori]),
-//!     max_bound: 2,
-//!     ..DetectorConfig::default()
-//! };
+//! let config = DetectorConfig::builder()
+//!     .processor(ProcessorConfig::tiny().with_opcodes(&[Opcode::Add, Opcode::Xori]))
+//!     .bound(2)
+//!     .build();
 //! // Two independent jobs: the clean design under both methods.
 //! let jobs = vec![
 //!     DetectionJob::new("clean-sqed", config.clone(), Method::Sqed, None),
 //!     DetectionJob::new("clean-sepe", config, Method::SepeSqed, None),
 //! ];
-//! let outcome = ParallelEngine::new(2).run(jobs);
+//! let outcome = Engine::new(2).run(jobs).expect_jobs();
 //! assert_eq!(outcome.detections.len(), 2);
 //! assert!(outcome.detections.iter().all(|d| !d.detected));
 //! ```
@@ -66,6 +77,7 @@ use sepe_processor::Mutation;
 use sepe_smt::{CancelFlag, SolverReuseStats, StopReason};
 use sepe_tsys::BmcMode;
 
+use crate::batch::{BatchedDetector, BatchedOutcome, CatalogueEntry};
 use crate::detect::{Detection, Detector, DetectorConfig, Method};
 
 /// One unit of detection work: a full detector configuration plus the
@@ -79,7 +91,7 @@ use crate::detect::{Detection, Detector, DetectorConfig, Method};
 /// Cancellation *chains*: when the job is scheduled, the engine **pushes**
 /// the batch's shared flag onto the job's own `config.cancel` set instead of
 /// replacing it, so either source tripping cancels the job — the batch
-/// budget through [`ParallelEngine::with_time_limit`], or a caller-supplied
+/// budget through [`Engine::with_time_limit`], or a caller-supplied
 /// per-job flag raised from outside.
 #[derive(Debug, Clone)]
 pub struct DetectionJob {
@@ -132,7 +144,7 @@ impl JobOutcome {
     /// deadline expiry and cancellation are verdicts about the *batch* (its
     /// wall budget is gone either way), so retrying would only burn more of
     /// it.
-    fn should_retry(&self) -> bool {
+    pub(crate) fn should_retry(&self) -> bool {
         match self {
             JobOutcome::Completed => false,
             JobOutcome::Failed { .. } => true,
@@ -145,7 +157,7 @@ impl JobOutcome {
 
     /// The stop reason this outcome tallies under (`None` for a conclusive
     /// verdict).
-    fn stop_reason(&self) -> Option<StopReason> {
+    pub(crate) fn stop_reason(&self) -> Option<StopReason> {
         match self {
             JobOutcome::Completed => None,
             JobOutcome::Stopped(reason) => Some(*reason),
@@ -174,7 +186,7 @@ pub enum DegradationRung {
 
 impl DegradationRung {
     /// The next rung down (saturating at the bottom).
-    fn next(self) -> DegradationRung {
+    pub(crate) fn next(self) -> DegradationRung {
         match self {
             DegradationRung::Full => DegradationRung::AigOff,
             DegradationRung::AigOff => DegradationRung::NoRewrite,
@@ -361,7 +373,8 @@ impl fmt::Display for BatchStats {
     }
 }
 
-/// The result of [`ParallelEngine::run`]: one [`Detection`] per job, in job
+/// The result of an independent-jobs run ([`BatchSpec::Jobs`]): one
+/// [`Detection`] per job, in job
 /// order, plus the aggregate counters.
 #[derive(Debug, Clone)]
 pub struct BatchOutcome {
@@ -437,7 +450,7 @@ pub struct ArmOutcome {
     pub cancelled: bool,
 }
 
-/// The result of [`ParallelEngine::run_portfolio`].
+/// The result of a portfolio race ([`BatchSpec::Portfolio`]).
 #[derive(Debug, Clone)]
 pub struct PortfolioOutcome {
     /// Index (into the arm list) of the winning arm.
@@ -450,20 +463,151 @@ pub struct PortfolioOutcome {
     pub stats: BatchStats,
 }
 
-/// The work-stealing detection engine.
+/// What one [`Engine::run`] invocation schedules.
+///
+/// `Vec<DetectionJob>` converts [`Into`] the independent-jobs mode, so the
+/// common case reads `engine.run(jobs)`.
+#[derive(Debug, Clone)]
+pub enum BatchSpec {
+    /// Independent detection jobs, scheduled by work stealing.
+    Jobs(Vec<DetectionJob>),
+    /// One query raced under several solver configurations; first
+    /// conclusive arm wins.
+    Portfolio {
+        /// The query every arm decides.
+        job: Box<DetectionJob>,
+        /// The solver configurations to race.
+        arms: Vec<PortfolioArm>,
+    },
+    /// A mutation catalogue answered over one shared unrolling (see
+    /// [`BatchedDetector`]); the whole group
+    /// is one scheduling unit.
+    Catalogue {
+        /// The verification method every entry runs under.
+        method: Method,
+        /// The shared configuration (processor universe, budgets, knobs),
+        /// boxed to keep the enum's variants near one size.
+        config: Box<DetectorConfig>,
+        /// The catalogue.
+        entries: Vec<CatalogueEntry>,
+    },
+}
+
+impl From<Vec<DetectionJob>> for BatchSpec {
+    fn from(jobs: Vec<DetectionJob>) -> Self {
+        BatchSpec::Jobs(jobs)
+    }
+}
+
+impl BatchSpec {
+    /// A portfolio spec (convenience over the enum literal).
+    pub fn portfolio(job: DetectionJob, arms: Vec<PortfolioArm>) -> Self {
+        BatchSpec::Portfolio {
+            job: Box::new(job),
+            arms,
+        }
+    }
+
+    /// A batched-catalogue spec (convenience over the enum literal).
+    pub fn catalogue(method: Method, config: DetectorConfig, entries: Vec<CatalogueEntry>) -> Self {
+        BatchSpec::Catalogue {
+            method,
+            config: Box::new(config),
+            entries,
+        }
+    }
+}
+
+/// What one [`Engine::run`] invocation produced — the variant mirrors the
+/// [`BatchSpec`] that was scheduled.
+#[derive(Debug, Clone)]
+pub enum EngineOutcome {
+    /// The result of a [`BatchSpec::Jobs`] run.
+    Jobs(BatchOutcome),
+    /// The result of a [`BatchSpec::Portfolio`] race.
+    Portfolio(Box<PortfolioOutcome>),
+    /// The result of a [`BatchSpec::Catalogue`] run.
+    Catalogue(BatchedOutcome),
+}
+
+impl EngineOutcome {
+    /// The jobs outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was not a [`BatchSpec::Jobs`] run.
+    pub fn expect_jobs(self) -> BatchOutcome {
+        match self {
+            EngineOutcome::Jobs(outcome) => outcome,
+            other => panic!("expected a jobs outcome, got {}", other.mode()),
+        }
+    }
+
+    /// The portfolio outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was not a [`BatchSpec::Portfolio`] race.
+    pub fn expect_portfolio(self) -> PortfolioOutcome {
+        match self {
+            EngineOutcome::Portfolio(outcome) => *outcome,
+            other => panic!("expected a portfolio outcome, got {}", other.mode()),
+        }
+    }
+
+    /// The batched-catalogue outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was not a [`BatchSpec::Catalogue`] run.
+    pub fn expect_catalogue(self) -> BatchedOutcome {
+        match self {
+            EngineOutcome::Catalogue(outcome) => outcome,
+            other => panic!("expected a catalogue outcome, got {}", other.mode()),
+        }
+    }
+
+    /// The scheduling mode this outcome came from.
+    pub fn mode(&self) -> &'static str {
+        match self {
+            EngineOutcome::Jobs(_) => "jobs",
+            EngineOutcome::Portfolio(_) => "portfolio",
+            EngineOutcome::Catalogue(_) => "catalogue",
+        }
+    }
+
+    /// Every detection the run produced, in schedule order — mode-agnostic
+    /// access for drivers that only care about verdicts.
+    pub fn detections(&self) -> Vec<&Detection> {
+        match self {
+            EngineOutcome::Jobs(outcome) => outcome.detections.iter().collect(),
+            EngineOutcome::Portfolio(outcome) => {
+                outcome.arms.iter().map(|a| &a.detection).collect()
+            }
+            EngineOutcome::Catalogue(outcome) => outcome.detections.iter().collect(),
+        }
+    }
+}
+
+/// The detection engine: one scheduler for independent jobs, portfolio
+/// races and batched catalogues.
 ///
 /// See the [module docs](self) for the scheduling and cancellation model.
 #[derive(Debug, Clone)]
-pub struct ParallelEngine {
+pub struct Engine {
     workers: usize,
     time_limit: Option<Duration>,
     retry: RetryPolicy,
 }
 
-impl ParallelEngine {
+/// The engine's pre-redesign name.
+#[deprecated(note = "renamed to `Engine`; drive it through `Engine::run(BatchSpec)`")]
+pub type ParallelEngine = Engine;
+
+impl Engine {
     /// Creates an engine with the given worker count (clamped to ≥ 1).
     pub fn new(workers: usize) -> Self {
-        ParallelEngine {
+        Engine {
             workers: workers.max(1),
             time_limit: None,
             retry: RetryPolicy::none(),
@@ -492,6 +636,24 @@ impl ParallelEngine {
         self.workers
     }
 
+    /// Runs a [`BatchSpec`] — independent jobs, a portfolio race, or a
+    /// batched catalogue — and returns the matching [`EngineOutcome`]
+    /// variant.  `Vec<DetectionJob>` converts into the jobs mode, so the
+    /// common case is `engine.run(jobs).expect_jobs()`.
+    pub fn run(&self, spec: impl Into<BatchSpec>) -> EngineOutcome {
+        match spec.into() {
+            BatchSpec::Jobs(jobs) => EngineOutcome::Jobs(self.run_jobs(jobs)),
+            BatchSpec::Portfolio { job, arms } => {
+                EngineOutcome::Portfolio(Box::new(self.race_portfolio(&job, &arms)))
+            }
+            BatchSpec::Catalogue {
+                method,
+                config,
+                entries,
+            } => EngineOutcome::Catalogue(self.run_catalogue(method, *config, &entries)),
+        }
+    }
+
     /// Runs a batch of independent detection jobs, returning one
     /// [`Detection`] per job in job order.
     ///
@@ -500,7 +662,7 @@ impl ParallelEngine {
     /// runs on a fresh [`Detector`] owned by its worker.  With one worker
     /// the batch runs inline on the calling thread, reproducing the
     /// sequential drivers exactly.
-    pub fn run(&self, jobs: Vec<DetectionJob>) -> BatchOutcome {
+    fn run_jobs(&self, jobs: Vec<DetectionJob>) -> BatchOutcome {
         let start = Instant::now();
         let cancel: CancelFlag = Arc::new(AtomicBool::new(false));
         let deadline = self.time_limit.map(|budget| start + budget);
@@ -571,7 +733,14 @@ impl ParallelEngine {
     /// # Panics
     ///
     /// Panics if `arms` is empty.
+    #[deprecated(note = "use `Engine::run(BatchSpec::portfolio(job, arms))`")]
     pub fn run_portfolio(&self, job: &DetectionJob, arms: &[PortfolioArm]) -> PortfolioOutcome {
+        self.race_portfolio(job, arms)
+    }
+
+    /// The portfolio race behind [`BatchSpec::Portfolio`]; see
+    /// [`Engine::run`].
+    fn race_portfolio(&self, job: &DetectionJob, arms: &[PortfolioArm]) -> PortfolioOutcome {
         assert!(!arms.is_empty(), "a portfolio needs at least one arm");
         let start = Instant::now();
         let cancel: CancelFlag = Arc::new(AtomicBool::new(false));
@@ -664,6 +833,32 @@ impl ParallelEngine {
         }
     }
 
+    /// The batched-catalogue mode behind [`BatchSpec::Catalogue`]: the whole
+    /// catalogue is one scheduling unit (one shared solver leaves no
+    /// intra-group parallelism to steal), run inline under the engine's
+    /// global budget — the watchdog's flag chains onto the configuration's
+    /// own flags, and the retry policy (the configuration's override, else
+    /// the engine's) governs the per-entry fallback ladder.
+    fn run_catalogue(
+        &self,
+        method: Method,
+        config: DetectorConfig,
+        entries: &[CatalogueEntry],
+    ) -> BatchedOutcome {
+        let start = Instant::now();
+        let cancel: CancelFlag = Arc::new(AtomicBool::new(false));
+        let deadline = self.time_limit.map(|budget| start + budget);
+        let watchdog = self.spawn_watchdog(&cancel);
+        let retry = config.retry.unwrap_or(self.retry);
+        let detector = BatchedDetector::new(config).with_retry_policy(retry);
+        let outcome = detector.run_under(method, entries, &cancel, deadline);
+        if let Some((done, handle)) = watchdog {
+            let _ = done.send(());
+            let _ = handle.join();
+        }
+        outcome
+    }
+
     /// Arms the global budget: a watchdog thread that raises the shared
     /// flag when the budget expires, unless released first through the
     /// returned channel.  `None` when the engine has no time limit.
@@ -732,15 +927,33 @@ fn worker_loop(
 /// ([`FaultPlan::every_attempt`](crate::fault::FaultPlan)), so
 /// "failed once, retried clean, succeeded degraded" is itself a
 /// deterministic path.
-fn run_with_retry(
+pub(crate) fn run_with_retry(
     job: &DetectionJob,
     cancel: &CancelFlag,
     deadline: Option<Instant>,
     retry: RetryPolicy,
 ) -> (Detection, JobReport) {
-    let mut rung = DegradationRung::Full;
-    let mut attempts: u32 = 0;
-    let mut panicked_attempts: u32 = 0;
+    resume_retry_ladder(job, cancel, deadline, retry, DegradationRung::Full, 0, 0)
+}
+
+/// [`run_with_retry`] with the ladder state pre-advanced: `rung` is the rung
+/// of the *next* attempt, `attempts`/`panicked_attempts` count the attempts
+/// already spent elsewhere.  The batched detector
+/// ([`BatchedDetector`]) uses this to continue
+/// a job whose first attempt was a shared-solver query that panicked or blew
+/// a budget — that query counts as attempt one at [`DegradationRung::Full`],
+/// and the per-job fallback resumes at the next rung down.
+pub(crate) fn resume_retry_ladder(
+    job: &DetectionJob,
+    cancel: &CancelFlag,
+    deadline: Option<Instant>,
+    retry: RetryPolicy,
+    mut rung: DegradationRung,
+    mut attempts: u32,
+    mut panicked_attempts: u32,
+) -> (Detection, JobReport) {
+    // A job's own retry override beats the engine-wide policy.
+    let retry = job.config.retry.unwrap_or(retry);
     loop {
         attempts += 1;
         let mut config = job.config.clone();
@@ -805,7 +1018,7 @@ fn run_isolated(
 
 /// Best-effort extraction of a panic payload's message (`&str` and `String`
 /// payloads cover `panic!` and formatted panics; anything else is opaque).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -901,7 +1114,7 @@ mod tests {
 
     #[test]
     fn empty_batch_returns_immediately() {
-        let outcome = ParallelEngine::new(4).run(Vec::new());
+        let outcome = Engine::new(4).run(Vec::new()).expect_jobs();
         assert!(outcome.detections.is_empty());
         assert_eq!(outcome.stats.jobs, 0);
     }
@@ -913,7 +1126,7 @@ mod tests {
             DetectionJob::new("a", config.clone(), Method::Sqed, None),
             DetectionJob::new("b", config, Method::SepeSqed, None),
         ];
-        let outcome = ParallelEngine::new(1).run(jobs);
+        let outcome = Engine::new(1).run(jobs).expect_jobs();
         assert_eq!(outcome.detections.len(), 2);
         assert_eq!(outcome.detections[0].method, Method::Sqed);
         assert_eq!(outcome.detections[1].method, Method::SepeSqed);
@@ -940,7 +1153,7 @@ mod tests {
                 )
             })
             .collect();
-        let outcome = ParallelEngine::new(3).run(jobs);
+        let outcome = Engine::new(3).run(jobs).expect_jobs();
         assert_eq!(outcome.detections.len(), 6);
         for (i, d) in outcome.detections.iter().enumerate() {
             let want = if i % 2 == 0 {

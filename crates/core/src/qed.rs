@@ -15,7 +15,7 @@
 
 use sepe_isa::{Opcode, OperandKind};
 use sepe_processor::datapath::{opcode_in, opcode_index, opcode_is, OPCODE_BITS, REG_BITS};
-use sepe_processor::{Mutation, ProcessorConfig, SymbolicProcessor};
+use sepe_processor::{ActivatedMutation, Mutation, ProcessorConfig, SymbolicProcessor};
 use sepe_smt::{Sort, TermId, TermManager};
 use sepe_synth::program::{ImmSlot, Slot};
 use sepe_tsys::TransitionSystem;
@@ -134,6 +134,42 @@ impl QedBuilder {
         scheme: &Scheme,
         mutation: Option<&Mutation>,
     ) -> QedSystem {
+        self.build_with(tm, scheme, |tm, cfg| {
+            SymbolicProcessor::build(tm, cfg, mutation)
+        })
+    }
+
+    /// Builds one verification model with a whole mutation catalogue compiled
+    /// into the shared datapath, each entry guarded by a fresh activation
+    /// literal (see [`SymbolicProcessor::build_catalogue`]).
+    ///
+    /// The QED layer — dispatch queue, commit counters, the universal
+    /// property — is built once and shared by every entry; the returned
+    /// activation terms select which bug the bounded model checker is asking
+    /// about, via `check_assuming` assumptions.
+    pub fn build_catalogue(
+        &self,
+        tm: &mut TermManager,
+        scheme: &Scheme,
+        mutations: &[Mutation],
+    ) -> (QedSystem, Vec<ActivatedMutation>) {
+        let mut activated = Vec::new();
+        let system = self.build_with(tm, scheme, |tm, cfg| {
+            let (proc, acts) = SymbolicProcessor::build_catalogue(tm, cfg, mutations);
+            activated = acts;
+            proc
+        });
+        (system, activated)
+    }
+
+    /// The shared assembly, parameterised over how the processor model is
+    /// constructed.
+    fn build_with(
+        &self,
+        tm: &mut TermManager,
+        scheme: &Scheme,
+        build_processor: impl FnOnce(&mut TermManager, &ProcessorConfig) -> SymbolicProcessor,
+    ) -> QedSystem {
         let mapping = scheme.mapping();
         let originals = &self.original_opcodes;
         assert!(
@@ -163,7 +199,7 @@ impl QedBuilder {
             .unwrap_or(max_prog_len + 3)
             .max(max_prog_len + 1);
 
-        let processor = SymbolicProcessor::build(tm, &proc_config, mutation);
+        let processor = build_processor(tm, &proc_config);
         let mut ts = processor.ts.clone();
         let xlen = proc_config.xlen;
 

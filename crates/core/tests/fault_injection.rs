@@ -18,7 +18,7 @@ use sepe_processor::ProcessorConfig;
 use sepe_smt::{CancelFlag, StopReason};
 use sepe_sqed::detect::{DetectorConfig, Method};
 use sepe_sqed::fault::FaultPlan;
-use sepe_sqed::parallel::{DegradationRung, DetectionJob, JobOutcome, ParallelEngine, RetryPolicy};
+use sepe_sqed::parallel::{DegradationRung, DetectionJob, Engine, JobOutcome, RetryPolicy};
 use sepe_tsys::BmcMode;
 
 /// The workhorse configuration: conclusive at bound 2 with ~150 conflicts.
@@ -54,8 +54,8 @@ fn every_stop_reason_is_exercised_deterministically() {
             busy_job("panicked", Some(FaultPlan::panic_at(5))),
         ]
     };
-    let sequential = ParallelEngine::new(1).run(jobs());
-    let parallel = ParallelEngine::new(4).run(jobs());
+    let sequential = Engine::new(1).run(jobs()).expect_jobs();
+    let parallel = Engine::new(4).run(jobs()).expect_jobs();
 
     for outcome in [&sequential, &parallel] {
         let expect = [
@@ -125,8 +125,10 @@ fn a_panicking_job_does_not_poison_the_batch() {
             busy_job("busy", None),
         ]
     };
-    let clean = ParallelEngine::new(4).run(neighbors(None));
-    let faulted = ParallelEngine::new(4).run(neighbors(Some(FaultPlan::panic_at(5))));
+    let clean = Engine::new(4).run(neighbors(None)).expect_jobs();
+    let faulted = Engine::new(4)
+        .run(neighbors(Some(FaultPlan::panic_at(5))))
+        .expect_jobs();
 
     // No worker died: every job of the faulted batch delivered a result.
     assert_eq!(faulted.detections.len(), 4);
@@ -154,9 +156,10 @@ fn a_panicking_job_does_not_poison_the_batch() {
 
 #[test]
 fn retry_ladder_recovers_a_panicking_job_one_rung_down() {
-    let outcome = ParallelEngine::new(1)
+    let outcome = Engine::new(1)
         .with_retry_policy(RetryPolicy::ladder(2))
-        .run(vec![busy_job("bomb", Some(FaultPlan::panic_at(5)))]);
+        .run(vec![busy_job("bomb", Some(FaultPlan::panic_at(5)))])
+        .expect_jobs();
     let report = &outcome.reports[0];
     // First attempt panics at conflict 5; the fault applies to the first
     // attempt only, so the aig_off retry runs clean and completes.
@@ -180,9 +183,10 @@ fn persistent_fault_exhausts_the_ladder_or_is_dodged_by_degradation() {
     // never fires and the job legitimately completes degraded.
     let bomb = || busy_job("bomb", Some(FaultPlan::panic_at(5).every_attempt()));
 
-    let short = ParallelEngine::new(1)
+    let short = Engine::new(1)
         .with_retry_policy(RetryPolicy::ladder(1))
-        .run(vec![bomb()]);
+        .run(vec![bomb()])
+        .expect_jobs();
     let report = &short.reports[0];
     assert!(matches!(report.outcome, JobOutcome::Failed { .. }));
     assert_eq!(report.attempts, 2);
@@ -190,9 +194,10 @@ fn persistent_fault_exhausts_the_ladder_or_is_dodged_by_degradation() {
     assert_eq!(report.rung, DegradationRung::AigOff);
     assert_eq!(short.stats.stop_reasons.panicked, 1);
 
-    let full = ParallelEngine::new(1)
+    let full = Engine::new(1)
         .with_retry_policy(RetryPolicy::ladder(3))
-        .run(vec![bomb()]);
+        .run(vec![bomb()])
+        .expect_jobs();
     let report = &full.reports[0];
     assert_eq!(report.outcome, JobOutcome::Completed);
     assert_eq!(report.attempts, 4);
@@ -205,17 +210,19 @@ fn persistent_fault_exhausts_the_ladder_or_is_dodged_by_degradation() {
 #[test]
 fn budget_exhaustion_is_retried_but_cancellation_is_not() {
     // A faked memory breach is a per-solver budget verdict: retry-worthy.
-    let outcome = ParallelEngine::new(1)
+    let outcome = Engine::new(1)
         .with_retry_policy(RetryPolicy::ladder(1))
-        .run(vec![busy_job("oom", Some(FaultPlan::memory_breach_at(3)))]);
+        .run(vec![busy_job("oom", Some(FaultPlan::memory_breach_at(3)))])
+        .expect_jobs();
     assert_eq!(outcome.reports[0].outcome, JobOutcome::Completed);
     assert_eq!(outcome.reports[0].attempts, 2);
     assert_eq!(outcome.stats.retries, 1);
 
     // Cancellation is a verdict about the batch — never retried.
-    let outcome = ParallelEngine::new(1)
+    let outcome = Engine::new(1)
         .with_retry_policy(RetryPolicy::ladder(3))
-        .run(vec![busy_job("cut", Some(FaultPlan::cancel_at(1)))]);
+        .run(vec![busy_job("cut", Some(FaultPlan::cancel_at(1)))])
+        .expect_jobs();
     assert_eq!(
         outcome.reports[0].outcome,
         JobOutcome::Stopped(StopReason::Cancelled)
@@ -237,7 +244,7 @@ fn a_callers_cancel_flag_chains_with_the_batch_flag() {
         DetectionJob::new("cut", cut, Method::Sqed, None),
         busy_job("after", None),
     ];
-    let outcome = ParallelEngine::new(2).run(jobs);
+    let outcome = Engine::new(2).run(jobs).expect_jobs();
     assert_eq!(outcome.reports[0].outcome, JobOutcome::Completed);
     assert_eq!(
         outcome.reports[1].outcome,
@@ -267,12 +274,14 @@ fn seeded_fault_plans_reproduce_across_worker_counts() {
     for seed in seeds {
         let plan = FaultPlan::seeded(seed);
         let jobs = || vec![busy_job("clean", None), busy_job("faulted", Some(plan))];
-        let sequential = ParallelEngine::new(1)
+        let sequential = Engine::new(1)
             .with_retry_policy(RetryPolicy::ladder(2))
-            .run(jobs());
-        let parallel = ParallelEngine::new(4)
+            .run(jobs())
+            .expect_jobs();
+        let parallel = Engine::new(4)
             .with_retry_policy(RetryPolicy::ladder(2))
-            .run(jobs());
+            .run(jobs())
+            .expect_jobs();
         for i in 0..2 {
             assert_eq!(
                 sequential.reports[i].outcome, parallel.reports[i].outcome,

@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 use sepe_isa::Opcode;
 use sepe_processor::{Mutation, ProcessorConfig};
 use sepe_sqed::detect::{Detector, DetectorConfig, Method};
-use sepe_sqed::parallel::{DetectionJob, ParallelEngine, PortfolioArm};
+use sepe_sqed::parallel::{BatchSpec, DetectionJob, Engine, PortfolioArm};
 
 /// A fast per-bug configuration: tiny processor, the bug's target opcode
 /// plus ADDI, shallow bound.  Small enough that the whole Table-1 mutation
@@ -40,8 +40,8 @@ fn table1_jobs(max_bound: usize) -> Vec<DetectionJob> {
 
 #[test]
 fn four_workers_match_one_worker_on_the_table1_mutation_set() {
-    let sequential = ParallelEngine::new(1).run(table1_jobs(2));
-    let parallel = ParallelEngine::new(4).run(table1_jobs(2));
+    let sequential = Engine::new(1).run(table1_jobs(2)).expect_jobs();
+    let parallel = Engine::new(4).run(table1_jobs(2)).expect_jobs();
     assert_eq!(sequential.detections.len(), parallel.detections.len());
     for (i, (seq, par)) in sequential
         .detections
@@ -97,9 +97,10 @@ fn global_deadline_stops_all_workers_promptly() {
         })
         .collect();
     let start = Instant::now();
-    let outcome = ParallelEngine::new(2)
+    let outcome = Engine::new(2)
         .with_time_limit(Some(Duration::from_millis(300)))
-        .run(jobs);
+        .run(jobs)
+        .expect_jobs();
     let wall = start.elapsed();
     assert!(
         wall < Duration::from_secs(10),
@@ -134,7 +135,9 @@ fn portfolio_first_finisher_matches_every_arm_run_alone() {
         None,
     );
     let arms = PortfolioArm::standard();
-    let outcome = ParallelEngine::new(arms.len()).run_portfolio(&job, &arms);
+    let outcome = Engine::new(arms.len())
+        .run(BatchSpec::portfolio(job.clone(), arms.clone()))
+        .expect_portfolio();
     assert!(outcome.winner < arms.len());
     assert!(!outcome.detection.detected);
     assert!(!outcome.detection.inconclusive);
@@ -173,7 +176,9 @@ fn portfolio_detects_a_real_bug_and_agrees_with_the_arms() {
         Some(bug),
     );
     let arms = PortfolioArm::standard();
-    let outcome = ParallelEngine::new(arms.len()).run_portfolio(&job, &arms);
+    let outcome = Engine::new(arms.len())
+        .run(BatchSpec::portfolio(job.clone(), arms.clone()))
+        .expect_portfolio();
     assert!(
         outcome.detection.detected,
         "the portfolio must find the bug"

@@ -49,4 +49,4 @@ pub mod symbolic;
 pub use concrete::MutantCore;
 pub use config::ProcessorConfig;
 pub use mutation::{BugClass, Effect, Mutation, Trigger};
-pub use symbolic::{InstrPort, SymbolicProcessor};
+pub use symbolic::{ActivatedMutation, InstrPort, SymbolicProcessor};

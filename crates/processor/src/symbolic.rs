@@ -90,6 +90,24 @@ pub struct SymbolicProcessor {
     pub result: TermId,
 }
 
+/// A catalogue entry compiled into a shared datapath: the mutation plus the
+/// activation literal guarding its trigger.
+///
+/// The activation term is a free boolean variable that is deliberately *not*
+/// registered as a transition-system input or state variable: the unroller
+/// only creates per-frame copies for registered variables, so the literal is
+/// *rigid* — the same term (and later the same CNF variable) in every frame.
+/// Asserting it as a [`check_assuming`](sepe_smt::IncrementalSolver::check_assuming)
+/// assumption therefore switches the entry's mutated gate on or off across
+/// the whole unrolling at once.
+#[derive(Debug, Clone)]
+pub struct ActivatedMutation {
+    /// The catalogue entry.
+    pub mutation: Mutation,
+    /// Its rigid activation literal.
+    pub activation: TermId,
+}
+
 impl SymbolicProcessor {
     /// Builds the model, optionally with an injected bug.
     ///
@@ -100,6 +118,59 @@ impl SymbolicProcessor {
         tm: &mut TermManager,
         config: &ProcessorConfig,
         mutation: Option<&Mutation>,
+    ) -> Self {
+        let entries: Vec<(Option<TermId>, &Mutation)> =
+            mutation.into_iter().map(|m| (None, m)).collect();
+        Self::build_inner(tm, config, &entries)
+    }
+
+    /// Builds the model with a whole mutation *catalogue* compiled in, each
+    /// entry's mutated gate guarded by a fresh activation literal.
+    ///
+    /// With every activation literal assumed false the datapath is exactly
+    /// the clean design; assuming entry `i`'s literal true (and the others
+    /// false) yields exactly the design with bug `i` injected.  All entries
+    /// share the register file, memory, history window and result mux, so
+    /// one unrolling encodes the whole catalogue once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn build_catalogue(
+        tm: &mut TermManager,
+        config: &ProcessorConfig,
+        mutations: &[Mutation],
+    ) -> (Self, Vec<ActivatedMutation>) {
+        let activations: Vec<TermId> = mutations
+            .iter()
+            .enumerate()
+            .map(|(i, m)| tm.var(&format!("act{i:02}_{}", m.name), Sort::Bool))
+            .collect();
+        let entries: Vec<(Option<TermId>, &Mutation)> = mutations
+            .iter()
+            .zip(&activations)
+            .map(|(m, &act)| (Some(act), m))
+            .collect();
+        let proc = Self::build_inner(tm, config, &entries);
+        let activated = mutations
+            .iter()
+            .zip(activations)
+            .map(|(m, activation)| ActivatedMutation {
+                mutation: m.clone(),
+                activation,
+            })
+            .collect();
+        (proc, activated)
+    }
+
+    /// The shared build: each entry contributes a guarded effect at the
+    /// mutation sites.  An entry without an activation term is guarded by its
+    /// bare trigger (the classic single-bug build); with one, by
+    /// `activation ∧ trigger`.
+    fn build_inner(
+        tm: &mut TermManager,
+        config: &ProcessorConfig,
+        entries: &[(Option<TermId>, &Mutation)],
     ) -> Self {
         config.validate();
         let xlen = config.xlen;
@@ -151,35 +222,51 @@ impl SymbolicProcessor {
         let rs1_raw = select_reg(tm, &regs, port.rs1);
         let rs2_val = select_reg(tm, &regs, port.rs2);
 
-        let trigger = mutation
-            .map(|m| trigger_term(tm, &m.trigger, &port, &history, &config.allowed_opcodes))
-            .unwrap_or_else(|| tm.fls());
-        let effect = mutation.map(|m| m.effect);
+        // Guarded effects, in catalogue order.  A lone unguarded entry folds
+        // to exactly the classic single-bug terms; guarded entries chain
+        // `ite`s whose conditions are mutually exclusive under the batched
+        // detector's one-hot activation assumptions.
+        let guarded: Vec<(TermId, Effect)> = entries
+            .iter()
+            .map(|&(activation, m)| {
+                let trigger =
+                    trigger_term(tm, &m.trigger, &port, &history, &config.allowed_opcodes);
+                let guard = match activation {
+                    Some(act) => tm.and(act, trigger),
+                    None => trigger,
+                };
+                (guard, m.effect)
+            })
+            .collect();
 
         // Operand-level effects.
-        let rs1_val = match effect {
-            Some(Effect::ZeroFirstOperand) => {
-                let zero = tm.zero(xlen);
-                tm.ite(trigger, zero, rs1_raw)
-            }
-            Some(Effect::SwapOperands) => tm.ite(trigger, rs2_val, rs1_raw),
-            _ => rs1_raw,
-        };
+        let rs1_val = guarded
+            .iter()
+            .fold(rs1_raw, |acc, &(guard, effect)| match effect {
+                Effect::ZeroFirstOperand => {
+                    let zero = tm.zero(xlen);
+                    tm.ite(guard, zero, acc)
+                }
+                Effect::SwapOperands => tm.ite(guard, rs2_val, acc),
+                _ => acc,
+            });
 
         // Effective address and memory read (LW/SW only, but computed
         // unconditionally and muxed).  The word index combines the bank
         // select (upper half vs lower half) with the low address bits.
         let mut addr = tm.bv_add(rs1_val, port.imm);
-        match effect {
-            Some(Effect::AddressOffset(off)) => {
-                let offset = tm.bv_const(off, xlen);
-                let shifted = tm.bv_add(addr, offset);
-                addr = tm.ite(trigger, shifted, addr);
+        for &(guard, effect) in &guarded {
+            match effect {
+                Effect::AddressOffset(off) => {
+                    let offset = tm.bv_const(off, xlen);
+                    let shifted = tm.bv_add(addr, offset);
+                    addr = tm.ite(guard, shifted, addr);
+                }
+                Effect::IgnoreMemOffset => {
+                    addr = tm.ite(guard, rs1_val, addr);
+                }
+                _ => {}
             }
-            Some(Effect::IgnoreMemOffset) => {
-                addr = tm.ite(trigger, rs1_val, addr);
-            }
-            _ => {}
         }
         let half_bits = (config.mem_words / 2).trailing_zeros();
         let low_index = tm.bv_extract(addr, 2 + half_bits - 1, 2);
@@ -198,23 +285,25 @@ impl SymbolicProcessor {
             port.imm,
             mem_read,
         );
-        let result = match effect {
-            Some(Effect::XorResult(c)) => {
-                let k = tm.bv_const(c, xlen);
-                let corrupted = tm.bv_xor(nominal_result, k);
-                tm.ite(trigger, corrupted, nominal_result)
-            }
-            Some(Effect::AddToResult(c)) => {
-                let k = tm.bv_const(c, xlen);
-                let corrupted = tm.bv_add(nominal_result, k);
-                tm.ite(trigger, corrupted, nominal_result)
-            }
-            Some(Effect::WrongOperation(op2)) => {
-                let wrong = opcode_result(tm, op2, rs1_val, rs2_val, port.imm, mem_read);
-                tm.ite(trigger, wrong, nominal_result)
-            }
-            _ => nominal_result,
-        };
+        let result = guarded
+            .iter()
+            .fold(nominal_result, |acc, &(guard, effect)| match effect {
+                Effect::XorResult(c) => {
+                    let k = tm.bv_const(c, xlen);
+                    let corrupted = tm.bv_xor(nominal_result, k);
+                    tm.ite(guard, corrupted, acc)
+                }
+                Effect::AddToResult(c) => {
+                    let k = tm.bv_const(c, xlen);
+                    let corrupted = tm.bv_add(nominal_result, k);
+                    tm.ite(guard, corrupted, acc)
+                }
+                Effect::WrongOperation(op2) => {
+                    let wrong = opcode_result(tm, op2, rs1_val, rs2_val, port.imm, mem_read);
+                    tm.ite(guard, wrong, acc)
+                }
+                _ => acc,
+            });
 
         // Write-back and store enables.
         let writes = writes_rd_term(tm, port.op, &config.allowed_opcodes);
@@ -226,13 +315,15 @@ impl SymbolicProcessor {
             let a = tm.and(port.valid, writes);
             tm.and(a, rd_nonzero)
         };
-        let write_enable = match effect {
-            Some(Effect::DropWriteback) => {
-                let not_trig = tm.not(trigger);
-                tm.and(nominal_writes_reg, not_trig)
-            }
-            _ => nominal_writes_reg,
-        };
+        let write_enable = guarded
+            .iter()
+            .fold(nominal_writes_reg, |acc, &(guard, effect)| match effect {
+                Effect::DropWriteback => {
+                    let not_trig = tm.not(guard);
+                    tm.and(acc, not_trig)
+                }
+                _ => acc,
+            });
         let is_store = opcode_is(tm, port.op, Opcode::Sw);
         let store_enable = tm.and(port.valid, is_store);
 

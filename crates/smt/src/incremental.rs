@@ -195,15 +195,6 @@ impl IncrementalSolver {
         self.sat.set_deadline(deadline);
     }
 
-    /// Attaches a shared cancellation flag to subsequent checks; raising it
-    /// from another thread makes an in-flight check return
-    /// [`SatResult::Unknown`] within a short burst of conflicts.  The solver
-    /// state stays valid — detach or lower the flag and check again to
-    /// continue (see [`CancelFlag`]).  `None` detaches.
-    pub fn set_cancel_flag(&mut self, cancel: Option<CancelFlag>) {
-        self.sat.set_cancel_flag(cancel);
-    }
-
     /// Attaches a *set* of cancellation flags: any raised flag cancels the
     /// check.  Independent cancellation sources (a caller's own flag, a
     /// batch's global flag) chain this way instead of replacing each other.
@@ -408,6 +399,44 @@ impl IncrementalSolver {
     pub fn stats(&self) -> SolverReuseStats {
         self.stats
     }
+}
+
+/// Builds the one-hot assumption set of the activation-literal multiplexing
+/// idiom (Eén–Sörensson): assume `literals[selected]` true and every other
+/// literal false, followed by any `extra` retractable assumptions (typically
+/// the query's goal, e.g. a BMC depth's bad state).
+///
+/// Passing the whole set — negations included — on *every* check is what
+/// keeps a shared encoding sound: a guard `aᵢ ∧ triggerᵢ` is pinned false
+/// for each unselected entry, so the one active mutation sees exactly the
+/// clauses a dedicated single-mutation encoding would, while learnt clauses
+/// that do not depend on any activation literal transfer across the whole
+/// catalogue.
+///
+/// # Panics
+///
+/// Panics if `selected` is out of range.
+pub fn one_hot_assumptions(
+    tm: &mut TermManager,
+    literals: &[TermId],
+    selected: usize,
+    extra: &[TermId],
+) -> Vec<TermId> {
+    assert!(
+        selected < literals.len(),
+        "selected activation literal {selected} out of range ({} literals)",
+        literals.len()
+    );
+    let mut assumptions = Vec::with_capacity(literals.len() + extra.len());
+    for (i, &lit) in literals.iter().enumerate() {
+        if i == selected {
+            assumptions.push(lit);
+        } else {
+            assumptions.push(tm.not(lit));
+        }
+    }
+    assumptions.extend_from_slice(extra);
+    assumptions
 }
 
 #[cfg(test)]

@@ -112,7 +112,7 @@ pub mod term;
 
 pub use aig::{Aig, AigCnf, AigLit, AigNode, AigStats, GateKind};
 pub use cnf::{Clause, Cnf, Lit, Var};
-pub use incremental::{IncrementalSolver, SolverReuseStats};
+pub use incremental::{one_hot_assumptions, IncrementalSolver, SolverReuseStats};
 pub use rewrite::{EncodeStats, RewriteStats, Rewriter};
 pub use sat::{CancelFlag, FaultHooks, ReduceStats, SatSolver, SolveOutcome, StopReason};
 pub use solver::{Model, SatResult, Solver};

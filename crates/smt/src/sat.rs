@@ -447,22 +447,16 @@ impl SatSolver {
         self.deadline = deadline;
     }
 
-    /// Attaches a shared cancellation flag to subsequent solve calls; when
-    /// another thread raises the flag, an in-flight search returns
-    /// [`SolveOutcome::Unknown`] at its next check point (the same 1-in-64
-    /// conflict sampling as the deadline, so cancellation lands within a
-    /// short burst of conflicts).  The solver state stays valid: clear or
-    /// replace the flag and solve again to continue.  `None` detaches.
-    pub fn set_cancel_flag(&mut self, cancel: Option<CancelFlag>) {
-        self.cancel.clear();
-        self.cancel.extend(cancel);
-    }
-
-    /// Attaches a *set* of cancellation flags: any raised flag cancels.
-    /// This is how independent cancellation sources chain — e.g. a caller's
-    /// private flag plus the parallel engine's batch flag — instead of one
-    /// silently replacing the other.  Replaces any previously attached
-    /// flags; an empty set detaches.
+    /// Attaches a set of shared cancellation flags to subsequent solve
+    /// calls; when another thread raises *any* of them, an in-flight search
+    /// returns [`SolveOutcome::Unknown`] at its next check point (the same
+    /// 1-in-64 conflict sampling as the deadline, so cancellation lands
+    /// within a short burst of conflicts).  Independent cancellation sources
+    /// chain by each contributing a flag — e.g. a caller's private flag plus
+    /// the parallel engine's batch flag — instead of one silently replacing
+    /// the other.  The solver state stays valid: lower the flags and solve
+    /// again to continue.  Replaces any previously attached flags; an empty
+    /// set detaches.
     pub fn set_cancel_flags(&mut self, cancel: Vec<CancelFlag>) {
         self.cancel = cancel;
     }
@@ -1391,7 +1385,7 @@ mod tests {
     fn raised_cancel_flag_reports_cancelled() {
         let mut s = solver_with(&pigeonhole(7, 6));
         let flag: CancelFlag = Arc::new(AtomicBool::new(true));
-        s.set_cancel_flag(Some(flag));
+        s.set_cancel_flags(vec![flag]);
         assert_eq!(s.solve(), SolveOutcome::Unknown);
         assert_eq!(s.stop_reason(), Some(StopReason::Cancelled));
     }

@@ -195,15 +195,6 @@ impl Solver {
         self.deadline = deadline;
     }
 
-    /// Attaches a shared cancellation flag to subsequent checks; raising it
-    /// from another thread makes an in-flight check return
-    /// [`SatResult::Unknown`] within a short burst of conflicts (see
-    /// [`CancelFlag`]).  `None` detaches.
-    pub fn set_cancel_flag(&mut self, cancel: Option<CancelFlag>) {
-        self.cancel.clear();
-        self.cancel.extend(cancel);
-    }
-
     /// Attaches a *set* of cancellation flags: any raised flag cancels the
     /// check.  Independent cancellation sources (a caller's own flag, a
     /// batch's global flag) chain this way instead of replacing each other.

@@ -147,6 +147,101 @@ impl Default for BmcConfig {
     }
 }
 
+impl BmcConfig {
+    /// Starts a builder over the default configuration.  The struct fields
+    /// stay public — the builder is sugar for the common
+    /// construct-and-override flow, not a new representation:
+    ///
+    /// ```
+    /// use sepe_tsys::{BmcConfig, BmcMode};
+    /// let config = BmcConfig::builder()
+    ///     .mode(BmcMode::PerDepth)
+    ///     .conflict_limit(100_000)
+    ///     .aig(false)
+    ///     .build();
+    /// assert!(config.simplify);
+    /// ```
+    pub fn builder() -> BmcConfigBuilder {
+        BmcConfigBuilder {
+            config: BmcConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`BmcConfig`]; see [`BmcConfig::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct BmcConfigBuilder {
+    config: BmcConfig,
+}
+
+impl BmcConfigBuilder {
+    /// Conflict budget per SAT call.
+    pub fn conflict_limit(mut self, limit: u64) -> Self {
+        self.config.conflict_limit = Some(limit);
+        self
+    }
+
+    /// Wall-clock budget for the whole run.
+    pub fn time_limit(mut self, limit: Duration) -> Self {
+        self.config.time_limit = Some(limit);
+        self
+    }
+
+    /// First depth to check.
+    pub fn start_bound(mut self, bound: usize) -> Self {
+        self.config.start_bound = bound;
+        self
+    }
+
+    /// Depth-exploration strategy.
+    pub fn mode(mut self, mode: BmcMode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Word-level preprocessing on or off.
+    pub fn simplify(mut self, on: bool) -> Self {
+        self.config.simplify = on;
+        self
+    }
+
+    /// Gate-level AIG reductions on or off.
+    pub fn aig(mut self, on: bool) -> Self {
+        self.config.aig = on;
+        self
+    }
+
+    /// VSIDS re-centring factor applied when the cumulative-incremental
+    /// unrolling grows.
+    pub fn frame_rescore(mut self, factor: f64) -> Self {
+        self.config.frame_rescore = Some(factor);
+        self
+    }
+
+    /// Chains one more cancellation flag (never replaces existing ones).
+    pub fn cancel(mut self, flag: CancelFlag) -> Self {
+        self.config.cancel.push(flag);
+        self
+    }
+
+    /// Caps the estimated SAT memory per solver.
+    pub fn memory_limit(mut self, bytes: usize) -> Self {
+        self.config.memory_limit = Some(bytes);
+        self
+    }
+
+    /// Arms a deterministic fault plan.
+    pub fn fault(mut self, fault: BmcFaultPlan) -> Self {
+        self.config.fault = fault;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> BmcConfig {
+        self.config
+    }
+}
+
 /// Per-query solver-work deltas: what one depth's query added and cost on
 /// top of the previous one.
 ///
@@ -715,7 +810,7 @@ impl Bmc {
 /// frame `k` is topped up to.  Without a cone (`coi == None`, preprocessing
 /// off) frames are asserted whole, once.  Returns the terms to assert, in
 /// order — one definition of the frame dispatch for all BMC modes.
-fn extend_unrolling(
+pub(crate) fn extend_unrolling(
     tm: &mut TermManager,
     unroller: &mut Unroller<'_>,
     coi: Option<&CoiInfo>,
@@ -751,7 +846,7 @@ fn extend_unrolling(
 
 /// Total next-state updates dropped across the asserted frames at their
 /// current refinement levels.
-fn coi_dropped_total(coi: Option<&CoiInfo>, levels: &[usize]) -> u64 {
+pub(crate) fn coi_dropped_total(coi: Option<&CoiInfo>, levels: &[usize]) -> u64 {
     match coi {
         Some(coi) => levels.iter().map(|&r| coi.dropped_within(r) as u64).sum(),
         None => 0,
@@ -770,7 +865,7 @@ fn coi_dropped_total(coi: Option<&CoiInfo>, levels: &[usize]) -> u64 {
 /// persistent cumulative solver was topped up past this counterexample's
 /// bound) re-evaluate to their model values — the asserted frame equality
 /// forces agreement — so the overwrite is harmless.
-fn extract_witness(
+pub(crate) fn extract_witness(
     tm: &mut TermManager,
     ts: &TransitionSystem,
     unroller: &mut Unroller<'_>,

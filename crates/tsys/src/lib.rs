@@ -35,11 +35,15 @@
 //! ```
 
 pub mod bmc;
+pub mod session;
 pub mod ts;
 pub mod unroll;
 pub mod witness;
 
-pub use bmc::{Bmc, BmcConfig, BmcFaultPlan, BmcMode, BmcResult, BmcStats, DepthStats};
+pub use bmc::{
+    Bmc, BmcConfig, BmcConfigBuilder, BmcFaultPlan, BmcMode, BmcResult, BmcStats, DepthStats,
+};
+pub use session::{BmcSession, QueryOutcome};
 pub use ts::{CoiInfo, StateVar, TransitionSystem};
 pub use unroll::Unroller;
 pub use witness::{Frame, Witness};

@@ -57,11 +57,12 @@ fn main() {
         .into_iter()
         .find(|b| b.target_opcode() == Some(Opcode::Sub))
         .expect("SUB bug exists");
-    let detector = Detector::new(DetectorConfig {
-        processor: ProcessorConfig::tiny().with_opcodes(&[Opcode::Sub, Opcode::Addi]),
-        max_bound: 8,
-        ..DetectorConfig::default()
-    });
+    let detector = Detector::new(
+        DetectorConfig::builder()
+            .processor(ProcessorConfig::tiny().with_opcodes(&[Opcode::Sub, Opcode::Addi]))
+            .bound(8)
+            .build(),
+    );
     for method in [Method::Sqed, Method::SepeSqed] {
         let detection = detector.check(method, Some(&bug));
         println!(
