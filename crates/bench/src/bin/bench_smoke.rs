@@ -51,6 +51,15 @@
 //! clauses / batched shared clauses) must clear a hard 5x floor on every
 //! run and hold its baseline value when `--baseline` is given.
 //!
+//! An eighth, **service_cache** arm boots the detection service
+//! (`sepe_service`) on a loopback socket with a fresh crash-safe result
+//! cache and submits the same small catalogue twice.  The cold pass
+//! computes and commits every verdict; the hot pass must be answered
+//! *entirely* from the cache.  That contract is deterministic, so it is a
+//! hard gate on every run (no baseline needed): the hot pass must be 100%
+//! cache hits with zero misses and zero solver encodes, or the run exits
+//! nonzero.  Wall times are recorded for the artifact history only.
+//!
 //! Usage:
 //!   bench_smoke [--bound N] [--jobs N] [--out BENCH_smoke.json] [--baseline BENCH_baseline.json]
 
@@ -163,11 +172,14 @@ struct RobustnessResult {
     retries: u64,
     degraded_runs: u64,
     panics: u64,
+    witness_validations: u64,
+    witness_mismatches: u64,
     stop_deadline: u64,
     stop_conflict_budget: u64,
     stop_memory_budget: u64,
     stop_cancelled: u64,
     stop_panicked: u64,
+    stop_witness_mismatch: u64,
 }
 
 impl RobustnessResult {
@@ -176,12 +188,96 @@ impl RobustnessResult {
             retries: stats.retries,
             degraded_runs: stats.degraded_runs,
             panics: stats.panics,
+            witness_validations: stats.witness_validations,
+            witness_mismatches: stats.witness_mismatches,
             stop_deadline: stats.stop_reasons.deadline,
             stop_conflict_budget: stats.stop_reasons.conflict_budget,
             stop_memory_budget: stats.stop_reasons.memory_budget,
             stop_cancelled: stats.stop_reasons.cancelled,
             stop_panicked: stats.stop_reasons.panicked,
+            stop_witness_mismatch: stats.stop_reasons.witness_mismatch,
         }
+    }
+}
+
+/// The service-cache arm: cold vs hot submits through the full service
+/// stack (wire protocol, admission queue, engine, crash-safe cache).  The
+/// hot-pass contract is deterministic, so it is gated on every run without
+/// a baseline: 100% hits, zero misses, zero encodes.
+#[derive(Debug, Clone, Serialize)]
+struct ServiceCacheResult {
+    /// Gate key — leads so `baseline_field` scans stay bounded.
+    mode: String,
+    /// Catalogue entries per submit.
+    entries: usize,
+    /// Wall time of the cold submit (computes + commits everything).
+    cold_wall_ms: f64,
+    /// Wall time of the hot submit (cache only; no solver work).
+    hot_wall_ms: f64,
+    /// Entries the cold pass computed.
+    cold_computed: u64,
+    /// Transition-system encodings the cold pass paid.
+    cold_encodes: u64,
+    /// Hot-pass cache hits (must equal `entries`).
+    hot_hits: u64,
+    /// Hot-pass cache misses (must be 0).
+    hot_misses: u64,
+    /// Hot-pass encodes (must be 0).
+    hot_encodes: u64,
+    /// `hot_hits / entries` (must be 1.0).
+    hit_rate: f64,
+}
+
+/// Runs the service-cache arm against a throwaway loopback server.
+fn run_service_cache() -> ServiceCacheResult {
+    use sepe_service::{Client, Endpoint, Server, ServerConfig, SubmitRequest};
+    use std::net::{Ipv4Addr, SocketAddr};
+
+    let dir = std::env::temp_dir().join(format!("sepe-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir); // the cold pass must be cold
+    let endpoint = Endpoint::Tcp(SocketAddr::from((Ipv4Addr::LOCALHOST, 0)));
+    let server = Server::bind(ServerConfig::new(endpoint, &dir)).expect("bind loopback server");
+    let addr = server.local_addr().expect("tcp endpoint has an address");
+    let handle = std::thread::spawn(move || server.run());
+    let client = Client::new(Endpoint::Tcp(addr));
+
+    // Four Table-1 bugs whose trigger opcode is outside the {ADD, ADDI}
+    // universe: provably clean at bound 2, i.e. fast conclusive verdicts —
+    // the arm measures the service stack, not the solver.
+    let request = SubmitRequest {
+        mutations: ["single-sub", "single-xor", "single-or", "single-and"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        ..SubmitRequest::new(
+            Method::Sqed,
+            2,
+            sepe_processor::ProcessorConfig::tiny()
+                .with_opcodes(&[sepe_isa::Opcode::Add, sepe_isa::Opcode::Addi]),
+        )
+    };
+    let entries = request.mutations.len();
+    let cold_start = std::time::Instant::now();
+    let cold = client.submit(&request).expect("cold submit");
+    let cold_wall = cold_start.elapsed();
+    let hot_start = std::time::Instant::now();
+    let hot = client.submit(&request).expect("hot submit");
+    let hot_wall = hot_start.elapsed();
+    client.shutdown().expect("graceful shutdown");
+    handle.join().expect("server thread").expect("drain");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    ServiceCacheResult {
+        mode: "service_cache".to_string(),
+        entries,
+        cold_wall_ms: cold_wall.as_secs_f64() * 1e3,
+        hot_wall_ms: hot_wall.as_secs_f64() * 1e3,
+        cold_computed: cold.done.computed,
+        cold_encodes: cold.done.encodes,
+        hot_hits: hot.done.from_cache,
+        hot_misses: hot.done.computed,
+        hot_encodes: hot.done.encodes,
+        hit_rate: hot.done.from_cache as f64 / entries as f64,
     }
 }
 
@@ -230,6 +326,7 @@ struct SmokeReport {
     parallel: ParallelResult,
     robustness: RobustnessResult,
     batched: BatchedResult,
+    service_cache: ServiceCacheResult,
 }
 
 /// Pulls `"<field>": <number>` for a named mode out of a baseline JSON
@@ -339,6 +436,9 @@ fn main() {
         speedup: seq.stats.wall.as_secs_f64() / par.stats.wall.as_secs_f64().max(1e-9),
     };
 
+    println!("bench-smoke: service cache arm (cold vs hot submit)");
+    let service_cache = run_service_cache();
+
     let report = SmokeReport {
         bound,
         opcode: "ADD".to_string(),
@@ -352,6 +452,7 @@ fn main() {
         parallel,
         robustness,
         batched,
+        service_cache,
     };
     for m in &report.modes {
         println!(
@@ -423,9 +524,41 @@ fn main() {
         report.batched.encode_ratio,
     );
 
+    println!(
+        "  service cache ({} entries): cold {:>8.1} ms ({} computed, {} encodes), \
+         hot {:>8.1} ms ({} hits, {} misses, {} encodes, {:.0}% hit rate)",
+        report.service_cache.entries,
+        report.service_cache.cold_wall_ms,
+        report.service_cache.cold_computed,
+        report.service_cache.cold_encodes,
+        report.service_cache.hot_wall_ms,
+        report.service_cache.hot_hits,
+        report.service_cache.hot_misses,
+        report.service_cache.hot_encodes,
+        report.service_cache.hit_rate * 100.0,
+    );
+
     let json = serde_json::to_string_pretty(&report).expect("serializable report");
     std::fs::write(&out_path, format!("{json}\n")).expect("write smoke report");
     println!("wrote {out_path}");
+
+    // The service-cache contract is deterministic, so it gates on every
+    // run without a baseline: a hot pass that computes anything means the
+    // cache key, the atomic commit, or the recovery path broke.
+    if report.service_cache.hot_hits != report.service_cache.entries as u64
+        || report.service_cache.hot_misses != 0
+        || report.service_cache.hot_encodes != 0
+    {
+        eprintln!(
+            "bench-smoke: service cache hot pass must be 100% hits with zero encodes \
+             (got {} hits / {} misses / {} encodes over {} entries)",
+            report.service_cache.hot_hits,
+            report.service_cache.hot_misses,
+            report.service_cache.hot_encodes,
+            report.service_cache.entries,
+        );
+        std::process::exit(1);
+    }
 
     // The throughput floor is baseline-free: both clause counts are
     // deterministic, so falling below the floor means the shared encoding

@@ -137,6 +137,11 @@ pub struct BatchedStats {
     /// Final-outcome tallies by stop reason (completed entries are not
     /// tallied).
     pub stop_reasons: StopReasonTally,
+    /// Concrete witness replays performed on final counterexamples.
+    pub witness_validations: u64,
+    /// Replays whose final verdict was a mismatch (the entry was demoted to
+    /// [`StopReason::WitnessMismatch`] instead of reporting a wrong bug).
+    pub witness_mismatches: u64,
     /// The shared session's solver-reuse counters: one encoding's worth of
     /// CNF (`cnf_vars`/`cnf_clauses`), cache hits across queries, learnt
     /// clauses retained between them.
@@ -397,6 +402,45 @@ impl BatchedDetector {
                         acc[i].depths.push(q);
                         match outcome {
                             QueryOutcome::Counterexample(witness) => {
+                                // Fault hook, then the witness self-check:
+                                // a counterexample that does not replay on
+                                // the concrete twin is a structured failure,
+                                // retried on the per-job ladder if granted.
+                                let witness = if fplan.corrupt_witness {
+                                    crate::selfcheck::corrupt_witness(&witness)
+                                } else {
+                                    witness
+                                };
+                                let validated = self.config.validate_witness.then(|| {
+                                    crate::selfcheck::replay_confirms(
+                                        &self.config.processor,
+                                        Some(&entry.mutation),
+                                        method,
+                                        &witness,
+                                    )
+                                });
+                                if validated == Some(false) {
+                                    if self.retry.max_retries >= 1 {
+                                        fallback.push((i, Fallback::Resume { panicked: false }));
+                                    } else {
+                                        let mut demoted = inconclusive_detection(
+                                            method,
+                                            entry,
+                                            StopReason::WitnessMismatch,
+                                            bound,
+                                            &mut acc[i],
+                                        );
+                                        demoted.witness = Some(witness);
+                                        demoted.witness_validated = Some(false);
+                                        detections[i] = Some(demoted);
+                                        reports[i] = Some(shared_report(
+                                            entry,
+                                            JobOutcome::Stopped(StopReason::WitnessMismatch),
+                                            false,
+                                        ));
+                                    }
+                                    continue;
+                                }
                                 detections[i] = Some(Detection {
                                     method,
                                     bug: Some(entry.mutation.name.clone()),
@@ -406,6 +450,7 @@ impl BatchedDetector {
                                     runtime: acc[i].runtime,
                                     trace_len: Some(witness.num_steps()),
                                     witness: Some(witness),
+                                    witness_validated: validated,
                                     bound_reached: bound,
                                     conflicts: acc[i].conflicts,
                                     solver: SolverReuseStats::default(),
@@ -519,6 +564,7 @@ impl BatchedDetector {
                     runtime: acc[i].runtime,
                     trace_len: None,
                     witness: None,
+                    witness_validated: None,
                     bound_reached: self.config.max_bound,
                     conflicts: acc[i].conflicts,
                     solver: SolverReuseStats::default(),
@@ -581,6 +627,8 @@ impl BatchedDetector {
             stats.cancelled += u64::from(
                 detection.inconclusive && detection.stop_reason == Some(StopReason::Cancelled),
             );
+            stats.witness_validations += u64::from(detection.witness_validated.is_some());
+            stats.witness_mismatches += u64::from(detection.witness_validated == Some(false));
         }
         stats.wall = start.elapsed();
         BatchedOutcome {
@@ -609,6 +657,7 @@ fn inconclusive_detection(
         runtime: acc.runtime,
         trace_len: None,
         witness: None,
+        witness_validated: None,
         bound_reached: bound,
         conflicts: acc.conflicts,
         solver: SolverReuseStats::default(),

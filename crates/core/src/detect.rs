@@ -86,6 +86,11 @@ pub struct DetectorConfig {
     /// policy).  Lets one job of a batch climb the degradation ladder
     /// further (or not at all) than its batchmates.
     pub retry: Option<RetryPolicy>,
+    /// Replay every counterexample on the concrete processor twin before
+    /// reporting it (on by default); a replay that does not reproduce the
+    /// inconsistency demotes the verdict to an inconclusive
+    /// [`StopReason::WitnessMismatch`] instead of a silently wrong `Bug`.
+    pub validate_witness: bool,
 }
 
 impl Default for DetectorConfig {
@@ -104,6 +109,7 @@ impl Default for DetectorConfig {
             memory_limit: None,
             fault: None,
             retry: None,
+            validate_witness: true,
         }
     }
 }
@@ -220,6 +226,12 @@ impl DetectorConfigBuilder {
         self
     }
 
+    /// Turns the concrete witness self-check on or off.
+    pub fn validate_witness(mut self, validate: bool) -> Self {
+        self.config.validate_witness = validate;
+        self
+    }
+
     /// Finishes the build.
     pub fn build(self) -> DetectorConfig {
         self.config
@@ -248,6 +260,12 @@ pub struct Detection {
     pub trace_len: Option<usize>,
     /// The full counterexample, when detected.
     pub witness: Option<Witness>,
+    /// Result of the concrete witness self-check: `Some(true)` when the
+    /// counterexample replayed and reproduced the inconsistency,
+    /// `Some(false)` when it did not (the verdict was demoted to
+    /// [`StopReason::WitnessMismatch`]), `None` when no counterexample was
+    /// found or validation was disabled.
+    pub witness_validated: Option<bool>,
     /// Deepest bound explored.
     pub bound_reached: usize,
     /// Total SAT conflicts spent by the model checker.
@@ -351,20 +369,56 @@ impl Detector {
         let stats = bmc.stats();
         let bug = mutation.map(|m| m.name.clone());
         match result {
-            BmcResult::Counterexample(witness) => Detection {
-                method,
-                bug,
-                detected: true,
-                inconclusive: false,
-                stop_reason: None,
-                runtime: stats.duration,
-                trace_len: Some(witness.num_steps()),
-                witness: Some(witness),
-                bound_reached: stats.deepest_bound,
-                conflicts: stats.conflicts,
-                solver: stats.solver,
-                depths: stats.depths.clone(),
-            },
+            BmcResult::Counterexample(witness) => {
+                // Fault hook: hand the self-check a corrupted witness so the
+                // demotion path is deterministically testable.
+                let witness = match self.config.fault {
+                    Some(f) if f.corrupt_witness => crate::selfcheck::corrupt_witness(&witness),
+                    _ => witness,
+                };
+                let validated = self.config.validate_witness.then(|| {
+                    crate::selfcheck::replay_confirms(
+                        &self.config.processor,
+                        mutation,
+                        method,
+                        &witness,
+                    )
+                });
+                if validated == Some(false) {
+                    // The solver's counterexample does not reproduce on the
+                    // concrete twin: a structured failure, not a bug report.
+                    return Detection {
+                        method,
+                        bug,
+                        detected: false,
+                        inconclusive: true,
+                        stop_reason: Some(StopReason::WitnessMismatch),
+                        runtime: stats.duration,
+                        trace_len: None,
+                        witness: Some(witness),
+                        witness_validated: Some(false),
+                        bound_reached: stats.deepest_bound,
+                        conflicts: stats.conflicts,
+                        solver: stats.solver,
+                        depths: stats.depths.clone(),
+                    };
+                }
+                Detection {
+                    method,
+                    bug,
+                    detected: true,
+                    inconclusive: false,
+                    stop_reason: None,
+                    runtime: stats.duration,
+                    trace_len: Some(witness.num_steps()),
+                    witness: Some(witness),
+                    witness_validated: validated,
+                    bound_reached: stats.deepest_bound,
+                    conflicts: stats.conflicts,
+                    solver: stats.solver,
+                    depths: stats.depths.clone(),
+                }
+            }
             BmcResult::NoCounterexample { bound } => Detection {
                 method,
                 bug,
@@ -374,6 +428,7 @@ impl Detector {
                 runtime: stats.duration,
                 trace_len: None,
                 witness: None,
+                witness_validated: None,
                 bound_reached: bound,
                 conflicts: stats.conflicts,
                 solver: stats.solver,
@@ -388,6 +443,7 @@ impl Detector {
                 runtime: stats.duration,
                 trace_len: None,
                 witness: None,
+                witness_validated: None,
                 bound_reached: bound,
                 conflicts: stats.conflicts,
                 solver: stats.solver,

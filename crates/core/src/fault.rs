@@ -36,6 +36,23 @@ pub struct FaultPlan {
     /// Act as a raised cancellation flag when the BMC run reaches this
     /// depth.
     pub cancel_at_depth: Option<usize>,
+    /// Corrupt the extracted counterexample before the witness self-check
+    /// sees it — exercises the
+    /// [`StopReason::WitnessMismatch`](sepe_smt::StopReason::WitnessMismatch)
+    /// demotion path deterministically.
+    pub corrupt_witness: bool,
+    /// Protocol layer (service crate): sever the connection after writing
+    /// only half of the k-th frame this plan is applied to.  Counter-indexed
+    /// per connection, like everything else here.
+    pub drop_connection_at_frame: Option<u64>,
+    /// Protocol layer: write a frame header promising the full payload but
+    /// deliver only half of the k-th frame's bytes, then close — a torn
+    /// frame as seen by the peer.
+    pub truncate_frame_at: Option<u64>,
+    /// Protocol layer: stall for a fixed short delay before reading the
+    /// k-th frame (exercises the peer's read deadline without a flaky
+    /// wall-clock assertion — the delay is fixed, the deadline is the knob).
+    pub delay_read_at_frame: Option<u64>,
     /// Keep the fault armed on retries instead of only the first attempt.
     pub every_attempt: bool,
 }
@@ -65,6 +82,41 @@ impl FaultPlan {
         }
     }
 
+    /// A plan that corrupts the extracted counterexample so the witness
+    /// self-check must demote the verdict.
+    pub fn corrupt_witness() -> FaultPlan {
+        FaultPlan {
+            corrupt_witness: true,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan that severs the connection halfway through writing the `k`-th
+    /// protocol frame.
+    pub fn drop_mid_frame(k: u64) -> FaultPlan {
+        FaultPlan {
+            drop_connection_at_frame: Some(k),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan that truncates the `k`-th protocol frame (full header, half
+    /// the promised payload, then close).
+    pub fn truncate_frame(k: u64) -> FaultPlan {
+        FaultPlan {
+            truncate_frame_at: Some(k),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan that delays reading the `k`-th protocol frame.
+    pub fn delay_read(k: u64) -> FaultPlan {
+        FaultPlan {
+            delay_read_at_frame: Some(k),
+            ..FaultPlan::default()
+        }
+    }
+
     /// Keeps the fault armed on every retry attempt (by default it fires
     /// only on the first, so retries run clean).
     pub fn every_attempt(mut self) -> FaultPlan {
@@ -90,6 +142,36 @@ impl FaultPlan {
             1 => FaultPlan::memory_breach_at(k),
             _ => FaultPlan::cancel_at(1 + (k as usize % 4)),
         }
+    }
+
+    /// Derives a *protocol-layer* plan from a seed: picks one of the three
+    /// wire faults (drop mid-frame, truncate, delay) and its frame index.
+    /// Kept separate from [`seeded`](FaultPlan::seeded) so the existing
+    /// solver-fault seed matrix keeps its plans bit-for-bit.
+    pub fn seeded_protocol(seed: u64) -> FaultPlan {
+        let mut s = seed
+            .wrapping_mul(0xD6E8_FEB8_6659_FD93)
+            .wrapping_add(0x2545_F491_4F6C_DD1D);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let kind = next() % 3;
+        let k = 1 + next() % 4;
+        match kind {
+            0 => FaultPlan::drop_mid_frame(k),
+            1 => FaultPlan::truncate_frame(k),
+            _ => FaultPlan::delay_read(k),
+        }
+    }
+
+    /// Whether the plan carries any protocol-layer fault.
+    pub fn has_protocol_fault(&self) -> bool {
+        self.drop_connection_at_frame.is_some()
+            || self.truncate_frame_at.is_some()
+            || self.delay_read_at_frame.is_some()
     }
 
     /// Whether the plan injects nothing (the default).
@@ -129,6 +211,30 @@ mod tests {
         assert!(plans.iter().any(|p| p.panic_at_conflict.is_some()));
         assert!(plans.iter().any(|p| p.memory_breach_at_conflict.is_some()));
         assert!(plans.iter().any(|p| p.cancel_at_depth.is_some()));
+    }
+
+    #[test]
+    fn seeded_protocol_plans_are_deterministic_and_cover_every_kind() {
+        let plans: Vec<FaultPlan> = (0..64).map(FaultPlan::seeded_protocol).collect();
+        for (seed, plan) in plans.iter().enumerate() {
+            assert_eq!(*plan, FaultPlan::seeded_protocol(seed as u64));
+            assert!(plan.has_protocol_fault());
+            assert!(
+                plan.to_bmc().sat.is_empty(),
+                "wire faults stay off the solver"
+            );
+        }
+        assert!(plans.iter().any(|p| p.drop_connection_at_frame.is_some()));
+        assert!(plans.iter().any(|p| p.truncate_frame_at.is_some()));
+        assert!(plans.iter().any(|p| p.delay_read_at_frame.is_some()));
+    }
+
+    #[test]
+    fn corrupt_witness_plan_is_nonempty_but_not_a_wire_fault() {
+        let plan = FaultPlan::corrupt_witness();
+        assert!(!plan.is_empty());
+        assert!(!plan.has_protocol_fault());
+        assert!(plan.to_bmc().sat.is_empty());
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod fault;
 pub mod mapping;
 pub mod parallel;
 pub mod qed;
+pub mod selfcheck;
 
 pub use batch::{BatchedDetector, BatchedOutcome, BatchedStats, CatalogueEntry};
 pub use detect::{Detection, Detector, DetectorConfig, Method};

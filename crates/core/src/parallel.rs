@@ -150,7 +150,7 @@ impl JobOutcome {
             JobOutcome::Failed { .. } => true,
             JobOutcome::Stopped(reason) => matches!(
                 reason,
-                StopReason::ConflictBudget | StopReason::MemoryBudget
+                StopReason::ConflictBudget | StopReason::MemoryBudget | StopReason::WitnessMismatch
             ),
         }
     }
@@ -278,6 +278,9 @@ pub struct StopReasonTally {
     pub cancelled: u64,
     /// Jobs whose final attempt panicked.
     pub panicked: u64,
+    /// Jobs whose final counterexample failed the concrete witness
+    /// self-check (the verdict was demoted instead of reported).
+    pub witness_mismatch: u64,
 }
 
 impl StopReasonTally {
@@ -289,12 +292,18 @@ impl StopReasonTally {
             StopReason::MemoryBudget => self.memory_budget += 1,
             StopReason::Cancelled => self.cancelled += 1,
             StopReason::Panicked => self.panicked += 1,
+            StopReason::WitnessMismatch => self.witness_mismatch += 1,
         }
     }
 
     /// Total jobs tallied (the batch's non-verdict count).
     pub fn total(&self) -> u64 {
-        self.deadline + self.conflict_budget + self.memory_budget + self.cancelled + self.panicked
+        self.deadline
+            + self.conflict_budget
+            + self.memory_budget
+            + self.cancelled
+            + self.panicked
+            + self.witness_mismatch
     }
 }
 
@@ -331,6 +340,12 @@ pub struct BatchStats {
     /// Final-outcome tallies by stop reason (jobs that completed are not
     /// tallied).
     pub stop_reasons: StopReasonTally,
+    /// Concrete witness replays performed on final counterexamples (the
+    /// self-check of [`DetectorConfig::validate_witness`]).
+    pub witness_validations: u64,
+    /// Replays whose final verdict was a mismatch — the counterexample did
+    /// not reproduce and the job was demoted.
+    pub witness_mismatches: u64,
     /// Per-job solver-reuse counters, summed (encode/rewrite/AIG work,
     /// learnt-database reduction, CNF sizes).
     pub solver: SolverReuseStats,
@@ -349,6 +364,8 @@ impl BatchStats {
         if let Some(reason) = report.outcome.stop_reason() {
             self.stop_reasons.record(reason);
         }
+        self.witness_validations += u64::from(detection.witness_validated.is_some());
+        self.witness_mismatches += u64::from(detection.witness_validated == Some(false));
         self.solver.absorb(&detection.solver);
     }
 }
@@ -1057,6 +1074,7 @@ fn stub_detection_raw(method: Method, mutation: Option<&Mutation>) -> Detection 
         runtime: Duration::ZERO,
         trace_len: None,
         witness: None,
+        witness_validated: None,
         bound_reached: 0,
         conflicts: 0,
         solver: SolverReuseStats::default(),

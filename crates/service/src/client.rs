@@ -1,0 +1,337 @@
+//! Bundled client: one connection per request, automatic retry with
+//! exponential backoff and seeded jitter.
+//!
+//! The retry loop treats three failures as transient — connect refusal
+//! (server restarting), transport errors (torn connection), and explicit
+//! `Busy` shedding (the server's admission control, whose
+//! `retry_after_ms` hint floors the backoff).  A structural `Error` reply
+//! is permanent and surfaces immediately.  Retrying a whole request after
+//! a mid-stream tear is safe because verdicts are deterministic and the
+//! server commits each conclusive verdict before streaming it: the retry
+//! is served from the cache up to the point of the tear.
+
+use std::io;
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use serde::Value;
+
+use crate::protocol::{
+    decode_reply, encode_request, read_frame, write_frame, DoneStats, ProtocolError, Reply,
+    Request, SubmitRequest, Verdict, DEFAULT_MAX_FRAME_LEN,
+};
+use crate::server::{Conn, Endpoint};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Wire-level failure on the final attempt.
+    Protocol(ProtocolError),
+    /// The server rejected the request structurally (bad request, unknown
+    /// mutation, ...): never retried.
+    Rejected(String),
+    /// The server is draining and will not take new work.
+    ShuttingDown,
+    /// All attempts exhausted on transient failures.
+    Exhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// Description of the last failure.
+        last: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "protocol failure: {e}"),
+            ClientError::Rejected(m) => write!(f, "request rejected: {m}"),
+            ClientError::ShuttingDown => write!(f, "server is shutting down"),
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts (last: {last})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Client knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Where the server listens.
+    pub endpoint: Endpoint,
+    /// Per-connection read deadline.
+    pub read_timeout: Duration,
+    /// Per-connection write deadline.
+    pub write_timeout: Duration,
+    /// Reply-frame payload cap.
+    pub max_frame_len: usize,
+    /// Total attempts per request (1 = no retry).
+    pub max_attempts: u32,
+    /// First backoff step; doubles per retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Jitter seed (deterministic per client; two clients with different
+    /// seeds desynchronise their retry storms).
+    pub seed: u64,
+}
+
+impl ClientConfig {
+    /// Defaults against an endpoint.
+    pub fn new(endpoint: Endpoint) -> ClientConfig {
+        ClientConfig {
+            endpoint,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            max_attempts: 5,
+            backoff_base: Duration::from_millis(20),
+            backoff_cap: Duration::from_millis(500),
+            seed: 1,
+        }
+    }
+}
+
+/// The result of a successful submit.
+#[derive(Debug, Clone)]
+pub struct SubmitResult {
+    /// Per-entry verdicts, in reply order.
+    pub verdicts: Vec<Verdict>,
+    /// The raw bytes of each verdict frame, exactly as received — the soak
+    /// test's bit-identical oracle.
+    pub raw_verdict_frames: Vec<Vec<u8>>,
+    /// End-of-stream statistics.
+    pub done: DoneStats,
+    /// Attempts it took (1 = first try).
+    pub attempts: u32,
+}
+
+enum Attempt<T> {
+    Ok(T),
+    Transient(String, Option<Duration>),
+    Fatal(ClientError),
+}
+
+/// A detection-service client.
+pub struct Client {
+    config: ClientConfig,
+    rng: Mutex<u64>,
+}
+
+impl Client {
+    /// A client with default knobs.
+    pub fn new(endpoint: Endpoint) -> Client {
+        Client::with_config(ClientConfig::new(endpoint))
+    }
+
+    /// A client with explicit knobs.
+    pub fn with_config(config: ClientConfig) -> Client {
+        let seed = config.seed.max(1); // xorshift's one forbidden state is 0
+        Client {
+            config,
+            rng: Mutex::new(seed),
+        }
+    }
+
+    fn connect(&self) -> io::Result<Box<dyn Conn>> {
+        let conn: Box<dyn Conn> = match &self.config.endpoint {
+            #[cfg(unix)]
+            Endpoint::Unix(path) => Box::new(UnixStream::connect(path)?),
+            Endpoint::Tcp(addr) => Box::new(TcpStream::connect(addr)?),
+        };
+        conn.set_timeouts(
+            Some(self.config.read_timeout),
+            Some(self.config.write_timeout),
+        )?;
+        Ok(conn)
+    }
+
+    /// 0..=25% of the step, from a deterministic xorshift64 stream.
+    fn jitter(&self, step: Duration) -> Duration {
+        let mut state = self.rng.lock().unwrap();
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        step.mul_f64((x % 256) as f64 / 1024.0)
+    }
+
+    fn backoff(&self, attempt: u32, floor: Option<Duration>) -> Duration {
+        let step = self
+            .config
+            .backoff_base
+            .saturating_mul(1u32 << attempt.min(10))
+            .min(self.config.backoff_cap);
+        let step = floor.map_or(step, |f| step.max(f));
+        step + self.jitter(step)
+    }
+
+    fn retrying<T>(
+        &self,
+        mut attempt: impl FnMut() -> Attempt<T>,
+    ) -> Result<(T, u32), ClientError> {
+        let mut last = String::new();
+        for n in 0..self.config.max_attempts {
+            match attempt() {
+                Attempt::Ok(value) => return Ok((value, n + 1)),
+                Attempt::Fatal(e) => return Err(e),
+                Attempt::Transient(why, floor) => {
+                    last = why;
+                    if n + 1 < self.config.max_attempts {
+                        std::thread::sleep(self.backoff(n, floor));
+                    }
+                }
+            }
+        }
+        Err(ClientError::Exhausted {
+            attempts: self.config.max_attempts,
+            last,
+        })
+    }
+
+    /// One request/reply exchange on a fresh connection, reading frames
+    /// until `until` says the stream is complete.
+    fn exchange(
+        &self,
+        request: &Request,
+        mut on_reply: impl FnMut(Reply, &[u8]) -> Option<Attempt<()>>,
+    ) -> Attempt<()> {
+        let mut conn = match self.connect() {
+            Ok(c) => c,
+            Err(e) => return Attempt::Transient(format!("connect: {e}"), None),
+        };
+        let mut wc = 0;
+        if let Err(e) = write_frame(&mut conn, &encode_request(request), None, &mut wc) {
+            return Attempt::Transient(format!("send: {e}"), None);
+        }
+        let mut rc = 0;
+        loop {
+            let payload = match read_frame(&mut conn, self.config.max_frame_len, None, &mut rc) {
+                Ok(p) => p,
+                Err(e) => return Attempt::Transient(format!("recv: {e}"), None),
+            };
+            let reply = match decode_reply(&payload) {
+                Ok(r) => r,
+                Err(e) => return Attempt::Fatal(ClientError::Protocol(e)),
+            };
+            match reply {
+                Reply::Busy { retry_after_ms } => {
+                    return Attempt::Transient(
+                        format!("busy (retry after {retry_after_ms}ms)"),
+                        Some(Duration::from_millis(retry_after_ms)),
+                    )
+                }
+                Reply::ShuttingDown => return Attempt::Fatal(ClientError::ShuttingDown),
+                Reply::Error { message } => return Attempt::Fatal(ClientError::Rejected(message)),
+                other => {
+                    if let Some(done) = on_reply(other, &payload) {
+                        return done;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&self) -> Result<(), ClientError> {
+        self.retrying(|| {
+            self.exchange(&Request::Ping, |reply, _| match reply {
+                Reply::Pong => Some(Attempt::Ok(())),
+                other => Some(Attempt::Fatal(ClientError::Protocol(
+                    ProtocolError::Malformed(format!("unexpected reply {other:?}")),
+                ))),
+            })
+        })
+        .map(|_| ())
+    }
+
+    /// Fetches the server's counters snapshot.
+    pub fn stats(&self) -> Result<Value, ClientError> {
+        let mut out = None;
+        self.retrying(|| {
+            self.exchange(&Request::Stats, |reply, _| match reply {
+                Reply::Stats(counters) => {
+                    out = Some(counters);
+                    Some(Attempt::Ok(()))
+                }
+                other => Some(Attempt::Fatal(ClientError::Protocol(
+                    ProtocolError::Malformed(format!("unexpected reply {other:?}")),
+                ))),
+            })
+        })?;
+        Ok(out.expect("set on success"))
+    }
+
+    /// Asks the server to drain and exit.  Not retried: a torn reply after
+    /// the server read the command still means the drain has begun.
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        // The expected `ShuttingDown` reply is intercepted by `exchange`;
+        // any reply that reaches the closure is a protocol violation.
+        match self.exchange(&Request::Shutdown, |reply, _| {
+            Some(Attempt::Fatal(ClientError::Protocol(
+                ProtocolError::Malformed(format!("unexpected reply {reply:?}")),
+            )))
+        }) {
+            Attempt::Fatal(ClientError::ShuttingDown) | Attempt::Ok(()) => Ok(()),
+            Attempt::Fatal(e) => Err(e),
+            Attempt::Transient(why, _) => Err(ClientError::Exhausted {
+                attempts: 1,
+                last: why,
+            }),
+        }
+    }
+
+    /// Reads a counter out of a stats snapshot.
+    pub fn counter(stats: &Value, name: &str) -> u64 {
+        stats
+            .get("counters")
+            .unwrap_or(stats)
+            .get(name)
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+    }
+
+    /// Submits a detection request, retrying transient failures, and
+    /// collects the full verdict stream.
+    pub fn submit(&self, request: &SubmitRequest) -> Result<SubmitResult, ClientError> {
+        let request = Request::Submit(request.clone());
+        let mut collected: Option<SubmitResult> = None;
+        let (_, attempts) = self.retrying(|| {
+            let mut verdicts = Vec::new();
+            let mut raw = Vec::new();
+            let mut done = None;
+            let outcome = self.exchange(&request, |reply, payload| match reply {
+                Reply::Verdict(v) => {
+                    verdicts.push(v);
+                    raw.push(payload.to_vec());
+                    None
+                }
+                Reply::Done(d) => {
+                    done = Some(d);
+                    Some(Attempt::Ok(()))
+                }
+                other => Some(Attempt::Fatal(ClientError::Protocol(
+                    ProtocolError::Malformed(format!("unexpected reply {other:?}")),
+                ))),
+            });
+            if let (Attempt::Ok(()), Some(done)) = (&outcome, done) {
+                collected = Some(SubmitResult {
+                    verdicts: std::mem::take(&mut verdicts),
+                    raw_verdict_frames: std::mem::take(&mut raw),
+                    done,
+                    attempts: 0, // patched below
+                });
+            }
+            outcome
+        })?;
+        let mut result = collected.expect("set on success");
+        result.attempts = attempts;
+        Ok(result)
+    }
+}

@@ -1,0 +1,28 @@
+//! Fault-tolerant detection service.
+//!
+//! This crate turns the batch engine of `sepe_sqed` into a long-running
+//! *service*: a persistent server ([`server::Server`]) accepting detection
+//! jobs over a length-prefixed binary protocol ([`protocol`]) on Unix or
+//! TCP sockets, an admission-controlled bounded job queue that sheds load
+//! with `Busy{retry_after}` instead of queueing without bound, a
+//! content-addressed crash-safe result cache ([`cache::ResultCache`]) that
+//! survives `kill -9` losing at most the in-flight jobs, and a bundled
+//! retrying client ([`client::Client`]).
+//!
+//! Everything is std-only and deterministic where it matters: verdict
+//! frames carry no wall-clock fields, witness keys are serialized sorted,
+//! and cache keys come from the seeded stable hash in `sepe_smt` — so a
+//! cached reply is byte-identical to the fresh reply it replaced, which is
+//! what the hostile-input soak test asserts for bystander connections.
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{cache_key, job_descriptor, RecoveryStats, ResultCache};
+pub use client::{Client, ClientConfig, ClientError, SubmitResult};
+pub use protocol::{
+    DoneStats, ProtocolError, Reply, Request, SubmitRequest, Verdict, DEFAULT_MAX_FRAME_LEN,
+};
+pub use server::{Endpoint, Server, ServerConfig, ServerReport};

@@ -1,0 +1,195 @@
+//! Seeded hostile-input soak test.
+//!
+//! A deterministic attacker (seed from `SEPE_FAULT_SEED`, default 42 — the
+//! CI matrix sweeps several) throws malformed traffic at a live server:
+//! garbage bytes, oversized length prefixes, truncated frames, torn
+//! headers, non-JSON payloads, unknown commands, mid-stream disconnects,
+//! and the `FaultPlan::seeded_protocol` write-side faults.  After every
+//! attack a well-behaved bystander submits the same reference request and
+//! must receive **bit-identical** reply frames — proving both that the
+//! server survives and that hostile connections cannot perturb the
+//! answers served to anyone else.
+#![cfg(unix)]
+
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::Duration;
+
+use sepe_isa::Opcode;
+use sepe_processor::ProcessorConfig;
+use sepe_service::protocol::{encode_request, write_frame, Request, FRAME_MAGIC};
+use sepe_service::{Client, Endpoint, Server, ServerConfig, SubmitRequest};
+use sepe_sqed::{FaultPlan, Method};
+
+fn seed_from_env() -> u64 {
+    std::env::var("SEPE_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+fn scratch_dir() -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "sepe-soak-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn reference_request() -> SubmitRequest {
+    SubmitRequest {
+        mutations: vec![
+            "single-sub".to_string(),
+            "single-xor".to_string(),
+            "single-or".to_string(),
+        ],
+        ..SubmitRequest::new(
+            Method::Sqed,
+            2,
+            ProcessorConfig::tiny().with_opcodes(&[Opcode::Add, Opcode::Addi]),
+        )
+    }
+}
+
+/// One hostile connection.  Every arm either writes garbage or tears the
+/// connection at a protocol-inconvenient moment; none is allowed to take
+/// the server down or block it past its read deadline.
+fn attack(sock: &std::path::Path, rng: &mut Rng) -> &'static str {
+    let Ok(mut conn) = UnixStream::connect(sock) else {
+        panic!("server must stay connectable");
+    };
+    match rng.next() % 7 {
+        0 => {
+            // Pure garbage, wrong magic.
+            let junk: Vec<u8> = (0..64).map(|_| (rng.next() & 0xff) as u8).collect();
+            let _ = conn.write_all(&junk);
+            "garbage"
+        }
+        1 => {
+            // Valid magic promising a 4 GiB payload.
+            let mut frame = FRAME_MAGIC.to_vec();
+            frame.extend_from_slice(&u32::MAX.to_be_bytes());
+            let _ = conn.write_all(&frame);
+            "oversized-prefix"
+        }
+        2 => {
+            // Well-formed header, half the payload, then close: the
+            // server's read deadline must reap the handler.
+            let payload = encode_request(&Request::Ping);
+            let mut frame = FRAME_MAGIC.to_vec();
+            frame.extend_from_slice(&(payload.len() as u32 * 2).to_be_bytes());
+            frame.extend_from_slice(&payload);
+            let _ = conn.write_all(&frame);
+            "truncated-frame"
+        }
+        3 => {
+            // Half a header.
+            let _ = conn.write_all(&FRAME_MAGIC[..2]);
+            "torn-header"
+        }
+        4 => {
+            // Valid frame, payload is not JSON.
+            let mut wc = 0;
+            let _ = write_frame(&mut conn, b"\x00\x01\x02 not json", None, &mut wc);
+            "binary-payload"
+        }
+        5 => {
+            // Valid JSON, unknown command.
+            let mut wc = 0;
+            let _ = write_frame(&mut conn, br#"{"cmd":"explode"}"#, None, &mut wc);
+            "unknown-cmd"
+        }
+        _ => {
+            // A legitimate submit whose connection dies mid-reply — the
+            // seeded protocol fault plan tears our own write, or we just
+            // drop without reading a single reply frame.
+            let plan = FaultPlan::seeded_protocol(rng.next());
+            let mut wc = 0;
+            let _ = write_frame(
+                &mut conn,
+                &encode_request(&Request::Submit(reference_request())),
+                Some(&plan),
+                &mut wc,
+            );
+            drop(conn); // vanish before reading anything
+            "submit-and-vanish"
+        }
+    }
+}
+
+#[test]
+fn hostile_traffic_never_perturbs_bystanders() {
+    let seed = seed_from_env();
+    let dir = scratch_dir();
+    let sock = dir.join("s.sock");
+    let mut config = ServerConfig::new(Endpoint::Unix(sock.clone()), dir.join("cache"));
+    // Short read deadline so stalled hostile connections are reaped fast.
+    config.read_timeout = Duration::from_millis(300);
+    config.drain_grace = Duration::from_secs(2);
+    let server = Server::bind(config).unwrap();
+    let handle = thread::spawn(move || server.run());
+
+    let client = Client::new(Endpoint::Unix(sock.clone()));
+    for _ in 0..200 {
+        if UnixStream::connect(&sock).is_ok() {
+            break;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+
+    // Establish the reference: first submit computes and caches, second is
+    // all cache hits — and from then on every well-behaved reply must be
+    // byte-identical to it.
+    let request = reference_request();
+    let cold = client.submit(&request).unwrap();
+    assert_eq!(cold.done.computed, 3);
+    let reference = client.submit(&request).unwrap();
+    assert_eq!(reference.done.from_cache, 3);
+
+    let mut rng = Rng(seed);
+    let mut kinds = Vec::new();
+    for round in 0..24 {
+        kinds.push(attack(&sock, &mut rng));
+        let bystander = client
+            .submit(&request)
+            .unwrap_or_else(|e| panic!("round {round} (after {kinds:?}): bystander failed: {e}"));
+        assert_eq!(
+            bystander.raw_verdict_frames, reference.raw_verdict_frames,
+            "round {round} (after {kinds:?}): bystander replies must be bit-identical"
+        );
+        assert_eq!(bystander.done.from_cache, 3);
+        assert_eq!(bystander.done.encodes, 0);
+    }
+
+    // The server survived, is still responsive, and counted the abuse.
+    client.ping().unwrap();
+    let stats = client.stats().unwrap();
+    assert!(
+        Client::counter(&stats, "protocol_errors") >= 1,
+        "hostile traffic must be counted, got stats {stats:?}"
+    );
+    client.shutdown().unwrap();
+    let report = handle.join().unwrap().unwrap();
+    assert_eq!(report.recovery.corrupted, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,18 +1,34 @@
 //! Offline shim for the subset of `serde_json` this workspace uses: JSON
-//! text rendering of the `serde` shim's [`serde::Value`] data model.
+//! text rendering of the `serde` shim's [`serde::Value`] data model, plus a
+//! strict recursive-descent parser ([`from_str`]) for the service protocol.
 
 use std::fmt;
 
 use serde::{Serialize, Value};
 
-/// Serialization error (the shim's value model is total, so rendering never
-/// fails; the type exists for API compatibility).
+/// Serialization/parse error.  Rendering never fails (the shim's value model
+/// is total); parsing reports the first malformed construct with its byte
+/// offset, which the service layer forwards to hostile clients verbatim.
 #[derive(Debug, Clone)]
-pub struct Error;
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "serde_json shim error")
+        if self.message.is_empty() {
+            write!(f, "serde_json shim error")
+        } else {
+            write!(f, "{}", self.message)
+        }
     }
 }
 
@@ -30,6 +46,251 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), Some(2), 0);
     Ok(out)
+}
+
+/// Maximum nesting depth the parser accepts.  The service feeds untrusted
+/// bytes into this function, so recursion must be bounded — a frame of
+/// 100 000 `[` characters must produce an error, not a stack overflow.
+const MAX_PARSE_DEPTH: usize = 128;
+
+/// Parses a JSON document into a [`Value`] tree.
+///
+/// Strict by intent: exactly one top-level value, no trailing garbage, no
+/// trailing commas, no comments.  Numbers parse to `UInt`/`Int` when they
+/// are integral and in range, `Float` otherwise; round-tripping a tree
+/// produced by [`to_string`] yields a structurally identical tree (object
+/// field order is preserved), which is what lets the result cache re-render
+/// stored verdicts byte-identically.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing bytes after JSON value at offset {}",
+            p.pos
+        )));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, what: &str) -> Error {
+        Error::new(format!("{what} at offset {}", self.pos))
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes (valid UTF-8 by construction,
+            // since the input is a &str and we only split at ASCII bytes).
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos]).expect("input is UTF-8"),
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xd800..0xdc00).contains(&code) {
+                                if !(self.eat_keyword("\\u")) {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let combined = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit"))?;
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("input is UTF-8");
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::new(format!("invalid number '{text}' at offset {start}")))
+    }
 }
 
 fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
@@ -144,5 +405,102 @@ mod tests {
         let pretty = to_string_pretty(&v).unwrap();
         assert!(pretty.contains("\n  \"name\": \"x\\\"y\",\n"));
         assert!(pretty.ends_with('}'));
+    }
+
+    #[test]
+    fn parses_documents() {
+        let v = from_str(r#"{"a": [1, -2, 2.5, true, null], "s": "x\n\"A"}"#).unwrap();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                (
+                    "a".to_string(),
+                    Value::Array(vec![
+                        Value::UInt(1),
+                        Value::Int(-2),
+                        Value::Float(2.5),
+                        Value::Bool(true),
+                        Value::Null,
+                    ])
+                ),
+                ("s".to_string(), Value::Str("x\n\"A".to_string())),
+            ])
+        );
+    }
+
+    #[test]
+    fn round_trips_byte_identically() {
+        let original = Value::Object(vec![
+            ("label".to_string(), Value::Str("single-add".to_string())),
+            ("detected".to_string(), Value::Bool(true)),
+            ("trace_len".to_string(), Value::Null),
+            ("conflicts".to_string(), Value::UInt(1234)),
+            ("delta".to_string(), Value::Int(-5)),
+            (
+                "frames".to_string(),
+                Value::Array(vec![Value::Object(vec![(
+                    "q0_op".to_string(),
+                    Value::UInt(3),
+                )])]),
+            ),
+        ]);
+        let text = to_string(&original).unwrap();
+        let reparsed = from_str(&text).unwrap();
+        assert_eq!(reparsed, original);
+        assert_eq!(to_string(&reparsed).unwrap(), text);
+    }
+
+    #[test]
+    fn parses_surrogate_pairs() {
+        assert_eq!(
+            from_str(r#""😀""#).unwrap(),
+            Value::Str("\u{1f600}".to_string())
+        );
+        assert!(from_str(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "1 2",
+            "\"unterminated",
+            "[1] garbage",
+            "{\"a\": 1,}",
+            "nul",
+            "--1",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn bounds_nesting_depth() {
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(from_str(&deep).is_err());
+        let ok = "[".repeat(64) + &"]".repeat(64);
+        assert!(from_str(&ok).is_ok());
+    }
+
+    #[test]
+    fn integer_width_boundaries() {
+        assert_eq!(
+            from_str("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
+        assert_eq!(
+            from_str("-9223372036854775808").unwrap(),
+            Value::Int(i64::MIN)
+        );
+        // Out of u64/i64 range falls back to float.
+        assert!(matches!(
+            from_str("18446744073709551616").unwrap(),
+            Value::Float(_)
+        ));
     }
 }

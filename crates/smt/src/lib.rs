@@ -107,6 +107,7 @@ pub mod rewrite;
 pub mod sat;
 pub mod solver;
 pub mod sort;
+pub mod stable;
 pub mod subst;
 pub mod term;
 
@@ -117,4 +118,5 @@ pub use rewrite::{EncodeStats, RewriteStats, Rewriter};
 pub use sat::{CancelFlag, FaultHooks, ReduceStats, SatSolver, SolveOutcome, StopReason};
 pub use solver::{Model, SatResult, Solver};
 pub use sort::Sort;
+pub use stable::{stable_hash, stable_hash_seeded, StableHasher};
 pub use term::{Op, Term, TermId, TermManager};

@@ -53,6 +53,12 @@ pub enum StopReason {
     /// produced by the solver itself; the parallel engine maps caught
     /// panics to this variant so they share the taxonomy.
     Panicked,
+    /// The solver produced a counterexample, but replaying it on the
+    /// concrete processor twin did not reproduce the inconsistency.  Never
+    /// produced by the solver itself; the detection layer's witness
+    /// self-check demotes the would-be `Bug` verdict to this structured
+    /// failure instead of reporting a silently wrong result.
+    WitnessMismatch,
 }
 
 impl std::fmt::Display for StopReason {
@@ -63,6 +69,7 @@ impl std::fmt::Display for StopReason {
             StopReason::MemoryBudget => "memory-budget",
             StopReason::Cancelled => "cancelled",
             StopReason::Panicked => "panicked",
+            StopReason::WitnessMismatch => "witness-mismatch",
         };
         write!(f, "{s}")
     }
