@@ -142,6 +142,16 @@ pub struct BatchedStats {
     /// Replays whose final verdict was a mismatch (the entry was demoted to
     /// [`StopReason::WitnessMismatch`] instead of reporting a wrong bug).
     pub witness_mismatches: u64,
+    /// Per-entry unbounded-prover runs dispatched for entries that survived
+    /// the shared bounded phase (prove mode only).
+    pub proof_attempts: u64,
+    /// Entries whose final verdict was `Proved` — clean at *every* depth,
+    /// certificate checked.
+    pub proved: u64,
+    /// Certificates whose independent-solver self-check failed (the entry
+    /// was demoted to [`StopReason::ProofMismatch`] instead of reporting a
+    /// wrong proof).
+    pub proof_mismatches: u64,
     /// The shared session's solver-reuse counters: one encoding's worth of
     /// CNF (`cnf_vars`/`cnf_clauses`), cache hits across queries, learnt
     /// clauses retained between them.
@@ -451,6 +461,11 @@ impl BatchedDetector {
                                     trace_len: Some(witness.num_steps()),
                                     witness: Some(witness),
                                     witness_validated: validated,
+                                    proved: false,
+                                    proof_method: None,
+                                    proof_depth: None,
+                                    proof_checked: None,
+                                    proof_work: None,
                                     bound_reached: bound,
                                     conflicts: acc[i].conflicts,
                                     solver: SolverReuseStats::default(),
@@ -551,6 +566,32 @@ impl BatchedDetector {
                 report.attempts = u32::from(started);
                 reports[i] = Some(report);
             }
+        } else if self.config.prove.is_some() {
+            // Entries that survived every bound get a dedicated per-entry
+            // proof attempt (fresh system, concrete mutation — activation
+            // literals would leak into cubes and uniqueness constraints):
+            // the prover can upgrade the bounded "clean to the bound" to a
+            // conclusive `Proved`.  Runs through the per-job retry ladder,
+            // so prover panics and budget faults degrade instead of
+            // poisoning the batch.
+            for &i in &unresolved {
+                let entry = &catalogue[i];
+                let job = DetectionJob::new(
+                    entry.label.clone(),
+                    DetectorConfig {
+                        fault: entry.fault,
+                        ..self.config.clone()
+                    },
+                    method,
+                    Some(entry.mutation.clone()),
+                );
+                let (detection, report) = run_with_retry(&job, batch_cancel, deadline, self.retry);
+                stats.proof_attempts += 1;
+                // Each prover attempt re-encodes the entry's system.
+                stats.encodes += u64::from(report.attempts);
+                detections[i] = Some(detection);
+                reports[i] = Some(report);
+            }
         } else {
             // Entries that survived every bound: proven clean to the bound.
             for &i in &unresolved {
@@ -565,6 +606,11 @@ impl BatchedDetector {
                     trace_len: None,
                     witness: None,
                     witness_validated: None,
+                    proved: false,
+                    proof_method: None,
+                    proof_depth: None,
+                    proof_checked: None,
+                    proof_work: None,
                     bound_reached: self.config.max_bound,
                     conflicts: acc[i].conflicts,
                     solver: SolverReuseStats::default(),
@@ -629,6 +675,8 @@ impl BatchedDetector {
             );
             stats.witness_validations += u64::from(detection.witness_validated.is_some());
             stats.witness_mismatches += u64::from(detection.witness_validated == Some(false));
+            stats.proved += u64::from(detection.proved);
+            stats.proof_mismatches += u64::from(detection.proof_checked == Some(false));
         }
         stats.wall = start.elapsed();
         BatchedOutcome {
@@ -658,6 +706,11 @@ fn inconclusive_detection(
         trace_len: None,
         witness: None,
         witness_validated: None,
+        proved: false,
+        proof_method: None,
+        proof_depth: None,
+        proof_checked: None,
+        proof_work: None,
         bound_reached: bound,
         conflicts: acc.conflicts,
         solver: SolverReuseStats::default(),

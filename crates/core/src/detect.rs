@@ -7,7 +7,10 @@ use std::time::Duration;
 use sepe_isa::Opcode;
 use sepe_processor::{Mutation, ProcessorConfig};
 use sepe_smt::{CancelFlag, StopReason, TermManager};
-use sepe_tsys::{Bmc, BmcConfig, BmcMode, BmcResult, Witness};
+use sepe_tsys::{
+    corrupt_certificate, verify_certificate, Bmc, BmcConfig, BmcMode, BmcResult, KInduction, Pdr,
+    ProofCertificate, ProofMethod, TransitionSystem, Witness,
+};
 
 use crate::equivalence::EquivalenceDb;
 use crate::fault::FaultPlan;
@@ -91,6 +94,18 @@ pub struct DetectorConfig {
     /// inconsistency demotes the verdict to an inconclusive
     /// [`StopReason::WitnessMismatch`] instead of a silently wrong `Bug`.
     pub validate_witness: bool,
+    /// Run an unbounded prover instead of plain bounded model checking
+    /// (default `None`: bounded BMC up to `max_bound`).  With a method set,
+    /// `max_bound` becomes the prover's depth/frontier cap; a run may now
+    /// end `Proved` — a conclusive "no bug at *any* depth" the bounded
+    /// checker can never give.
+    pub prove: Option<ProofMethod>,
+    /// Re-check every `Proved` verdict's certificate on an independent
+    /// fresh solver before it leaves the detector (on by default); a
+    /// certificate that fails demotes the verdict to an inconclusive
+    /// [`StopReason::ProofMismatch`] — the proof-side twin of the witness
+    /// self-check.
+    pub validate_proof: bool,
 }
 
 impl Default for DetectorConfig {
@@ -110,6 +125,8 @@ impl Default for DetectorConfig {
             fault: None,
             retry: None,
             validate_witness: true,
+            prove: None,
+            validate_proof: true,
         }
     }
 }
@@ -232,6 +249,19 @@ impl DetectorConfigBuilder {
         self
     }
 
+    /// Runs an unbounded prover (k-induction or IC3/PDR) instead of plain
+    /// bounded model checking.
+    pub fn prove(mut self, method: ProofMethod) -> Self {
+        self.config.prove = Some(method);
+        self
+    }
+
+    /// Turns the independent-solver certificate self-check on or off.
+    pub fn validate_proof(mut self, validate: bool) -> Self {
+        self.config.validate_proof = validate;
+        self
+    }
+
     /// Finishes the build.
     pub fn build(self) -> DetectorConfig {
         self.config
@@ -266,6 +296,24 @@ pub struct Detection {
     /// [`StopReason::WitnessMismatch`]), `None` when no counterexample was
     /// found or validation was disabled.
     pub witness_validated: Option<bool>,
+    /// Whether the property was *proved* for all depths (an unbounded
+    /// prover converged).  Strictly stronger than `!detected &&
+    /// !inconclusive`, which only covers the explored bound.
+    pub proved: bool,
+    /// The prover that produced a `proved` verdict.
+    pub proof_method: Option<ProofMethod>,
+    /// Induction depth / PDR frontier frame at which the proof closed.
+    pub proof_depth: Option<usize>,
+    /// Result of the independent-solver certificate self-check:
+    /// `Some(true)` when the invariant re-verified, `Some(false)` when it
+    /// did not (the verdict was demoted to
+    /// [`StopReason::ProofMismatch`]), `None` when nothing was proved or
+    /// validation was disabled.
+    pub proof_checked: Option<bool>,
+    /// Work counters of the prover run (`None` when no prover was
+    /// configured): queries, cubes blocked, clauses pushed, uniqueness
+    /// constraints — what the bench `proofs` arm records.
+    pub proof_work: Option<sepe_tsys::ProveStats>,
     /// Deepest bound explored.
     pub bound_reached: usize,
     /// Total SAT conflicts spent by the model checker.
@@ -291,6 +339,16 @@ impl Detection {
             "-".to_string()
         }
     }
+}
+
+/// Aggregate solver-work totals of one model-checking (or prover) run,
+/// flattened to what [`Detection`] reports.
+struct RunTotals {
+    runtime: Duration,
+    deepest: usize,
+    conflicts: u64,
+    solver: sepe_smt::SolverReuseStats,
+    depths: Vec<sepe_tsys::DepthStats>,
 }
 
 /// Runs detection experiments.
@@ -349,7 +407,7 @@ impl Detector {
             queue_depth: self.config.queue_depth,
         };
         let system = builder.build(&mut tm, &scheme, mutation);
-        let mut bmc = Bmc::new(BmcConfig {
+        let bmc_config = BmcConfig {
             conflict_limit: self.config.conflict_limit,
             time_limit: self.config.time_limit,
             // the initial state is consistent by construction, start at 1
@@ -364,9 +422,62 @@ impl Detector {
             cancel: self.config.cancel.clone(),
             memory_limit: self.config.memory_limit,
             fault: self.config.fault.map(FaultPlan::to_bmc).unwrap_or_default(),
-        });
+        };
+        if let Some(prover) = self.config.prove {
+            let run = match prover {
+                ProofMethod::KInduction => {
+                    KInduction::new(bmc_config).check(&mut tm, &system.ts, self.config.max_bound)
+                }
+                ProofMethod::Pdr => {
+                    Pdr::new(bmc_config).check(&mut tm, &system.ts, self.config.max_bound)
+                }
+            };
+            let totals = RunTotals {
+                runtime: run.stats.duration,
+                deepest: run.stats.depth_reached,
+                conflicts: run.stats.conflicts,
+                solver: run.stats.solver,
+                depths: Vec::new(),
+            };
+            let work = run.stats;
+            let mut detection = self.classify(
+                &mut tm,
+                &system.ts,
+                method,
+                mutation,
+                run.result,
+                run.certificate,
+                totals,
+            );
+            detection.proof_work = Some(work);
+            return detection;
+        }
+        let mut bmc = Bmc::new(bmc_config);
         let result = bmc.check(&mut tm, &system.ts, self.config.max_bound);
         let stats = bmc.stats();
+        let totals = RunTotals {
+            runtime: stats.duration,
+            deepest: stats.deepest_bound,
+            conflicts: stats.conflicts,
+            solver: stats.solver,
+            depths: stats.depths.clone(),
+        };
+        self.classify(&mut tm, &system.ts, method, mutation, result, None, totals)
+    }
+
+    /// Turns a raw model-checking (or prover) result into a [`Detection`],
+    /// running the witness and certificate self-checks on the way.
+    #[allow(clippy::too_many_arguments)]
+    fn classify(
+        &self,
+        tm: &mut TermManager,
+        ts: &TransitionSystem,
+        method: Method,
+        mutation: Option<&Mutation>,
+        result: BmcResult,
+        certificate: Option<ProofCertificate>,
+        totals: RunTotals,
+    ) -> Detection {
         let bug = mutation.map(|m| m.name.clone());
         match result {
             BmcResult::Counterexample(witness) => {
@@ -393,14 +504,19 @@ impl Detector {
                         detected: false,
                         inconclusive: true,
                         stop_reason: Some(StopReason::WitnessMismatch),
-                        runtime: stats.duration,
+                        runtime: totals.runtime,
                         trace_len: None,
                         witness: Some(witness),
                         witness_validated: Some(false),
-                        bound_reached: stats.deepest_bound,
-                        conflicts: stats.conflicts,
-                        solver: stats.solver,
-                        depths: stats.depths.clone(),
+                        proved: false,
+                        proof_method: None,
+                        proof_depth: None,
+                        proof_checked: None,
+                        proof_work: None,
+                        bound_reached: totals.deepest,
+                        conflicts: totals.conflicts,
+                        solver: totals.solver,
+                        depths: totals.depths,
                     };
                 }
                 Detection {
@@ -409,14 +525,81 @@ impl Detector {
                     detected: true,
                     inconclusive: false,
                     stop_reason: None,
-                    runtime: stats.duration,
+                    runtime: totals.runtime,
                     trace_len: Some(witness.num_steps()),
                     witness: Some(witness),
                     witness_validated: validated,
-                    bound_reached: stats.deepest_bound,
-                    conflicts: stats.conflicts,
-                    solver: stats.solver,
-                    depths: stats.depths.clone(),
+                    proved: false,
+                    proof_method: None,
+                    proof_depth: None,
+                    proof_checked: None,
+                    proof_work: None,
+                    bound_reached: totals.deepest,
+                    conflicts: totals.conflicts,
+                    solver: totals.solver,
+                    depths: totals.depths,
+                }
+            }
+            BmcResult::Proved {
+                method: prover,
+                depth,
+            } => {
+                // Fault hook: hand the self-check a corrupted certificate so
+                // the demotion path is deterministically testable.
+                let certificate = match self.config.fault {
+                    Some(f) if f.corrupt_proof => certificate
+                        .as_ref()
+                        .map(|cert| corrupt_certificate(tm, cert)),
+                    _ => certificate,
+                };
+                let checked = self.config.validate_proof.then(|| {
+                    certificate
+                        .as_ref()
+                        .is_some_and(|cert| verify_certificate(tm, ts, cert).is_ok())
+                });
+                if checked == Some(false) {
+                    // The prover's certificate does not re-verify on an
+                    // independent solver: a structured failure, not a proof.
+                    return Detection {
+                        method,
+                        bug,
+                        detected: false,
+                        inconclusive: true,
+                        stop_reason: Some(StopReason::ProofMismatch),
+                        runtime: totals.runtime,
+                        trace_len: None,
+                        witness: None,
+                        witness_validated: None,
+                        proved: false,
+                        proof_method: Some(prover),
+                        proof_depth: Some(depth),
+                        proof_checked: Some(false),
+                        proof_work: None,
+                        bound_reached: totals.deepest,
+                        conflicts: totals.conflicts,
+                        solver: totals.solver,
+                        depths: totals.depths,
+                    };
+                }
+                Detection {
+                    method,
+                    bug,
+                    detected: false,
+                    inconclusive: false,
+                    stop_reason: None,
+                    runtime: totals.runtime,
+                    trace_len: None,
+                    witness: None,
+                    witness_validated: None,
+                    proved: true,
+                    proof_method: Some(prover),
+                    proof_depth: Some(depth),
+                    proof_checked: checked,
+                    proof_work: None,
+                    bound_reached: totals.deepest,
+                    conflicts: totals.conflicts,
+                    solver: totals.solver,
+                    depths: totals.depths,
                 }
             }
             BmcResult::NoCounterexample { bound } => Detection {
@@ -425,14 +608,19 @@ impl Detector {
                 detected: false,
                 inconclusive: false,
                 stop_reason: None,
-                runtime: stats.duration,
+                runtime: totals.runtime,
                 trace_len: None,
                 witness: None,
                 witness_validated: None,
+                proved: false,
+                proof_method: None,
+                proof_depth: None,
+                proof_checked: None,
+                proof_work: None,
                 bound_reached: bound,
-                conflicts: stats.conflicts,
-                solver: stats.solver,
-                depths: stats.depths.clone(),
+                conflicts: totals.conflicts,
+                solver: totals.solver,
+                depths: totals.depths,
             },
             BmcResult::Unknown { bound, reason } => Detection {
                 method,
@@ -440,14 +628,19 @@ impl Detector {
                 detected: false,
                 inconclusive: true,
                 stop_reason: Some(reason),
-                runtime: stats.duration,
+                runtime: totals.runtime,
                 trace_len: None,
                 witness: None,
                 witness_validated: None,
+                proved: false,
+                proof_method: None,
+                proof_depth: None,
+                proof_checked: None,
+                proof_work: None,
                 bound_reached: bound,
-                conflicts: stats.conflicts,
-                solver: stats.solver,
-                depths: stats.depths.clone(),
+                conflicts: totals.conflicts,
+                solver: totals.solver,
+                depths: totals.depths,
             },
         }
     }

@@ -41,6 +41,11 @@ pub struct FaultPlan {
     /// [`StopReason::WitnessMismatch`](sepe_smt::StopReason::WitnessMismatch)
     /// demotion path deterministically.
     pub corrupt_witness: bool,
+    /// Corrupt the prover's certificate before the proof self-check sees
+    /// it — exercises the
+    /// [`StopReason::ProofMismatch`](sepe_smt::StopReason::ProofMismatch)
+    /// demotion path deterministically (only observable in prove mode).
+    pub corrupt_proof: bool,
     /// Protocol layer (service crate): sever the connection after writing
     /// only half of the k-th frame this plan is applied to.  Counter-indexed
     /// per connection, like everything else here.
@@ -87,6 +92,15 @@ impl FaultPlan {
     pub fn corrupt_witness() -> FaultPlan {
         FaultPlan {
             corrupt_witness: true,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan that corrupts the prover's certificate so the proof
+    /// self-check must demote the verdict.
+    pub fn corrupt_proof() -> FaultPlan {
+        FaultPlan {
+            corrupt_proof: true,
             ..FaultPlan::default()
         }
     }

@@ -150,7 +150,10 @@ impl JobOutcome {
             JobOutcome::Failed { .. } => true,
             JobOutcome::Stopped(reason) => matches!(
                 reason,
-                StopReason::ConflictBudget | StopReason::MemoryBudget | StopReason::WitnessMismatch
+                StopReason::ConflictBudget
+                    | StopReason::MemoryBudget
+                    | StopReason::WitnessMismatch
+                    | StopReason::ProofMismatch
             ),
         }
     }
@@ -281,6 +284,9 @@ pub struct StopReasonTally {
     /// Jobs whose final counterexample failed the concrete witness
     /// self-check (the verdict was demoted instead of reported).
     pub witness_mismatch: u64,
+    /// Jobs whose final proof certificate failed the independent-solver
+    /// self-check (the `Proved` verdict was demoted instead of reported).
+    pub proof_mismatch: u64,
 }
 
 impl StopReasonTally {
@@ -293,6 +299,7 @@ impl StopReasonTally {
             StopReason::Cancelled => self.cancelled += 1,
             StopReason::Panicked => self.panicked += 1,
             StopReason::WitnessMismatch => self.witness_mismatch += 1,
+            StopReason::ProofMismatch => self.proof_mismatch += 1,
         }
     }
 
@@ -304,6 +311,7 @@ impl StopReasonTally {
             + self.cancelled
             + self.panicked
             + self.witness_mismatch
+            + self.proof_mismatch
     }
 }
 
@@ -1075,6 +1083,11 @@ fn stub_detection_raw(method: Method, mutation: Option<&Mutation>) -> Detection 
         trace_len: None,
         witness: None,
         witness_validated: None,
+        proved: false,
+        proof_method: None,
+        proof_depth: None,
+        proof_checked: None,
+        proof_work: None,
         bound_reached: 0,
         conflicts: 0,
         solver: SolverReuseStats::default(),

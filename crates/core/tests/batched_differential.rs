@@ -8,10 +8,10 @@
 use sepe_isa::Opcode;
 use sepe_processor::{Mutation, ProcessorConfig};
 use sepe_sqed::batch::CatalogueEntry;
-use sepe_sqed::detect::{DetectorConfig, Method};
+use sepe_sqed::detect::{Detector, DetectorConfig, Method};
 use sepe_sqed::fault::FaultPlan;
 use sepe_sqed::parallel::{BatchSpec, DetectionJob, Engine, RetryPolicy};
-use sepe_tsys::BmcMode;
+use sepe_tsys::{BmcMode, ProofMethod};
 
 /// The first `n` Table-1 bugs with the shared opcode universe their
 /// triggers need (plus ADDI for operand setup), per-depth so batched and
@@ -151,5 +151,57 @@ fn a_faulted_entry_leaves_neighbour_verdicts_bit_identical() {
         );
         assert_eq!(d.bound_reached, clean.bound_reached, "bound on entry {i}");
         assert_eq!(d.trace_len, clean.trace_len, "trace length on entry {i}");
+    }
+}
+
+/// With a prover configured, every entry the shared bounded pass leaves
+/// undetected gets an unbounded re-run — and each final verdict (detected,
+/// proved, or merely bounded-clean) must match the scalar detector run
+/// with the identical configuration.
+#[test]
+fn batched_prove_pass_matches_the_scalar_detector() {
+    let (config, bugs) = shared_setup(2, 3);
+    let config = DetectorConfig {
+        prove: Some(ProofMethod::KInduction),
+        ..config
+    };
+    let batched = Engine::new(1)
+        .run(BatchSpec::catalogue(
+            Method::SepeSqed,
+            config.clone(),
+            catalogue_of(&bugs),
+        ))
+        .expect_catalogue();
+
+    let survivors = batched.detections.iter().filter(|d| d.detected).count();
+    assert_eq!(
+        batched.stats.proof_attempts,
+        (bugs.len() - survivors) as u64,
+        "exactly the entries the bounded pass left undetected get a proof attempt"
+    );
+    assert!(
+        batched.stats.proof_attempts > 0,
+        "the bound-3 sweep leaves at least one entry for the prover"
+    );
+
+    for (bug, b) in bugs.iter().zip(&batched.detections) {
+        let scalar = Detector::new(config.clone()).check(Method::SepeSqed, Some(bug));
+        assert_eq!(b.detected, scalar.detected, "verdict on {}", bug.name);
+        assert_eq!(
+            b.inconclusive, scalar.inconclusive,
+            "conclusiveness on {}",
+            bug.name
+        );
+        assert_eq!(b.proved, scalar.proved, "proved flag on {}", bug.name);
+        assert_eq!(
+            b.proof_method, scalar.proof_method,
+            "proof method on {}",
+            bug.name
+        );
+        assert_eq!(
+            b.trace_len, scalar.trace_len,
+            "trace length on {}",
+            bug.name
+        );
     }
 }

@@ -261,6 +261,98 @@ fn a_callers_cancel_flag_chains_with_the_batch_flag() {
     );
 }
 
+/// The workhorse job in prove mode: k-induction over the same bound-2
+/// configuration (cheap — the base case is the plain bounded sweep and
+/// the step case never converges on a QED system, so the job concludes
+/// `NoCounterexample` in a few hundred conflicts).
+fn prove_job(label: &str, fault: Option<FaultPlan>) -> DetectionJob {
+    let mut config = busy_config();
+    config.prove = Some(sepe_tsys::ProofMethod::KInduction);
+    config.fault = fault;
+    DetectionJob::new(label, config, Method::Sqed, None)
+}
+
+#[test]
+fn faults_inside_the_provers_classify_and_isolate_identically() {
+    // Every fault class planted *inside* a k-induction run: the prover
+    // must come back Unknown with the same structured StopReason the
+    // bounded path reports, clean prove-mode bystanders must be
+    // bit-identical to a fault-free batch, and the whole classification
+    // must not depend on the worker count.
+    let jobs = |armed: bool| {
+        let mut deadline = busy_config();
+        deadline.prove = Some(sepe_tsys::ProofMethod::KInduction);
+        deadline.time_limit = armed.then_some(Duration::ZERO);
+        let mut conflict = busy_config();
+        conflict.prove = Some(sepe_tsys::ProofMethod::KInduction);
+        conflict.conflict_limit = armed.then_some(10);
+        let gate = |fault: FaultPlan| armed.then_some(fault);
+        vec![
+            prove_job("clean-left", None),
+            DetectionJob::new("deadline", deadline, Method::Sqed, None),
+            DetectionJob::new("conflict", conflict, Method::Sqed, None),
+            prove_job("memory", gate(FaultPlan::memory_breach_at(3))),
+            prove_job("cancelled", gate(FaultPlan::cancel_at(1))),
+            prove_job("panicked", gate(FaultPlan::panic_at(5))),
+            prove_job("clean-right", None),
+        ]
+    };
+    let clean = Engine::new(1).run(jobs(false)).expect_jobs();
+    let sequential = Engine::new(1).run(jobs(true)).expect_jobs();
+    let parallel = Engine::new(4).run(jobs(true)).expect_jobs();
+
+    for outcome in [&sequential, &parallel] {
+        let expect = [
+            (1, StopReason::Deadline),
+            (2, StopReason::ConflictBudget),
+            (3, StopReason::MemoryBudget),
+            (4, StopReason::Cancelled),
+            (5, StopReason::Panicked),
+        ];
+        for (i, want) in expect {
+            let d = &outcome.detections[i];
+            assert!(
+                d.inconclusive,
+                "prove-mode job {} must be inconclusive",
+                outcome.reports[i].label
+            );
+            assert_eq!(
+                d.stop_reason,
+                Some(want),
+                "prove-mode job {} classified wrong",
+                outcome.reports[i].label
+            );
+            assert!(!d.proved, "a faulted prover must never report proved");
+        }
+        // The clean bystanders conclude exactly as in the fault-free batch.
+        for i in [0, 6] {
+            let (c, f) = (&clean.detections[i], &outcome.detections[i]);
+            assert_eq!(c.detected, f.detected, "verdict diverges on job {i}");
+            assert_eq!(c.inconclusive, f.inconclusive);
+            assert_eq!(c.proved, f.proved);
+            assert_eq!(c.conflicts, f.conflicts, "conflicts diverge on job {i}");
+            assert_eq!(c.bound_reached, f.bound_reached);
+        }
+        assert_eq!(outcome.stats.panics, 1);
+    }
+
+    // jobs = 1 and jobs = 4 classify bit-identically.
+    for i in 0..7 {
+        assert_eq!(
+            sequential.reports[i].outcome, parallel.reports[i].outcome,
+            "outcome diverges on prove-mode job {i}"
+        );
+        assert_eq!(
+            sequential.detections[i].conflicts, parallel.detections[i].conflicts,
+            "conflict counter diverges on prove-mode job {i}"
+        );
+        assert_eq!(
+            sequential.detections[i].stop_reason, parallel.detections[i].stop_reason,
+            "stop reason diverges on prove-mode job {i}"
+        );
+    }
+}
+
 #[test]
 fn seeded_fault_plans_reproduce_across_worker_counts() {
     // The CI seed matrix pins SEPE_FAULT_SEED; locally the test sweeps a

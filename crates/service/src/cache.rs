@@ -31,7 +31,9 @@ use sepe_processor::ProcessorConfig;
 use sepe_smt::stable_hash;
 use sepe_sqed::detect::Method;
 
-use crate::protocol::method_name;
+use sepe_tsys::ProofMethod;
+
+use crate::protocol::{method_name, proof_method_name};
 
 /// Format tag of entry files; bump when the descriptor or verdict schema
 /// changes so stale caches self-invalidate.
@@ -64,6 +66,7 @@ pub fn job_descriptor(
     mutation: Option<&str>,
     simplify: bool,
     aig: bool,
+    prove: Option<ProofMethod>,
 ) -> String {
     let mut ops: Vec<&str> = processor
         .allowed_opcodes
@@ -73,7 +76,7 @@ pub fn job_descriptor(
     ops.sort_unstable();
     ops.dedup();
     format!(
-        "sepe-job-v1|xlen={}|mem={}|hist={}|ops={}|method={}|mut={}|bound={}|simplify={}|aig={}",
+        "sepe-job-v2|xlen={}|mem={}|hist={}|ops={}|method={}|mut={}|bound={}|simplify={}|aig={}|prove={}",
         processor.xlen,
         processor.mem_words,
         processor.history_depth,
@@ -83,6 +86,7 @@ pub fn job_descriptor(
         bound,
         u8::from(simplify),
         u8::from(aig),
+        prove.map_or("none", proof_method_name),
     )
 }
 
@@ -282,6 +286,7 @@ mod tests {
             Some("single-add"),
             true,
             true,
+            None,
         )
     }
 
@@ -379,12 +384,12 @@ mod tests {
             ..ProcessorConfig::tiny()
         };
         assert_eq!(
-            job_descriptor(&a, Method::Sqed, 2, None, true, false),
-            job_descriptor(&b, Method::Sqed, 2, None, true, false),
+            job_descriptor(&a, Method::Sqed, 2, None, true, false, None),
+            job_descriptor(&b, Method::Sqed, 2, None, true, false, None),
         );
         assert_ne!(
-            job_descriptor(&a, Method::Sqed, 2, None, true, false),
-            job_descriptor(&a, Method::Sqed, 3, None, true, false),
+            job_descriptor(&a, Method::Sqed, 2, None, true, false, None),
+            job_descriptor(&a, Method::Sqed, 3, None, true, false, None),
         );
     }
 }

@@ -23,6 +23,7 @@ pub mod server;
 pub use cache::{cache_key, job_descriptor, RecoveryStats, ResultCache};
 pub use client::{Client, ClientConfig, ClientError, SubmitResult};
 pub use protocol::{
-    DoneStats, ProtocolError, Reply, Request, SubmitRequest, Verdict, DEFAULT_MAX_FRAME_LEN,
+    proof_method_from_name, proof_method_name, DoneStats, ProtocolError, Reply, Request,
+    SubmitRequest, Verdict, DEFAULT_MAX_FRAME_LEN,
 };
 pub use server::{Endpoint, Server, ServerConfig, ServerReport};

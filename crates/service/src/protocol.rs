@@ -36,7 +36,7 @@ use sepe_isa::Opcode;
 use sepe_processor::{Mutation, ProcessorConfig};
 use sepe_sqed::detect::{Detection, Method};
 use sepe_sqed::fault::FaultPlan;
-use sepe_tsys::Witness;
+use sepe_tsys::{ProofMethod, Witness};
 use serde::Value;
 
 /// The frame magic.
@@ -210,6 +210,10 @@ pub struct SubmitRequest {
     pub simplify: bool,
     /// Gate-level AIG reductions.
     pub aig: bool,
+    /// Run an unbounded prover instead of bounded BMC (`None`: bounded).
+    /// The bound becomes the prover's depth/frontier cap, and a verdict may
+    /// come back `proved` — conclusive at every depth, hence cacheable.
+    pub prove: Option<ProofMethod>,
 }
 
 impl SubmitRequest {
@@ -226,6 +230,7 @@ impl SubmitRequest {
             conflict_limit: None,
             simplify: true,
             aig: true,
+            prove: None,
         }
     }
 }
@@ -272,6 +277,17 @@ pub struct Verdict {
     /// The counterexample, serialized with sorted keys (`None` when not
     /// detected).
     pub witness: Option<Value>,
+    /// Whether the property was proved for all depths (an unbounded prover
+    /// converged and its certificate survived the self-check).
+    pub proved: bool,
+    /// The prover behind a `proved` verdict (wire name, see
+    /// [`proof_method_name`]).
+    pub proof_method: Option<String>,
+    /// Induction depth / PDR frontier at which the proof closed.
+    pub proof_depth: Option<u64>,
+    /// Independent-solver certificate self-check result (`None`: nothing
+    /// proved or validation off).
+    pub proof_checked: Option<bool>,
 }
 
 /// End-of-stream statistics of one submit request.
@@ -297,6 +313,11 @@ pub struct DoneStats {
     pub panics: u64,
     /// Entries cancelled through a flag.
     pub cancelled: u64,
+    /// Entries whose verdict was `proved` (unbounded prover converged).
+    pub proved: u64,
+    /// Certificates that failed the independent self-check (verdicts
+    /// demoted to proof-mismatch).
+    pub proof_mismatches: u64,
 }
 
 /// A server reply.
@@ -404,6 +425,23 @@ pub fn method_name(method: Method) -> &'static str {
     }
 }
 
+/// The proof method's wire name.
+pub fn proof_method_name(method: ProofMethod) -> &'static str {
+    match method {
+        ProofMethod::KInduction => "k-induction",
+        ProofMethod::Pdr => "pdr",
+    }
+}
+
+/// Parses a proof-method wire name.
+pub fn proof_method_from_name(name: &str) -> Option<ProofMethod> {
+    match name {
+        "k-induction" | "induction" => Some(ProofMethod::KInduction),
+        "pdr" | "ic3" => Some(ProofMethod::Pdr),
+        _ => None,
+    }
+}
+
 /// Parses a method wire name.
 pub fn method_from_name(name: &str) -> Option<Method> {
     match name {
@@ -491,6 +529,11 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             ("conflict_limit", opt_u64(s.conflict_limit)),
             ("simplify", Value::Bool(s.simplify)),
             ("aig", Value::Bool(s.aig)),
+            (
+                "prove",
+                s.prove
+                    .map_or(Value::Null, |m| string(proof_method_name(m))),
+            ),
         ]),
     };
     render(&v)
@@ -558,6 +601,19 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
                     "at most {MAX_REQUEST_MUTATIONS} mutations per request"
                 )));
             }
+            // Optional and tolerant of null, so pre-proof clients keep
+            // working against this server unchanged.
+            let prove = match v.get("prove") {
+                None | Some(Value::Null) => None,
+                Some(Value::Str(s)) => Some(proof_method_from_name(s).ok_or_else(|| {
+                    ProtocolError::Malformed(format!("unknown proof method '{s}'"))
+                })?),
+                Some(_) => {
+                    return Err(ProtocolError::Malformed(
+                        "field 'prove' must be a string".to_string(),
+                    ))
+                }
+            };
             Ok(Request::Submit(SubmitRequest {
                 method,
                 bound,
@@ -569,6 +625,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
                 conflict_limit: maybe_u64(&v, "conflict_limit")?,
                 simplify: need_bool(&v, "simplify")?,
                 aig: need_bool(&v, "aig")?,
+                prove,
             }))
         }
         other => Err(ProtocolError::Malformed(format!("unknown cmd '{other}'"))),
@@ -621,6 +678,12 @@ pub fn verdict_from_detection(label: &str, detection: &Detection, cached: bool) 
             .as_ref()
             .filter(|_| detection.detected)
             .map(witness_to_value),
+        proved: detection.proved,
+        proof_method: detection
+            .proof_method
+            .map(|m| proof_method_name(m).to_string()),
+        proof_depth: detection.proof_depth.map(|d| d as u64),
+        proof_checked: detection.proof_checked,
     }
 }
 
@@ -645,6 +708,16 @@ pub fn verdict_core(verdict: &Verdict) -> Value {
             verdict.witness_validated.map_or(Value::Null, Value::Bool),
         ),
         ("witness", verdict.witness.clone().unwrap_or(Value::Null)),
+        ("proved", Value::Bool(verdict.proved)),
+        (
+            "proof_method",
+            verdict.proof_method.as_deref().map_or(Value::Null, string),
+        ),
+        ("proof_depth", opt_u64(verdict.proof_depth)),
+        (
+            "proof_checked",
+            verdict.proof_checked.map_or(Value::Null, Value::Bool),
+        ),
     ])
 }
 
@@ -667,6 +740,15 @@ pub fn verdict_from_core(core: &Value, cached: bool) -> Result<Verdict, Protocol
             Some(Value::Null) | None => None,
             Some(w) => Some(w.clone()),
         },
+        // Proof fields are tolerant of absence: entries cached before the
+        // prover existed decode as unproved bounded verdicts.
+        proved: maybe_bool(core, "proved")?.unwrap_or(false),
+        proof_method: match core.get("proof_method") {
+            Some(Value::Str(s)) => Some(s.clone()),
+            _ => None,
+        },
+        proof_depth: maybe_u64(core, "proof_depth")?,
+        proof_checked: maybe_bool(core, "proof_checked")?,
     })
 }
 
@@ -709,6 +791,8 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             ("degraded_runs", Value::UInt(d.degraded_runs)),
             ("panics", Value::UInt(d.panics)),
             ("cancelled", Value::UInt(d.cancelled)),
+            ("proved", Value::UInt(d.proved)),
+            ("proof_mismatches", Value::UInt(d.proof_mismatches)),
         ]),
     };
     render(&v)
@@ -744,6 +828,8 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, ProtocolError> {
             degraded_runs: need_u64(&v, "degraded_runs")?,
             panics: need_u64(&v, "panics")?,
             cancelled: need_u64(&v, "cancelled")?,
+            proved: maybe_u64(&v, "proved")?.unwrap_or(0),
+            proof_mismatches: maybe_u64(&v, "proof_mismatches")?.unwrap_or(0),
         })),
         other => Err(ProtocolError::Malformed(format!("unknown reply '{other}'"))),
     }
@@ -898,6 +984,10 @@ mod tests {
             conflicts: 412,
             witness_validated: Some(true),
             witness: Some(Value::Array(vec![])),
+            proved: false,
+            proof_method: None,
+            proof_depth: None,
+            proof_checked: None,
         };
         for reply in [
             Reply::Pong,
@@ -934,6 +1024,10 @@ mod tests {
             conflicts: 9,
             witness_validated: None,
             witness: None,
+            proved: false,
+            proof_method: None,
+            proof_depth: None,
+            proof_checked: None,
         };
         let core = verdict_core(&verdict);
         let as_miss = verdict_from_core(&core, false).unwrap();
@@ -947,6 +1041,59 @@ mod tests {
             },
             as_hit
         );
+    }
+
+    #[test]
+    fn prove_requests_and_proved_verdicts_round_trip() {
+        let request = Request::Submit(SubmitRequest {
+            prove: Some(ProofMethod::Pdr),
+            ..SubmitRequest::new(Method::Sqed, 8, ProcessorConfig::tiny())
+        });
+        let bytes = encode_request(&request);
+        let decoded = decode_request(&bytes).unwrap();
+        assert_eq!(encode_request(&decoded), bytes);
+        let Request::Submit(s) = decoded else {
+            panic!("submit expected");
+        };
+        assert_eq!(s.prove, Some(ProofMethod::Pdr));
+
+        let verdict = Verdict {
+            label: "clean".to_string(),
+            cached: false,
+            detected: false,
+            inconclusive: false,
+            stop_reason: None,
+            bound_reached: 2,
+            trace_len: None,
+            conflicts: 622,
+            witness_validated: None,
+            witness: None,
+            proved: true,
+            proof_method: Some("pdr".to_string()),
+            proof_depth: Some(2),
+            proof_checked: Some(true),
+        };
+        let reply = Reply::Verdict(verdict.clone());
+        let bytes = encode_reply(&reply);
+        let Reply::Verdict(decoded) = decode_reply(&bytes).unwrap() else {
+            panic!("verdict expected");
+        };
+        assert_eq!(decoded, verdict);
+    }
+
+    #[test]
+    fn legacy_cores_without_proof_fields_decode_as_unproved() {
+        // A cache entry persisted before the prover existed must keep
+        // decoding — as a plain bounded verdict.
+        let legacy = r#"{"label":"clean","detected":false,"inconclusive":false,
+            "stop_reason":null,"bound_reached":4,"trace_len":null,
+            "conflicts":7,"witness_validated":null,"witness":null}"#;
+        let core = serde_json::from_str(legacy).unwrap();
+        let verdict = verdict_from_core(&core, true).unwrap();
+        assert!(!verdict.proved);
+        assert_eq!(verdict.proof_method, None);
+        assert_eq!(verdict.proof_depth, None);
+        assert_eq!(verdict.proof_checked, None);
     }
 
     #[test]

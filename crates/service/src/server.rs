@@ -44,6 +44,7 @@ use sepe_smt::CancelFlag;
 use sepe_sqed::{
     BatchedDetector, CatalogueEntry, DetectorConfig, Engine, FaultPlan, Method, RetryPolicy,
 };
+use sepe_tsys::ProofMethod;
 use serde::Value;
 
 use crate::cache::{job_descriptor, RecoveryStats, ResultCache};
@@ -251,6 +252,7 @@ struct Ticket {
     memory_limit: Option<usize>,
     deadline: Duration,
     batched: bool,
+    prove: Option<ProofMethod>,
     entries: Vec<MissEntry>,
     cancel: CancelFlag,
     replies: Sender<WorkerMsg>,
@@ -575,6 +577,7 @@ fn handle_submit(
             mutation.as_ref().map(|_| label.as_str()),
             submit.simplify,
             submit.aig,
+            submit.prove,
         );
         match shared.cache.lookup(&descriptor) {
             Some(json) => {
@@ -613,6 +616,7 @@ fn handle_submit(
             memory_limit: submit.memory_limit.or(shared.config.default_memory_limit),
             deadline,
             batched: submit.batched,
+            prove: submit.prove,
             entries: misses,
             cancel: cancel.clone(),
             replies: tx,
@@ -677,6 +681,8 @@ fn handle_submit(
                     done.degraded_runs += computed.degraded_runs;
                     done.panics += computed.panics;
                     done.cancelled += computed.cancelled;
+                    done.proved += computed.proved;
+                    done.proof_mismatches += computed.proof_mismatches;
                 }
             }
         }
@@ -719,6 +725,9 @@ fn ticket_config(shared: &Shared, ticket: &Ticket, remaining: Duration) -> Detec
     }
     if let Some(limit) = ticket.memory_limit {
         builder = builder.memory_limit(limit);
+    }
+    if let Some(method) = ticket.prove {
+        builder = builder.prove(method);
     }
     builder.build()
 }
@@ -771,6 +780,8 @@ fn run_ticket(shared: &Shared, ticket: Ticket) {
         computed.degraded_runs += outcome.stats.degraded_runs;
         computed.panics += outcome.stats.panics;
         computed.cancelled += outcome.stats.cancelled;
+        computed.proved += outcome.stats.proved;
+        computed.proof_mismatches += outcome.stats.proof_mismatches;
     }
     // Per-entry jobs: everything not covered by the batched group.  One
     // engine run per entry keeps the crash-loss granularity at a single
@@ -806,6 +817,8 @@ fn run_ticket(shared: &Shared, ticket: Ticket) {
         computed.degraded_runs += outcome.stats.degraded_runs;
         computed.panics += outcome.stats.panics;
         computed.cancelled += outcome.stats.cancelled;
+        computed.proved += u64::from(detection.proved);
+        computed.proof_mismatches += u64::from(detection.proof_checked == Some(false));
     }
     let c = &shared.counters;
     c.encodes.fetch_add(computed.encodes, Ordering::Relaxed);

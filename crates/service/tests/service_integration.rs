@@ -455,3 +455,76 @@ fn deadline_budget_rides_the_stop_reason_machinery() {
     assert_eq!(Client::counter(&stats, "cache_entries"), 1);
     server.stop();
 }
+
+/// The unbounded-proof round trip: a clean configuration submitted with
+/// `prove=pdr` streams a **Proved** verdict (deterministically — repeat
+/// passes are bit-identical on the wire), the conclusive proof is
+/// committed to the cache, and after a literal `kill -9` plus restart it
+/// is served hot with zero solver work.
+#[test]
+fn proved_verdicts_stream_cache_and_survive_kill_dash_nine() {
+    let dir = scratch_dir("prove");
+    let sock = dir.join("s.sock");
+    let cache_dir = dir.join("cache");
+    // The single-ADD universe is the cheapest configuration PDR closes;
+    // the generous deadline keeps slow debug builds clear of the budget.
+    let request = SubmitRequest {
+        prove: Some(sepe_tsys::ProofMethod::Pdr),
+        deadline_ms: Some(300_000),
+        ..SubmitRequest::new(
+            Method::Sqed,
+            4,
+            ProcessorConfig::tiny().with_opcodes(&[Opcode::Add]),
+        )
+    };
+    let mut proc1 = spawn_serve(&sock, &cache_dir, &["--max-deadline-ms", "300000"]);
+    let client = Client::with_config(ClientConfig {
+        read_timeout: Duration::from_secs(300),
+        ..ClientConfig::new(Endpoint::Unix(sock.clone()))
+    });
+
+    let cold = client.submit(&request).unwrap();
+    assert_eq!(cold.verdicts.len(), 1);
+    let v = &cold.verdicts[0];
+    assert!(v.proved, "PDR must prove the clean config: {v:?}");
+    assert!(!v.detected && !v.inconclusive);
+    assert_eq!(v.proof_method.as_deref(), Some("pdr"));
+    assert!(v.proof_depth.is_some());
+    assert_eq!(v.proof_checked, Some(true), "self-check rides the wire");
+    assert!(!v.cached);
+    assert_eq!(cold.done.proved, 1);
+    assert_eq!(cold.done.proof_mismatches, 0);
+
+    // Hot pass: the proof is conclusive, hence cached — and the stream is
+    // bit-identical across repeats.
+    let hot = client.submit(&request).unwrap();
+    assert_eq!(hot.done.from_cache, 1, "a proof is a cacheable verdict");
+    assert_eq!(hot.done.computed, 0);
+    assert_eq!(hot.done.encodes, 0);
+    assert!(hot.verdicts[0].cached);
+    assert!(hot.verdicts[0].proved);
+    let hot2 = client.submit(&request).unwrap();
+    assert_eq!(hot.raw_verdict_frames, hot2.raw_verdict_frames);
+
+    // kill -9, restart: the committed proof survives the crash.
+    proc1.child.kill().unwrap();
+    proc1.child.wait().unwrap();
+    let proc2 = spawn_serve(&sock, &cache_dir, &["--max-deadline-ms", "300000"]);
+    assert_eq!(ready_field(&proc2.ready, "recovered"), 1);
+    assert_eq!(ready_field(&proc2.ready, "corrupted"), 0);
+    let revived = client.submit(&request).unwrap();
+    assert_eq!(revived.done.from_cache, 1);
+    assert_eq!(revived.done.computed, 0);
+    assert_eq!(
+        revived.done.encodes, 0,
+        "a recovered proof costs no solver work"
+    );
+    let v = &revived.verdicts[0];
+    assert!(v.proved && v.cached);
+    assert_eq!(v.proof_checked, Some(true));
+
+    client.shutdown().unwrap();
+    let mut proc2 = proc2;
+    assert!(proc2.child.wait().unwrap().success());
+    let _ = std::fs::remove_dir_all(&dir);
+}

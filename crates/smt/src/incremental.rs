@@ -395,6 +395,21 @@ impl IncrementalSolver {
         &self.last_core
     }
 
+    /// The subset of `among` that appears in the final-conflict unsat core
+    /// of the last `check_assuming`, in `among`'s order.
+    ///
+    /// This is the cube-generalisation primitive of IC3/PDR: a blocked
+    /// cube's next-state literals are passed as individual assumptions, and
+    /// every literal the core does *not* mention can be dropped from the
+    /// learned clause without re-proving anything.
+    pub fn core_subset(&self, among: &[TermId]) -> Vec<TermId> {
+        among
+            .iter()
+            .copied()
+            .filter(|t| self.last_core.contains(t))
+            .collect()
+    }
+
     /// Cumulative and per-check reuse statistics.
     pub fn stats(&self) -> SolverReuseStats {
         self.stats

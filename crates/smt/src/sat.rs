@@ -59,6 +59,13 @@ pub enum StopReason {
     /// self-check demotes the would-be `Bug` verdict to this structured
     /// failure instead of reporting a silently wrong result.
     WitnessMismatch,
+    /// An unbounded prover produced an inductive-invariant certificate, but
+    /// re-checking its proof obligations on a fresh independent solver did
+    /// not confirm them.  Never produced by the solver itself; the
+    /// detection layer's proof self-check demotes the would-be `Proved`
+    /// verdict to this structured failure — the proof-side twin of
+    /// [`StopReason::WitnessMismatch`].
+    ProofMismatch,
 }
 
 impl std::fmt::Display for StopReason {
@@ -70,6 +77,7 @@ impl std::fmt::Display for StopReason {
             StopReason::Cancelled => "cancelled",
             StopReason::Panicked => "panicked",
             StopReason::WitnessMismatch => "witness-mismatch",
+            StopReason::ProofMismatch => "proof-mismatch",
         };
         write!(f, "{s}")
     }

@@ -8,6 +8,7 @@ use sepe_smt::{
     StopReason, TermId, TermManager,
 };
 
+use crate::prove::ProofMethod;
 use crate::ts::{CoiInfo, TransitionSystem};
 use crate::unroll::Unroller;
 use crate::witness::{Frame, Witness};
@@ -287,7 +288,12 @@ pub struct BmcStats {
     pub depths: Vec<DepthStats>,
 }
 
-/// Outcome of a BMC run.
+/// Outcome of a model-checking run.
+///
+/// Bounded runs ([`Bmc::check`]) produce the first three variants; the
+/// unbounded provers ([`KInduction`](crate::KInduction), [`Pdr`](crate::Pdr))
+/// additionally produce [`BmcResult::Proved`] when they certify the bad
+/// states unreachable at *every* depth, not just within the bound.
 #[derive(Debug, Clone)]
 pub enum BmcResult {
     /// A counterexample reaching a bad state was found.
@@ -296,6 +302,14 @@ pub enum BmcResult {
     NoCounterexample {
         /// The bound that was exhaustively checked.
         bound: usize,
+    },
+    /// No bad state is reachable at any depth — an unbounded proof.
+    Proved {
+        /// Which prover closed the proof.
+        method: ProofMethod,
+        /// The proof's depth parameter: the induction depth `k`, or the
+        /// PDR frame index at which the reachability frames converged.
+        depth: usize,
     },
     /// The run stopped without a verdict at the given bound.
     Unknown {
@@ -311,6 +325,11 @@ impl BmcResult {
     /// Whether a counterexample was found.
     pub fn is_counterexample(&self) -> bool {
         matches!(self, BmcResult::Counterexample(_))
+    }
+
+    /// Whether an unbounded proof was closed.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, BmcResult::Proved { .. })
     }
 
     /// The witness, if a counterexample was found.

@@ -35,6 +35,9 @@
 //! ```
 
 pub mod bmc;
+pub mod induction;
+pub mod pdr;
+pub mod prove;
 pub mod session;
 pub mod ts;
 pub mod unroll;
@@ -42,6 +45,12 @@ pub mod witness;
 
 pub use bmc::{
     Bmc, BmcConfig, BmcConfigBuilder, BmcFaultPlan, BmcMode, BmcResult, BmcStats, DepthStats,
+};
+pub use induction::KInduction;
+pub use pdr::Pdr;
+pub use prove::{
+    corrupt_certificate, verify_certificate, CertificateError, ProofCertificate, ProofMethod,
+    ProofRun, ProveStats,
 };
 pub use session::{BmcSession, QueryOutcome};
 pub use ts::{CoiInfo, StateVar, TransitionSystem};
